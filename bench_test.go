@@ -1,0 +1,357 @@
+package heap
+
+// Benchmark harness: one benchmark per table of the paper's evaluation
+// (§VI), plus the ablations DESIGN.md calls out. The hardware-model numbers
+// are reported as custom metrics (ms_model); the Go timings measure this
+// library's functional implementation on the host CPU — the "CPU" column of
+// the paper's methodology. EXPERIMENTS.md records paper-vs-measured for
+// every row.
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"heap/internal/apps"
+	"heap/internal/ckks"
+	"heap/internal/core"
+	"heap/internal/hwsim"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+// --- shared fixtures (built once; several benchmarks reuse them) ---
+
+var paperCtxOnce sync.Once
+var paperCtx struct {
+	params *ckks.Parameters
+	cl     *ckks.Client
+	ev     *ckks.Evaluator
+	ct     *rlwe.Ciphertext
+}
+
+// paperOps builds a functional CKKS context at the paper's §III-C parameter
+// set (N=2^13, six 36-bit limbs + aux, Δ=2^35) for the Table III/IV ops.
+func paperOps(b *testing.B) {
+	paperCtxOnce.Do(func() {
+		q := ring.GenerateNTTPrimes(36, 13, 7)
+		p := ring.GenerateNTTPrimesUp(37, 13, 4)
+		params := ckks.MustParameters(13, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<35), 1<<12)
+		kg := rlwe.NewKeyGenerator(params.Parameters, 1)
+		sk := kg.GenSecretKey(rlwe.SecretTernary)
+		cl := ckks.NewClient(params, sk, 2)
+		keys := ckks.GenEvaluationKeySet(params, kg, sk, []int{1}, true)
+		ev := ckks.NewEvaluator(params, keys, nil)
+		v := make([]complex128, params.Slots)
+		for i := range v {
+			v[i] = complex(0.5, 0.1)
+		}
+		paperCtx.params, paperCtx.cl, paperCtx.ev = params, cl, ev
+		paperCtx.ct = cl.Encrypt(v)
+	})
+	_ = b
+}
+
+// BenchmarkTable2Resources evaluates the Table II resource model.
+func BenchmarkTable2Resources(b *testing.B) {
+	cfg := hwsim.AlveoU280()
+	p := hwsim.PaperParams()
+	var r hwsim.ResourceUsage
+	for i := 0; i < b.N; i++ {
+		r = hwsim.ResourceModel(cfg, p)
+	}
+	b.ReportMetric(float64(r.DSPs), "DSPs")
+	b.ReportMetric(float64(r.URAMs), "URAMs")
+}
+
+// BenchmarkTable3BasicOps times the functional CKKS/TFHE primitives at the
+// paper's parameter set (the library's CPU realization of Table III) and
+// attaches the hardware model's single-FPGA latency as ms_model.
+func BenchmarkTable3BasicOps(b *testing.B) {
+	paperOps(b)
+	m := hwsim.NewModel(hwsim.AlveoU280(), hwsim.PaperParams())
+	ev, ct := paperCtx.ev, paperCtx.ct
+
+	b.Run("Add", func(b *testing.B) {
+		b.ReportMetric(m.Add().Ms(), "ms_model")
+		for i := 0; i < b.N; i++ {
+			_ = ev.Add(ct, ct)
+		}
+	})
+	b.Run("Mult", func(b *testing.B) {
+		b.ReportMetric(m.Mult().Ms(), "ms_model")
+		for i := 0; i < b.N; i++ {
+			_ = ev.Mul(ct, ct)
+		}
+	})
+	b.Run("Rescale", func(b *testing.B) {
+		b.ReportMetric(m.Rescale().Ms(), "ms_model")
+		for i := 0; i < b.N; i++ {
+			_ = ev.Rescale(ct)
+		}
+	})
+	b.Run("Rotate", func(b *testing.B) {
+		b.ReportMetric(m.Rotate().Ms(), "ms_model")
+		for i := 0; i < b.N; i++ {
+			_ = ev.Rotate(ct, 1)
+		}
+	})
+	b.Run("BlindRotate", func(b *testing.B) {
+		// A single blind rotation at a reduced n_t (the paper's n_t=500 at
+		// N=2^13 takes minutes per rotation on a CPU; the per-iteration cost
+		// scales linearly, and ms_model carries the paper-scale figure).
+		params := paperCtx.params
+		kg := rlwe.NewKeyGenerator(params.Parameters, 3)
+		rsk := kg.GenSecretKey(rlwe.SecretTernary)
+		lweSK := kg.GenLWESecretKey(8, rlwe.SecretBinary)
+		brk := tfhe.GenBlindRotateKey(kg, lweSK, rsk)
+		evT := tfhe.NewEvaluator(params.Parameters, nil)
+		lut := tfhe.NewLUTFromBig(params.Parameters, params.MaxLevel(), func(u int) *big.Int {
+			return big.NewInt(int64(u))
+		})
+		s := ring.NewSampler(4)
+		lwe := &rlwe.LWECiphertext{A: make([]uint64, 8), B: 3, Q: uint64(2 * params.N())}
+		for i := range lwe.A {
+			lwe.A[i] = s.UniformMod(lwe.Q)
+		}
+		b.ReportMetric(m.BlindRotate().Ms(), "ms_model")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = evT.BlindRotate(lwe, lut, brk)
+		}
+	})
+}
+
+// BenchmarkTable4NTT measures single-limb NTT throughput at N=2^13 — the
+// library analog of Table IV (ops/s is the inverse of ns/op).
+func BenchmarkTable4NTT(b *testing.B) {
+	r := ring.NewRing(13, ring.GenerateNTTPrimes(36, 13, 1)[0])
+	p := r.NewPoly()
+	ring.NewSampler(5).UniformPoly(r, p)
+	opsModel, _ := hwsim.NewModel(hwsim.AlveoU280(), hwsim.PaperParams()).NTTThroughput()
+	b.ReportMetric(opsModel, "opsps_model")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NTT(p)
+	}
+}
+
+// BenchmarkTable5Bootstrapping measures the functional scheme-switching
+// bootstrap (reduced ring for CPU tractability) and reports the eight-FPGA
+// model's total and per-slot-mult figures for the paper-scale system.
+func BenchmarkTable5Bootstrapping(b *testing.B) {
+	s := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), 8)
+	bs := s.Bootstrap(1 << 12)
+	b.ReportMetric(bs.TotalMs, "ms_model")
+	b.ReportMetric(s.AmortizedMultTime(1<<12, 5), "us_eq3_model")
+
+	cfg := TestContextConfig()
+	cfg.Bootstrap.NT = 24 // paper-style n_t mode
+	cfg.Limbs = 3
+	ctx, err := NewContext(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]complex128, ctx.Params.Slots)
+	ct := ctx.Client.EncryptAtLevel(v, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ctx.Boot.Bootstrap(ct)
+	}
+}
+
+// BenchmarkTable6LRTraining measures one functional encrypted LR iteration
+// (reduced scale) and reports the paper-scale model projection.
+func BenchmarkTable6LRTraining(b *testing.B) {
+	s := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), 8)
+	b.ReportMetric(s.Time(apps.LRSchedule()), "ms_model_periter")
+
+	q := ring.GenerateNTTPrimes(30, 7, 6)
+	p := ring.GenerateNTTPrimesUp(31, 7, 2)
+	params := ckks.MustParameters(7, q, p, ring.DefaultSigma, 3, float64(uint64(1)<<28), 64)
+	kg := rlwe.NewKeyGenerator(params.Parameters, 6)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := ckks.NewClient(params, sk, 7)
+	rot := []int{}
+	for r := 1; r < 64; r <<= 1 {
+		rot = append(rot, r)
+	}
+	keys := ckks.GenEvaluationKeySet(params, kg, sk, rot, false)
+	ev := ckks.NewEvaluator(params, keys, nil)
+	bc := core.DefaultConfig()
+	bc.NT = 0
+	bc.Workers = 4
+	bt, err := core.NewBootstrapper(params, kg, sk, bc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trainer := &apps.EncryptedLR{Params: params, Client: cl, Ev: ev, Boot: bt, Gamma: 1.0}
+	ds := apps.MiniDataset(64, 3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = trainer.Train(ds, 1)
+	}
+}
+
+// BenchmarkTable7ResNet reports the ResNet-20 model projection and times one
+// functional encrypted convolution layer.
+func BenchmarkTable7ResNet(b *testing.B) {
+	s := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), 8)
+	b.ReportMetric(s.Time(apps.ResNetSchedule())/1e3, "s_model_perinfer")
+
+	paperOps(b)
+	ev, ct := paperCtx.ev, paperCtx.ct
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 3-tap convolution + square activation, one layer.
+		t0 := ev.Rescale(ev.MulByFloat(ct, 0.5, paperCtx.params.DefaultScale))
+		t1 := ev.Rescale(ev.MulByFloat(ev.Rotate(ct, 1), 0.25, paperCtx.params.DefaultScale))
+		conv := ev.Add(t0, t1)
+		_ = ev.Mul(conv, conv)
+	}
+}
+
+// BenchmarkTable8SchemeSwitchSplit measures, on this host CPU, the two
+// bootstrapping algorithms Table VIII contrasts: the conventional CKKS
+// pipeline (Fig. 1a) and the scheme-switching pipeline (Fig. 1b), each at
+// its natural reduced parameter set. Note EXPERIMENTS.md's finding: on a
+// CPU the scheme-switching bootstrap is *not* faster functionally — its
+// advantage is parallel hardware plus the smaller parameter set, which the
+// model captures; the paper's own Table III TFHE row (9.4 ms per blind
+// rotation × n rotations) implies the same.
+func BenchmarkTable8SchemeSwitchSplit(b *testing.B) {
+	b.Run("ConventionalCKKS", func(b *testing.B) {
+		q := append(ring.GenerateNTTPrimes(50, 9, 1), ring.GenerateNTTPrimes(44, 9, 21)...)
+		p := ring.GenerateNTTPrimesUp(50, 9, 4)
+		params := ckks.MustParameters(9, q, p, ring.DefaultSigma, 6, float64(q[1]), 1<<8)
+		kg := rlwe.NewKeyGenerator(params.Parameters, 9)
+		sk := kg.GenSecretKey(rlwe.SecretTernary)
+		cl := ckks.NewClient(params, sk, 10)
+		keys := ckks.GenEvaluationKeySet(params, kg, sk, ckks.BootstrapRotations(params), true)
+		ev := ckks.NewEvaluator(params, keys, nil)
+		bt := ckks.NewBootstrapper(params, cl.Encoder, ev, ckks.DefaultBootstrapConfig())
+		v := make([]complex128, params.Slots)
+		ct := cl.EncryptAtLevel(v, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = bt.Bootstrap(ct)
+		}
+	})
+	b.Run("SchemeSwitching", func(b *testing.B) {
+		cfg := TestContextConfig()
+		cfg.Bootstrap.NT = 32
+		cfg.Limbs = 3
+		ctx, err := NewContext(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := make([]complex128, ctx.Params.Slots)
+		ct := ctx.Client.EncryptAtLevel(v, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ctx.Boot.Bootstrap(ct)
+		}
+	})
+}
+
+// --- ablations (DESIGN.md) ---
+
+// BenchmarkAblationReduction compares Barrett vs Montgomery modular
+// multiplication (§IV-A chooses Barrett for DSP mapping).
+func BenchmarkAblationReduction(b *testing.B) {
+	m := ring.NewModulus(ring.GenerateNTTPrimes(36, 13, 1)[0])
+	// A serially dependent chain over a varying operand so neither the
+	// compiler nor the CPU pipeline can collapse the measured latency.
+	b.Run("Barrett", func(b *testing.B) {
+		r := uint64(987654321)
+		for i := 0; i < b.N; i++ {
+			r = m.MulModBarrett(r^uint64(i), 123456789)
+		}
+		benchSink = r
+	})
+	b.Run("Montgomery", func(b *testing.B) {
+		xm := m.MForm(123456789)
+		r := uint64(987654321)
+		for i := 0; i < b.N; i++ {
+			r = m.MRed(r^uint64(i), xm)
+		}
+		benchSink = r
+	})
+	b.Run("Shoup", func(b *testing.B) {
+		w := uint64(123456789)
+		wS := m.ShoupPrecomp(w)
+		r := uint64(987654321)
+		for i := 0; i < b.N; i++ {
+			r = m.MulModShoup(r^uint64(i), w, wS)
+		}
+		benchSink = r
+	})
+}
+
+var benchSink uint64
+
+// BenchmarkAblationTwiddles compares the precomputed-table NTT against the
+// on-the-fly twiddle generation mode (§IV-D).
+func BenchmarkAblationTwiddles(b *testing.B) {
+	r := ring.NewRing(12, ring.GenerateNTTPrimes(36, 12, 1)[0])
+	p := r.NewPoly()
+	ring.NewSampler(11).UniformPoly(r, p)
+	b.Run("Precomputed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.NTT(p)
+		}
+	})
+	b.Run("OnTheFly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.NTTOnTheFly(p)
+		}
+	})
+}
+
+// BenchmarkAblationGadget sweeps the gadget decomposition number d
+// (§III-C trades key size against key-switch latency).
+func BenchmarkAblationGadget(b *testing.B) {
+	for _, dnum := range []int{2, 3, 6} {
+		b.Run(map[int]string{2: "d2", 3: "d3", 6: "d6"}[dnum], func(b *testing.B) {
+			q := ring.GenerateNTTPrimes(30, 10, 6)
+			p := ring.GenerateNTTPrimesUp(31, 10, (6+dnum-1)/dnum+1)
+			params := rlwe.MustParameters(10, q, p, ring.DefaultSigma, dnum)
+			kg := rlwe.NewKeyGenerator(params, 12)
+			sk1 := kg.GenSecretKey(rlwe.SecretTernary)
+			sk2 := kg.GenSecretKey(rlwe.SecretTernary)
+			ksk := kg.GenKeySwitchKey(sk1, sk2)
+			ks := rlwe.NewKeySwitcher(params)
+			enc := rlwe.NewEncryptor(params, sk1, 13)
+			ct := enc.EncryptZeroAtLevel(params.MaxLevel())
+			b.ReportMetric(float64(ksk.SizeBytes()), "key_bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = ks.SwitchPoly(ct.C1, ksk)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBRScheduling sweeps the worker count of the parallel
+// blind-rotate fan-out (the §V multi-node scaling, functionally).
+func BenchmarkAblationBRScheduling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			cfg := TestContextConfig()
+			cfg.Bootstrap.NT = 24
+			cfg.Bootstrap.Workers = workers
+			cfg.Limbs = 3
+			ctx, err := NewContext(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := make([]complex128, ctx.Params.Slots)
+			ct := ctx.Client.EncryptAtLevel(v, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ctx.Boot.Bootstrap(ct)
+			}
+		})
+	}
+}

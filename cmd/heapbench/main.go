@@ -1,0 +1,65 @@
+// Command heapbench regenerates the paper's evaluation tables (II–VIII)
+// from the calibrated hardware model, the workload schedules, and the
+// published baseline numbers:
+//
+//	heapbench            # print every table
+//	heapbench -table 5   # print one table
+//	heapbench -keys      # §III-C key-traffic accounting
+//	heapbench -sweep     # FPGA-count scaling sweep for the bootstrap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heap/internal/experiments"
+	"heap/internal/hwsim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print a single table (2-8)")
+	keys := flag.Bool("keys", false, "print the §III-C key-material report")
+	area := flag.Bool("area", false, "print the §VI-B area/power comparison")
+	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
+	flag.Parse()
+
+	switch {
+	case *keys:
+		fmt.Print(experiments.KeyReport())
+	case *area:
+		fmt.Print(experiments.AreaReport())
+	case *sweep:
+		fmt.Println("Scheme-switching bootstrap latency vs number of FPGAs (fully packed, n=4096)")
+		fmt.Printf("%6s %12s %12s %12s\n", "FPGAs", "step3 (ms)", "comm (ms)", "total (ms)")
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			s := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), n)
+			b := s.Bootstrap(1 << 12)
+			fmt.Printf("%6d %12.4f %12.4f %12.4f\n", n, b.Step3Ms, b.CommMs, b.TotalMs)
+		}
+	case *table != 0:
+		var out string
+		switch *table {
+		case 2:
+			out = experiments.Table2()
+		case 3:
+			out = experiments.Table3()
+		case 4:
+			out = experiments.Table4()
+		case 5:
+			out = experiments.Table5()
+		case 6:
+			out = experiments.Table6()
+		case 7:
+			out = experiments.Table7()
+		case 8:
+			out = experiments.Table8()
+		default:
+			fmt.Fprintln(os.Stderr, "tables 2-8 are available")
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	default:
+		fmt.Print(experiments.All())
+	}
+}

@@ -1,0 +1,72 @@
+// Encrypted logistic-regression training (the paper's §VI-F.1 workload,
+// scaled to laptop parameters): feature columns packed in CKKS slots,
+// encrypted weights, one scheme-switching bootstrap of every weight
+// ciphertext per iteration — exactly the HELR protocol the paper benchmarks
+// — followed by the Table VI cost-model projection at full scale.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"heap/internal/apps"
+	"heap/internal/ckks"
+	"heap/internal/core"
+	"heap/internal/hwsim"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+func main() {
+	const (
+		logN  = 7
+		slots = 64
+		feats = 3
+		iters = 2
+	)
+	q := ring.GenerateNTTPrimes(30, logN, 6)
+	p := ring.GenerateNTTPrimesUp(31, logN, 2)
+	params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 3, float64(uint64(1)<<28), slots)
+	kg := rlwe.NewKeyGenerator(params.Parameters, 7)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := ckks.NewClient(params, sk, 8)
+
+	rotations := []int{}
+	for r := 1; r < slots; r <<= 1 {
+		rotations = append(rotations, r)
+	}
+	keys := ckks.GenEvaluationKeySet(params, kg, sk, rotations, false)
+	ev := ckks.NewEvaluator(params, keys, nil)
+
+	// Exact bootstrap mode (NT = 0): at laptop ring degrees the n_t-mode
+	// rounding error would destabilize the unbounded linear sigmoid.
+	cfg := core.DefaultConfig()
+	cfg.NT = 0
+	cfg.Workers = 4
+	boot, err := core.NewBootstrapper(params, kg, sk, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	ds := apps.MiniDataset(slots, feats, 9)
+	trainer := &apps.EncryptedLR{Params: params, Client: cl, Ev: ev, Boot: boot, Gamma: 1.0}
+
+	start := time.Now()
+	w := trainer.Train(ds, iters)
+	elapsed := time.Since(start)
+
+	wPlain := apps.TrainLogisticPlain(ds, iters, 1.0, true)
+	fmt.Printf("encrypted training: %d iterations over %d samples × %d features in %v\n",
+		iters, ds.Len(), feats, elapsed)
+	fmt.Printf("encrypted weights:  %+.4f\n", w)
+	fmt.Printf("plaintext weights:  %+.4f\n", wPlain)
+	fmt.Printf("encrypted accuracy: %.3f (plaintext %.3f)\n",
+		apps.Accuracy(w, ds), apps.Accuracy(wPlain, ds))
+
+	// Full-scale projection (Table VI).
+	s := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), 8)
+	sched := apps.LRSchedule()
+	_, bootFrac := s.ComputeToBootRatio(sched)
+	fmt.Printf("\nHEAP model, paper scale: %.4f s/iteration (bootstrap %.0f%% of the time; FAB spent ~70%%)\n",
+		s.Time(sched)/1e3, 100*bootFrac)
+}

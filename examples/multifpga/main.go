@@ -1,0 +1,82 @@
+// Multi-node parallel bootstrapping walk-through (§V, Figure 4).
+//
+// Functionally, the worker pool of the scheme-switching bootstrapper plays
+// the role of the eight FPGAs: the blind rotations of distinct LWE
+// ciphertexts have no data dependencies, so they fan out across compute
+// nodes and stream back to the primary for repacking. This example runs the
+// same bootstrap with 1, 2, 4 and 8 workers (identical results, by
+// determinism) and prints the hardware model's timeline for the real
+// eight-FPGA system.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"heap"
+	"heap/internal/cluster"
+	"heap/internal/hwsim"
+)
+
+func main() {
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := heap.TestContextConfig()
+		cfg.Bootstrap.Workers = workers
+		ctx, err := heap.NewContext(cfg)
+		if err != nil {
+			panic(err)
+		}
+		v := make([]complex128, ctx.Params.Slots)
+		for i := range v {
+			v[i] = complex(0.4, 0)
+		}
+		ct := ctx.Client.EncryptAtLevel(v, 1) // exhausted ciphertext
+		start := time.Now()
+		out := ctx.Boot.Bootstrap(ct)
+		fmt.Printf("workers=%d: bootstrap in %8v, output level %d, slot0 = %.3f\n",
+			workers, time.Since(start).Round(time.Millisecond), out.Level(),
+			real(ctx.Decrypt(out)[0]))
+	}
+
+	// The same fan-out over real byte streams: a primary and two secondary
+	// nodes exchanging serialized ciphertexts (internal/cluster, Figure 4).
+	mk := func() *heap.Context {
+		ctx, err := heap.NewContext(heap.TestContextConfig())
+		if err != nil {
+			panic(err)
+		}
+		return ctx
+	}
+	primary, sec1, sec2 := mk(), mk(), mk()
+	c1p, c1s := net.Pipe()
+	c2p, c2s := net.Pipe()
+	go func() { _ = (&cluster.Secondary{Boot: sec1.Boot}).Serve(c1s) }()
+	go func() { _ = (&cluster.Secondary{Boot: sec2.Boot}).Serve(c2s) }()
+	v2 := make([]complex128, primary.Params.Slots)
+	for i := range v2 {
+		v2[i] = complex(0.4, 0)
+	}
+	ct2 := primary.Client.EncryptAtLevel(v2, 1)
+	start := time.Now()
+	out2, err := (&cluster.Primary{Boot: primary.Boot}).Bootstrap(ct2, []io.ReadWriter{c1p, c2p})
+	if err != nil {
+		panic(err)
+	}
+	_ = cluster.Shutdown(c1p)
+	_ = cluster.Shutdown(c2p)
+	fmt.Printf("\ndistributed (1 primary + 2 secondaries over byte streams): %v, slot0 = %.3f\n",
+		time.Since(start).Round(time.Millisecond), real(primary.Decrypt(out2)[0]))
+
+	fmt.Println("\nHardware model (Alveo U280 nodes, 100G CMAC, fully packed n=4096):")
+	fmt.Printf("%6s %12s %12s %12s %14s\n", "FPGAs", "step3 (ms)", "comm (ms)", "total (ms)", "vs 1 FPGA")
+	base := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), 1).Bootstrap(1 << 12).TotalMs
+	for _, n := range []int{1, 2, 4, 8} {
+		s := hwsim.NewSystem(hwsim.AlveoU280(), hwsim.PaperParams(), n)
+		b := s.Bootstrap(1 << 12)
+		fmt.Printf("%6d %12.4f %12.4f %12.4f %13.2f×\n", n, b.Step3Ms, b.CommMs, b.TotalMs, base/b.TotalMs)
+	}
+	fmt.Println("\nFAB's serial CKKS bootstrap gains only ~20% from 8 FPGAs (§I);")
+	fmt.Println("the scheme-switched BlindRotate fan-out above scales near-linearly until the CMAC link binds.")
+}

@@ -1,0 +1,3 @@
+module heap
+
+go 1.22

@@ -1,0 +1,56 @@
+package heap
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// TestContextEndToEnd drives the public facade through the full story:
+// encrypt → exhaust levels → scheme-switching bootstrap → keep computing.
+func TestContextEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	ctx, err := NewContext(TestContextConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]complex128, ctx.Params.Slots)
+	for i := range v {
+		v[i] = complex(0.55, 0)
+	}
+	ct := ctx.Encrypt(v)
+	want := complex(0.55, 0)
+	for ct.Level() > 1 {
+		ct = ctx.Eval.MulRelinRescale(ct, ct)
+		want *= want
+	}
+	ct = ctx.Bootstrap(ct)
+	if ct.Level() != ctx.Boot.AppMaxLevel() {
+		t.Fatalf("bootstrap level %d want %d", ct.Level(), ctx.Boot.AppMaxLevel())
+	}
+	ct = ctx.Eval.MulRelinRescale(ct, ct)
+	want *= want
+	got := ctx.Decrypt(ct)
+	for i := range got {
+		if e := cmplx.Abs(got[i] - want); e > 0.05 {
+			t.Fatalf("slot %d: %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSystemModelFacade(t *testing.T) {
+	s := NewSystemModel(8)
+	b := s.Bootstrap(1 << 12)
+	if b.TotalMs < 1.4 || b.TotalMs > 1.6 {
+		t.Errorf("modeled bootstrap %.3f ms, paper reports 1.5 ms", b.TotalMs)
+	}
+}
+
+func TestConfigValidationSurfacesErrors(t *testing.T) {
+	cfg := TestContextConfig()
+	cfg.Slots = cfg.Slots * 4 // exceeds N/2
+	if _, err := NewContext(cfg); err == nil {
+		t.Error("expected an error for slots > N/2")
+	}
+}

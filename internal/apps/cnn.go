@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"heap/internal/ckks"
+	"heap/internal/core"
+	"heap/internal/rlwe"
+)
+
+// Encrypted CNN building blocks: the multiplexed-convolution pattern of
+// Lee et al. [39] (rotations + plaintext weight multiplications) and the
+// square activation, with a scheme-switching bootstrap between layers —
+// the functional counterpart of the Table VII schedule.
+
+// ConvLayer is a 1-D convolution kernel over the packed feature map plus an
+// optional square activation.
+type ConvLayer struct {
+	Kernel   map[int]float64 // offset → weight
+	Activate bool            // apply x² after the convolution
+}
+
+// EncryptedCNN applies conv layers to an encrypted feature map, invoking
+// the bootstrapper whenever the level budget runs out.
+type EncryptedCNN struct {
+	Params *ckks.Parameters
+	Ev     *ckks.Evaluator
+	Boot   *core.Bootstrapper
+	Layers []ConvLayer
+}
+
+// levelCost is the multiplicative depth of one layer (1 for the plaintext
+// weight multiplication, +1 for the square activation).
+func (l ConvLayer) levelCost() int {
+	if l.Activate {
+		return 2
+	}
+	return 1
+}
+
+// Infer runs the layers over ct, bootstrapping between layers when needed,
+// and returns the final feature-map ciphertext.
+func (c *EncryptedCNN) Infer(ct *rlwe.Ciphertext) *rlwe.Ciphertext {
+	for _, layer := range c.Layers {
+		if ct.Level() <= layer.levelCost() {
+			if ct.Level() > 1 {
+				ct = c.Ev.DropLevels(ct, ct.Level()-1)
+			}
+			ct = c.Boot.Bootstrap(ct)
+		}
+		ct = c.applyLayer(ct, layer)
+	}
+	return ct
+}
+
+func (c *EncryptedCNN) applyLayer(ct *rlwe.Ciphertext, layer ConvLayer) *rlwe.Ciphertext {
+	var conv *rlwe.Ciphertext
+	for off, w := range layer.Kernel {
+		t := ct
+		if off != 0 {
+			t = c.Ev.Rotate(ct, off)
+		}
+		t = c.Ev.MulConstToScale(t, complex(w, 0), c.Params.DefaultScale)
+		if conv == nil {
+			conv = t
+		} else {
+			conv = c.Ev.Add(conv, t)
+		}
+	}
+	if layer.Activate {
+		// Scale after the square is Δ²/q, tracked exactly; the next layer's
+		// MulConstToScale re-normalizes it to Δ.
+		conv = c.Ev.MulRelinRescale(conv, conv)
+	}
+	return conv
+}
+
+// ReferenceCNN computes the same layers on plaintext values (cyclic
+// convolution over the slot vector), for verification.
+func ReferenceCNN(values []complex128, layers []ConvLayer) []complex128 {
+	cur := append([]complex128(nil), values...)
+	n := len(cur)
+	for _, layer := range layers {
+		next := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var acc complex128
+			for off, w := range layer.Kernel {
+				acc += cur[((i+off)%n+n)%n] * complex(w, 0)
+			}
+			next[i] = acc
+		}
+		if layer.Activate {
+			for i := range next {
+				next[i] *= next[i]
+			}
+		}
+		cur = next
+	}
+	return cur
+}

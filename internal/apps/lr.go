@@ -1,0 +1,195 @@
+package apps
+
+import (
+	"math"
+
+	"heap/internal/ckks"
+	"heap/internal/core"
+	"heap/internal/hwsim"
+	"heap/internal/rlwe"
+)
+
+// sigmoid is the logistic function.
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// sigmoidApprox is the degree-1 minimax approximation the encrypted trainer
+// evaluates (HELR [29] uses low-degree polynomial sigmoids; degree 1 keeps
+// the per-iteration depth at three levels).
+func sigmoidApprox(z float64) float64 { return 0.5 + 0.25*z }
+
+// TrainLogisticPlain trains logistic regression with full-batch gradient
+// descent — the plaintext reference for the encrypted trainer and the
+// accuracy yardstick of §VI-F.3.
+func TrainLogisticPlain(ds *Dataset, iters int, gamma float64, approx bool) []float64 {
+	nf := ds.Features()
+	w := make([]float64, nf)
+	m := float64(ds.Len())
+	for it := 0; it < iters; it++ {
+		grad := make([]float64, nf)
+		for i, row := range ds.X {
+			z := 0.0
+			for j, x := range row {
+				z += w[j] * x
+			}
+			var p float64
+			if approx {
+				p = sigmoidApprox(z)
+			} else {
+				p = sigmoid(z)
+			}
+			e := ds.Y[i] - p
+			for j, x := range row {
+				grad[j] += e * x
+			}
+		}
+		for j := range w {
+			w[j] += gamma * grad[j] / m
+		}
+	}
+	return w
+}
+
+// Accuracy scores a weight vector on a dataset.
+func Accuracy(w []float64, ds *Dataset) float64 {
+	correct := 0
+	for i, row := range ds.X {
+		z := 0.0
+		for j, x := range row {
+			z += w[j] * x
+		}
+		pred := 0.0
+		if z > 0 {
+			pred = 1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// EncryptedLR trains logistic regression on encrypted data: one ciphertext
+// per feature column (batch packed in slots), encrypted weight ciphertexts,
+// three multiplicative levels per iteration, and one scheme-switching
+// bootstrap per exhausted weight ciphertext — the paper's protocol of one
+// bootstrap per training iteration (§VI-F.1).
+type EncryptedLR struct {
+	Params *ckks.Parameters
+	Client *ckks.Client
+	Ev     *ckks.Evaluator
+	Boot   *core.Bootstrapper
+	Gamma  float64
+}
+
+// Train runs iters iterations over ds (ds.Len() must equal the slot count)
+// and returns the decrypted weights.
+func (t *EncryptedLR) Train(ds *Dataset, iters int) []float64 {
+	nf := ds.Features()
+	slots := t.Params.Slots
+	if ds.Len() != slots {
+		panic("apps: batch size must equal the slot count")
+	}
+	// Encrypt feature columns and labels.
+	xCts := make([]*rlwe.Ciphertext, nf)
+	col := make([]complex128, slots)
+	level := t.Boot.AppMaxLevel()
+	for j := 0; j < nf; j++ {
+		for i := 0; i < slots; i++ {
+			col[i] = complex(ds.X[i][j], 0)
+		}
+		xCts[j] = t.Client.EncryptAtLevel(col, level)
+	}
+	for i := 0; i < slots; i++ {
+		col[i] = complex(ds.Y[i]-0.5, 0) // y − 1/2 folds the sigmoid offset in
+	}
+	yCt := t.Client.EncryptAtLevel(col, level)
+
+	// Encrypted weights, zero-initialized (trivial encryptions of 0).
+	wCts := make([]*rlwe.Ciphertext, nf)
+	zero := make([]complex128, slots)
+	for j := range wCts {
+		wCts[j] = t.Client.EncryptAtLevel(zero, level)
+	}
+
+	gammaOverM := t.Gamma / float64(slots)
+	for it := 0; it < iters; it++ {
+		// z = Σ_j X_j ⊙ W_j (weights are replicated across slots).
+		var z *rlwe.Ciphertext
+		for j := 0; j < nf; j++ {
+			xj := xCts[j]
+			if xj.Level() > wCts[j].Level() {
+				xj = t.Ev.DropLevels(xj, xj.Level()-wCts[j].Level())
+			}
+			term := t.Ev.MulRelinRescale(xj, wCts[j])
+			if z == nil {
+				z = term
+			} else {
+				z = t.Ev.Add(z, term)
+			}
+		}
+		// err = (y − 1/2) − z/4   (degree-1 sigmoid)
+		quarterZ := t.Ev.MulConstToScale(z, 0.25, t.Params.DefaultScale)
+		yAligned := yCt
+		if yAligned.Level() > quarterZ.Level() {
+			yAligned = t.Ev.DropLevels(yAligned, yAligned.Level()-quarterZ.Level())
+		}
+		yAligned = yAligned.CopyNew()
+		yAligned.Scale = quarterZ.Scale // both sit at Δ up to rounding
+		errCt := t.Ev.Sub(yAligned, quarterZ)
+
+		// grad_j = Σ_i err_i·x_ij, replicated by rotate-and-add, scaled by γ/m.
+		for j := 0; j < nf; j++ {
+			xj := xCts[j]
+			if xj.Level() > errCt.Level() {
+				xj = t.Ev.DropLevels(xj, xj.Level()-errCt.Level())
+			}
+			g := t.Ev.MulRelinRescale(xj, errCt)
+			for r := 1; r < slots; r <<= 1 {
+				g = t.Ev.Add(g, t.Ev.Rotate(g, r))
+			}
+			// Scale by γ/m, landing exactly on the weights' scale so the
+			// update is a plain addition even at level 1.
+			g = t.Ev.MulConstToScale(g, complex(gammaOverM, 0), wCts[j].Scale)
+			wAligned := wCts[j]
+			if wAligned.Level() > g.Level() {
+				wAligned = t.Ev.DropLevels(wAligned, wAligned.Level()-g.Level())
+			}
+			wCts[j] = t.Ev.Add(wAligned, g)
+		}
+
+		// Bootstrap the exhausted weight ciphertexts — the paper performs a
+		// bootstrapping operation after every iteration.
+		if it < iters-1 {
+			for j := range wCts {
+				w := wCts[j]
+				if w.Level() > 1 {
+					w = t.Ev.DropLevels(w, w.Level()-1)
+				}
+				wCts[j] = t.Boot.Bootstrap(w)
+			}
+		}
+	}
+
+	out := make([]float64, nf)
+	for j := range wCts {
+		out[j] = real(t.Client.Decrypt(wCts[j])[0])
+	}
+	return out
+}
+
+// LRSchedule is the per-iteration HELR operation count at the paper's
+// packing (256 slots, 196 features, BSGS matrix products): three
+// matrix-vector passes of ~2√196 rotations each, the degree-3 sigmoid, the
+// weight update, and the refresh of the three working ciphertexts.
+func LRSchedule() hwsim.WorkloadSchedule {
+	return hwsim.WorkloadSchedule{
+		Name:      "LR training iteration (HELR [29], 256 slots)",
+		Adds:      220,
+		Mults:     46,
+		PtMults:   84,
+		Rotates:   100,
+		Rescales:  70,
+		Boots:     3,
+		BootSlots: 256,
+	}
+}

@@ -1,0 +1,56 @@
+package apps
+
+import "heap/internal/hwsim"
+
+// ResNetLayer is one stage of the Lee et al. [39] homomorphic ResNet-20
+// schedule: a multiplexed-parallel convolution (rotations + plaintext
+// multiplications), batch-norm folding (plaintext multiply/add), and the
+// degree-27 polynomial ReLU approximation whose depth forces several
+// bootstrap invocations at HEAP's five usable levels.
+type ResNetLayer struct {
+	Name       string
+	ConvRots   int
+	ConvPtMul  int
+	ConvAdds   int
+	ReLUMults  int
+	Bootstraps int
+}
+
+// ResNet20Layers returns the 1+3×6+1 layer structure of ResNet-20 on
+// 32×32 inputs with 1024-slot packing.
+func ResNet20Layers() []ResNetLayer {
+	layers := make([]ResNetLayer, 0, 20)
+	layers = append(layers, ResNetLayer{Name: "conv1", ConvRots: 140, ConvPtMul: 140, ConvAdds: 190, ReLUMults: 30, Bootstraps: 10})
+	stages := []struct {
+		name string
+		n    int
+	}{{"stage1", 6}, {"stage2", 6}, {"stage3", 6}}
+	for _, st := range stages {
+		for i := 0; i < st.n; i++ {
+			layers = append(layers, ResNetLayer{
+				Name: st.name, ConvRots: 150, ConvPtMul: 150, ConvAdds: 200,
+				ReLUMults: 30, Bootstraps: 10,
+			})
+		}
+	}
+	layers = append(layers, ResNetLayer{Name: "avgpool+fc", ConvRots: 60, ConvPtMul: 50, ConvAdds: 100, ReLUMults: 0, Bootstraps: 10})
+	return layers
+}
+
+// ResNetSchedule aggregates the full-network operation counts at the
+// paper's 1024-slot packing (§VI-F.2: 1024 LWE ciphertexts per bootstrap,
+// ~44% of HEAP's inference time in bootstrapping).
+func ResNetSchedule() hwsim.WorkloadSchedule {
+	var w hwsim.WorkloadSchedule
+	w.Name = "ResNet-20 inference (Lee et al. [39], 1024 slots)"
+	w.BootSlots = 1024
+	for _, l := range ResNet20Layers() {
+		w.Rotates += l.ConvRots
+		w.PtMults += l.ConvPtMul
+		w.Adds += l.ConvAdds
+		w.Mults += l.ReLUMults
+		w.Boots += l.Bootstraps
+		w.Rescales += l.ConvPtMul/2 + l.ReLUMults
+	}
+	return w
+}

@@ -1,0 +1,140 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// BootstrapTestParams: N=2^9, q0 a 50-bit prime, 21 further 44-bit limbs
+// (Δ pinned to a limb so repeated Rescale keeps the scale stable), dnum=6.
+func bootstrapTestParams(t *testing.T) *Parameters {
+	t.Helper()
+	q := append(ring.GenerateNTTPrimes(50, 9, 1), ring.GenerateNTTPrimes(44, 9, 21)...)
+	p := ring.GenerateNTTPrimesUp(50, 9, 4)
+	params := MustParameters(9, q, p, ring.DefaultSigma, 6, float64(q[1]), 1<<8)
+	return params
+}
+
+func newBootstrapContext(t *testing.T) (*Parameters, *Client, *Bootstrapper) {
+	t.Helper()
+	params := bootstrapTestParams(t)
+	kg := rlwe.NewKeyGenerator(params.Parameters, 40)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := NewClient(params, sk, 41)
+	keys := GenEvaluationKeySet(params, kg, sk, BootstrapRotations(params), true)
+	ev := NewEvaluator(params, keys, nil)
+	bt := NewBootstrapper(params, cl.Encoder, ev, DefaultBootstrapConfig())
+	return params, cl, bt
+}
+
+func TestLinearTransformIdentityAndShift(t *testing.T) {
+	p := TestParams(7, 4, 64)
+	kg := rlwe.NewKeyGenerator(p.Parameters, 42)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := NewClient(p, sk, 43)
+
+	// Identity and a cyclic-shift matrix.
+	id := NewLinearTransform(cl.Encoder, func(r, c int) complex128 {
+		if r == c {
+			return 1
+		}
+		return 0
+	}, p.Slots, p.MaxLevel(), p.DefaultScale)
+	shift := NewLinearTransform(cl.Encoder, func(r, c int) complex128 {
+		if (r+3)%p.Slots == c {
+			return 1
+		}
+		return 0
+	}, p.Slots, p.MaxLevel(), p.DefaultScale)
+
+	rots := append(id.Rotations(), shift.Rotations()...)
+	keys := GenEvaluationKeySet(p, kg, sk, rots, false)
+	ev := NewEvaluator(p, keys, nil)
+
+	v := rampVector(p.Slots)
+	ct := cl.Encrypt(v)
+	got := cl.Decrypt(ev.Rescale(ev.EvalLinearTransform(ct, id)))
+	if err := maxErr(got, v); err > 1e-5 {
+		t.Errorf("identity LT error %g", err)
+	}
+	got = cl.Decrypt(ev.Rescale(ev.EvalLinearTransform(ct, shift)))
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = v[(i+3)%p.Slots]
+	}
+	if err := maxErr(got, want); err > 1e-5 {
+		t.Errorf("shift LT error %g", err)
+	}
+}
+
+func TestLinearTransformDense(t *testing.T) {
+	p := TestParams(6, 4, 32)
+	kg := rlwe.NewKeyGenerator(p.Parameters, 44)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := NewClient(p, sk, 45)
+
+	m := func(r, c int) complex128 {
+		return complex(float64(r-c)/64, float64(r+c)/128)
+	}
+	lt := NewLinearTransform(cl.Encoder, m, p.Slots, p.MaxLevel(), p.DefaultScale)
+	keys := GenEvaluationKeySet(p, kg, sk, lt.Rotations(), false)
+	ev := NewEvaluator(p, keys, nil)
+
+	v := rampVector(p.Slots)
+	ct := cl.Encrypt(v)
+	got := cl.Decrypt(ev.Rescale(ev.EvalLinearTransform(ct, lt)))
+	want := make([]complex128, p.Slots)
+	for r := 0; r < p.Slots; r++ {
+		var acc complex128
+		for c := 0; c < p.Slots; c++ {
+			acc += m(r, c) * v[c]
+		}
+		want[r] = acc
+	}
+	if err := maxErr(got, want); err > 1e-4 {
+		t.Errorf("dense LT error %g", err)
+	}
+}
+
+func TestConventionalBootstrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap test is slow")
+	}
+	params, cl, bt := newBootstrapContext(t)
+
+	v := make([]complex128, params.Slots)
+	for i := range v {
+		v[i] = complex(0.6*float64(i%7)/7-0.3, 0.4*float64(i%5)/5-0.2)
+	}
+	// Simulate an exhausted ciphertext at level 1.
+	ct := cl.EncryptAtLevel(v, 1)
+	out := bt.Bootstrap(ct)
+
+	if out.Level() != params.MaxLevel()-bt.ConsumedLevels() {
+		t.Fatalf("bootstrap output level %d want %d", out.Level(), params.MaxLevel()-bt.ConsumedLevels())
+	}
+	got := cl.Decrypt(out)
+	worst := 0.0
+	for i := range v {
+		if e := cmplx.Abs(got[i] - v[i]); e > worst {
+			worst = e
+		}
+	}
+	t.Logf("conventional bootstrap max error: %g", worst)
+	if worst > 5e-3 {
+		t.Errorf("bootstrap error %g exceeds tolerance", worst)
+	}
+
+	// The refreshed ciphertext must support further multiplications.
+	ev := bt.Ev
+	sq := ev.MulRelinRescale(out, out)
+	got2 := cl.Decrypt(sq)
+	for i := range v {
+		if e := cmplx.Abs(got2[i] - v[i]*v[i]); e > 1e-2 {
+			t.Fatalf("post-bootstrap square error %g at slot %d", e, i)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"heap/internal/rlwe"
+)
+
+func maxErr(got, want []complex128) float64 {
+	worst := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func rampVector(n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(float64(i)/float64(n)-0.5, float64(n-i)/float64(2*n))
+	}
+	return v
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ logN, slots int }{{6, 32}, {8, 128}, {8, 16}, {10, 512}} {
+		p := TestParams(tc.logN, 3, tc.slots)
+		e := NewEncoder(p)
+		v := rampVector(tc.slots)
+		pt := e.EncodeAtLevel(v, p.DefaultScale, p.MaxLevel())
+		b := p.QBasis.AtLevel(p.MaxLevel())
+		b.INTT(pt)
+		got := e.Decode(b.CRTReconstructCentered(pt), p.DefaultScale)
+		if err := maxErr(got, v); err > 1e-7 {
+			t.Errorf("logN=%d slots=%d: encode/decode error %g", tc.logN, tc.slots, err)
+		}
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	p := TestParams(7, 3, 64)
+	kg := rlwe.NewKeyGenerator(p.Parameters, 1)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := NewClient(p, sk, 2)
+	v := rampVector(p.Slots)
+	ct := cl.Encrypt(v)
+	got := cl.Decrypt(ct)
+	if err := maxErr(got, v); err > 1e-6 {
+		t.Errorf("encrypt/decrypt error %g", err)
+	}
+}
+
+func newTestContext(t *testing.T, logN, limbs, slots int, rotations []int) (*Parameters, *Client, *Evaluator) {
+	t.Helper()
+	p := TestParams(logN, limbs, slots)
+	kg := rlwe.NewKeyGenerator(p.Parameters, 10)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := NewClient(p, sk, 11)
+	keys := GenEvaluationKeySet(p, kg, sk, rotations, true)
+	ev := NewEvaluator(p, keys, nil)
+	return p, cl, ev
+}
+
+func TestAddSubNeg(t *testing.T) {
+	p, cl, ev := newTestContext(t, 6, 3, 32, nil)
+	a, b := rampVector(p.Slots), rampVector(p.Slots)
+	for i := range b {
+		b[i] *= complex(0, 1)
+	}
+	ctA, ctB := cl.Encrypt(a), cl.Encrypt(b)
+
+	sum := cl.Decrypt(ev.Add(ctA, ctB))
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = a[i] + b[i]
+	}
+	if err := maxErr(sum, want); err > 1e-6 {
+		t.Errorf("Add error %g", err)
+	}
+
+	diff := cl.Decrypt(ev.Sub(ctA, ctB))
+	for i := range want {
+		want[i] = a[i] - b[i]
+	}
+	if err := maxErr(diff, want); err > 1e-6 {
+		t.Errorf("Sub error %g", err)
+	}
+
+	neg := cl.Decrypt(ev.Neg(ctA))
+	for i := range want {
+		want[i] = -a[i]
+	}
+	if err := maxErr(neg, want); err > 1e-6 {
+		t.Errorf("Neg error %g", err)
+	}
+}
+
+func TestMulRescale(t *testing.T) {
+	p, cl, ev := newTestContext(t, 7, 4, 64, nil)
+	a, b := rampVector(p.Slots), rampVector(p.Slots)
+	ctA, ctB := cl.Encrypt(a), cl.Encrypt(b)
+	prod := ev.MulRelinRescale(ctA, ctB)
+	if prod.Level() != p.MaxLevel()-1 {
+		t.Fatalf("rescaled level %d want %d", prod.Level(), p.MaxLevel()-1)
+	}
+	got := cl.Decrypt(prod)
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = a[i] * b[i]
+	}
+	if err := maxErr(got, want); err > 1e-5 {
+		t.Errorf("Mul error %g", err)
+	}
+}
+
+func TestMulPlain(t *testing.T) {
+	p, cl, ev := newTestContext(t, 6, 3, 32, nil)
+	a := rampVector(p.Slots)
+	w := make([]complex128, p.Slots)
+	for i := range w {
+		w[i] = complex(math.Cos(float64(i)), math.Sin(float64(i)))
+	}
+	ct := cl.Encrypt(a)
+	pt := cl.Encoder.EncodeAtLevel(w, p.DefaultScale, ct.Level())
+	out := ev.Rescale(ev.MulPlain(ct, pt, p.DefaultScale))
+	got := cl.Decrypt(out)
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = a[i] * w[i]
+	}
+	if err := maxErr(got, want); err > 1e-5 {
+		t.Errorf("MulPlain error %g", err)
+	}
+}
+
+func TestMultiplicativeDepth(t *testing.T) {
+	// Use every available level: ((a²)²)²… until level 1, checking values.
+	p, cl, ev := newTestContext(t, 6, 4, 32, nil)
+	v := make([]complex128, p.Slots)
+	for i := range v {
+		v[i] = complex(0.9, 0)
+	}
+	ct := cl.Encrypt(v)
+	want := 0.9
+	for ct.Level() > 1 {
+		ct = ev.MulRelinRescale(ct, ct)
+		want *= want
+	}
+	got := cl.Decrypt(ct)
+	for i := range got {
+		if math.Abs(real(got[i])-want) > 1e-3 {
+			t.Fatalf("slot %d: %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRotateConjugate(t *testing.T) {
+	p, cl, ev := newTestContext(t, 7, 3, 64, []int{1, 5, -3, 17})
+	a := rampVector(p.Slots)
+	ct := cl.Encrypt(a)
+	for _, k := range []int{1, 5, -3, 17} {
+		got := cl.Decrypt(ev.Rotate(ct, k))
+		want := make([]complex128, p.Slots)
+		for i := range want {
+			want[i] = a[((i+k)%p.Slots+p.Slots)%p.Slots]
+		}
+		if err := maxErr(got, want); err > 1e-5 {
+			t.Errorf("Rotate(%d) error %g", k, err)
+		}
+	}
+	got := cl.Decrypt(ev.Conjugate(ct))
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = cmplx.Conj(a[i])
+	}
+	if err := maxErr(got, want); err > 1e-5 {
+		t.Errorf("Conjugate error %g", err)
+	}
+}
+
+func TestMulByComplexConstAndAddConst(t *testing.T) {
+	p, cl, ev := newTestContext(t, 6, 3, 32, nil)
+	a := rampVector(p.Slots)
+	ct := cl.Encrypt(a)
+
+	c := complex(0.75, -1.25)
+	out := ev.Rescale(ev.MulByComplexConst(ct, c, p.DefaultScale))
+	got := cl.Decrypt(out)
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = a[i] * c
+	}
+	if err := maxErr(got, want); err > 1e-5 {
+		t.Errorf("MulByComplexConst error %g", err)
+	}
+
+	out2 := ev.AddConst(ct, complex(0.5, 0.25))
+	got2 := cl.Decrypt(out2)
+	for i := range want {
+		want[i] = a[i] + complex(0.5, 0.25)
+	}
+	if err := maxErr(got2, want); err > 1e-5 {
+		t.Errorf("AddConst error %g", err)
+	}
+}
+
+func TestMulByConstIntAndDropLevels(t *testing.T) {
+	p, cl, ev := newTestContext(t, 6, 3, 32, nil)
+	a := rampVector(p.Slots)
+	ct := cl.Encrypt(a)
+	out := ev.MulByConstInt(ct, -3)
+	got := cl.Decrypt(out)
+	want := make([]complex128, p.Slots)
+	for i := range want {
+		want[i] = a[i] * -3
+	}
+	if err := maxErr(got, want); err > 1e-5 {
+		t.Errorf("MulByConstInt error %g", err)
+	}
+	dropped := ev.DropLevels(ct, 1)
+	if dropped.Level() != ct.Level()-1 {
+		t.Fatal("DropLevels did not drop")
+	}
+	if err := maxErr(cl.Decrypt(dropped), a); err > 1e-5 {
+		t.Errorf("DropLevels changed values: %g", err)
+	}
+}
+
+func TestSparseSlotsReplication(t *testing.T) {
+	// Sparse packing (slots < N/2) replicates the vector in the subring;
+	// a rotation by `slots` must therefore be the identity.
+	p, cl, ev := newTestContext(t, 7, 3, 16, []int{16})
+	a := rampVector(p.Slots)
+	ct := cl.Encrypt(a)
+	got := cl.Decrypt(ev.Rotate(ct, 16))
+	if err := maxErr(got, a); err > 1e-5 {
+		t.Errorf("rotation by slot count is not identity under sparse packing: %g", err)
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := HEAPPaperParams()
+	if p.LogN != 13 || p.MaxLevel() != 6 {
+		t.Fatalf("paper params: logN=%d L=%d", p.LogN, p.MaxLevel())
+	}
+	if got := p.LogQTotal(); got < 210 || got > 217 {
+		t.Errorf("paper logQ = %d, want ≈216", got)
+	}
+	for _, q := range p.Q {
+		if q>>35 != 1 {
+			t.Errorf("limb %d is not a 36-bit prime", q)
+		}
+	}
+}
+
+func TestNoiseBitsDiagnostic(t *testing.T) {
+	p := TestParams(6, 3, 32)
+	kg := rlwe.NewKeyGenerator(p.Parameters, 130)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := NewClient(p, sk, 131)
+	v := rampVector(p.Slots)
+	ct := cl.Encrypt(v)
+	bits := cl.NoiseBits(ct, v)
+	// Fresh encryption noise ≈ σ·√N-ish ≈ 2^7±; far below the 43-bit scale.
+	if bits < 1 || bits > 25 {
+		t.Errorf("fresh-ciphertext noise %f bits outside the expected band", bits)
+	}
+	// A wrong expectation reports huge noise.
+	w := make([]complex128, p.Slots)
+	if cl.NoiseBits(ct, w) < 40 {
+		t.Error("noise against wrong expectation should approach the scale")
+	}
+}

@@ -1,0 +1,192 @@
+package ckks
+
+import (
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"heap/internal/rns"
+)
+
+// Encoder maps complex slot vectors to ring plaintexts through the canonical
+// embedding: slot j holds the polynomial's value at the primitive 2N-th root
+// ζ^{5^j}. The special FFT below is the standard HEAAN/Lattigo formulation.
+type Encoder struct {
+	params   *Parameters
+	m        int          // 2N
+	rotGroup []int        // 5^j mod 2N
+	roots    []complex128 // e^{iπk/N} for k < 2N
+}
+
+// NewEncoder precomputes the embedding tables.
+func NewEncoder(params *Parameters) *Encoder {
+	n := params.N()
+	m := 2 * n
+	e := &Encoder{params: params, m: m}
+	e.rotGroup = make([]int, n/2)
+	fivePow := 1
+	for i := range e.rotGroup {
+		e.rotGroup[i] = fivePow
+		fivePow = fivePow * 5 % m
+	}
+	e.roots = make([]complex128, m+1)
+	for i := 0; i <= m; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(m)
+		e.roots[i] = cmplx.Rect(1, angle)
+	}
+	return e
+}
+
+func bitReversePermute(v []complex128) {
+	n := len(v)
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+}
+
+// specialFFT evaluates the polynomial at the 5^j-orbit roots (decode
+// direction).
+func (e *Encoder) specialFFT(vals []complex128) {
+	bitReversePermute(vals)
+	n := len(vals)
+	for lenn := 2; lenn <= n; lenn <<= 1 {
+		lenh, lenq := lenn>>1, lenn<<2
+		for i := 0; i < n; i += lenn {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * (e.m / lenq)
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.roots[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+// specialInvFFT interpolates slot values into polynomial coefficients
+// (encode direction).
+func (e *Encoder) specialInvFFT(vals []complex128) {
+	n := len(vals)
+	for lenn := n; lenn >= 2; lenn >>= 1 {
+		lenh, lenq := lenn>>1, lenn<<2
+		for i := 0; i < n; i += lenn {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - e.rotGroup[j]%lenq) * (e.m / lenq)
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.roots[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	bitReversePermute(vals)
+	inv := complex(1/float64(n), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+// EncodeAtLevel encodes values (length ≤ params.Slots; shorter vectors are
+// zero-padded, and sparse packings are replicated into the full slot count)
+// into an NTT-form plaintext polynomial at the given level and scale.
+func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) rns.Poly {
+	n := e.params.N()
+	full := n / 2
+	vals := make([]complex128, full)
+	if len(values) > e.params.Slots {
+		panic("ckks: too many values for the parameter slot count")
+	}
+	// Replicate the slot vector to fill N/2 slots so the underlying
+	// polynomial lives in the subring (standard sparse packing).
+	rep := full / e.params.Slots
+	for r := 0; r < rep; r++ {
+		copy(vals[r*e.params.Slots:(r+1)*e.params.Slots], values)
+	}
+	e.specialInvFFT(vals)
+
+	b := e.params.QBasis.AtLevel(level)
+	pt := b.NewPoly()
+
+	// Fast path: when every scaled coefficient fits comfortably in int64,
+	// skip big-integer encoding entirely.
+	maxMag := 0.0
+	for _, v := range vals {
+		if m := math.Abs(real(v)); m > maxMag {
+			maxMag = m
+		}
+		if m := math.Abs(imag(v)); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag*scale < float64(1<<62) {
+		signed := make([]int64, n)
+		for j := 0; j < full; j++ {
+			signed[j] = int64(math.Round(real(vals[j]) * scale))
+			signed[j+full] = int64(math.Round(imag(vals[j]) * scale))
+		}
+		b.SetSigned(signed, pt)
+		b.NTT(pt)
+		return pt
+	}
+
+	coeffs := make([]*big.Int, n)
+	for j := 0; j < full; j++ {
+		coeffs[j] = roundToBig(real(vals[j]) * scale)
+		coeffs[j+full] = roundToBig(imag(vals[j]) * scale)
+	}
+	setBigSigned(b, coeffs, pt)
+	b.NTT(pt)
+	return pt
+}
+
+// Decode converts a decrypted phase (centered big-int coefficients) back to
+// the slot vector at the given scale.
+func (e *Encoder) Decode(phase []*big.Int, scale float64) []complex128 {
+	n := e.params.N()
+	full := n / 2
+	vals := make([]complex128, full)
+	for j := 0; j < full; j++ {
+		re := bigToFloat(phase[j]) / scale
+		im := bigToFloat(phase[j+full]) / scale
+		vals[j] = complex(re, im)
+	}
+	e.specialFFT(vals)
+	return vals[:e.params.Slots]
+}
+
+func roundToBig(f float64) *big.Int {
+	bf := new(big.Float).SetFloat64(f)
+	half := big.NewFloat(0.5)
+	if f >= 0 {
+		bf.Add(bf, half)
+	} else {
+		bf.Sub(bf, half)
+	}
+	out, _ := bf.Int(nil)
+	return out
+}
+
+func bigToFloat(b *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(b).Float64()
+	return f
+}
+
+// setBigSigned writes signed big-int coefficients into every limb.
+func setBigSigned(b *rns.Basis, coeffs []*big.Int, p rns.Poly) {
+	for i := 0; i < p.Level(); i++ {
+		q := new(big.Int).SetUint64(b.Rings[i].Mod.Q)
+		t := new(big.Int)
+		for j, c := range coeffs {
+			t.Mod(c, q)
+			p.Limbs[i][j] = t.Uint64()
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/rns"
+)
+
+// EvaluationKeySet holds the public evaluation material: the relinearization
+// key and the Galois keys for every rotation/conjugation the application
+// performs.
+type EvaluationKeySet struct {
+	Rlk        *rlwe.GadgetCiphertext
+	GaloisKeys map[uint64]*rlwe.GadgetCiphertext
+}
+
+// GenEvaluationKeySet creates the relinearization key plus Galois keys for
+// the given slot rotations (and conjugation if conj is set).
+func GenEvaluationKeySet(params *Parameters, kg *rlwe.KeyGenerator, sk *rlwe.SecretKey, rotations []int, conj bool) *EvaluationKeySet {
+	ks := &EvaluationKeySet{
+		Rlk:        kg.GenRelinearizationKey(sk),
+		GaloisKeys: make(map[uint64]*rlwe.GadgetCiphertext),
+	}
+	r0 := params.QBasis.Rings[0]
+	for _, k := range rotations {
+		g := r0.GaloisElementForRotation(k)
+		if _, ok := ks.GaloisKeys[g]; !ok {
+			ks.GaloisKeys[g] = kg.GenGaloisKey(g, sk)
+		}
+	}
+	if conj {
+		g := r0.GaloisElementConjugate()
+		ks.GaloisKeys[g] = kg.GenGaloisKey(g, sk)
+	}
+	return ks
+}
+
+// Evaluator performs homomorphic CKKS operations. Safe for concurrent use
+// after construction.
+type Evaluator struct {
+	Params *Parameters
+	KS     *rlwe.KeySwitcher
+	Keys   *EvaluationKeySet
+
+	// NTT form of the monomial X^{N/2} per Q limb: in CKKS slot space this
+	// monomial is the constant imaginary unit i (5^j ≡ 1 mod 4 puts every
+	// evaluation point on a root with ζ^{N/2} = i), enabling cheap complex
+	// scalar multiplication.
+	monoI []ring.Poly
+}
+
+// NewEvaluator constructs an evaluator; ks may be shared (or nil to build).
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet, ks *rlwe.KeySwitcher) *Evaluator {
+	if ks == nil {
+		ks = rlwe.NewKeySwitcher(params.Parameters)
+	}
+	ev := &Evaluator{Params: params, KS: ks, Keys: keys}
+	ev.monoI = make([]ring.Poly, params.MaxLevel())
+	for i, r := range params.QBasis.Rings {
+		p := r.NewPoly()
+		p[params.N()/2] = 1
+		r.NTT(p)
+		ev.monoI[i] = p
+	}
+	// Precompute the automorphism permutations for all held Galois keys so
+	// concurrent evaluation never mutates shared state.
+	if keys != nil {
+		for g := range keys.GaloisKeys {
+			ks.EnsurePerm(g)
+		}
+	}
+	return ev
+}
+
+func commonLevel(a, b *rlwe.Ciphertext) int {
+	if a.Level() < b.Level() {
+		return a.Level()
+	}
+	return b.Level()
+}
+
+func checkScales(a, b *rlwe.Ciphertext) {
+	r := a.Scale / b.Scale
+	if r < 0.99 || r > 1.01 {
+		panic(fmt.Sprintf("ckks: scale mismatch %g vs %g", a.Scale, b.Scale))
+	}
+}
+
+// Add returns a + b (Add of §II-A).
+func (ev *Evaluator) Add(a, b *rlwe.Ciphertext) *rlwe.Ciphertext {
+	checkScales(a, b)
+	level := commonLevel(a, b)
+	bas := ev.Params.QBasis.AtLevel(level)
+	out := rlwe.NewCiphertext(ev.Params.Parameters, level)
+	bas.Add(a.C0, b.C0, out.C0)
+	bas.Add(a.C1, b.C1, out.C1)
+	out.Scale = a.Scale
+	return out
+}
+
+// Sub returns a − b.
+func (ev *Evaluator) Sub(a, b *rlwe.Ciphertext) *rlwe.Ciphertext {
+	checkScales(a, b)
+	level := commonLevel(a, b)
+	bas := ev.Params.QBasis.AtLevel(level)
+	out := rlwe.NewCiphertext(ev.Params.Parameters, level)
+	bas.Sub(a.C0, b.C0, out.C0)
+	bas.Sub(a.C1, b.C1, out.C1)
+	out.Scale = a.Scale
+	return out
+}
+
+// Neg returns −a.
+func (ev *Evaluator) Neg(a *rlwe.Ciphertext) *rlwe.Ciphertext {
+	bas := ev.Params.QBasis.AtLevel(a.Level())
+	out := rlwe.NewCiphertext(ev.Params.Parameters, a.Level())
+	bas.Neg(a.C0, out.C0)
+	bas.Neg(a.C1, out.C1)
+	out.Scale = a.Scale
+	return out
+}
+
+// AddPlain returns ct + pt where pt is an NTT plaintext at matching scale
+// (PtAdd of §II-A).
+func (ev *Evaluator) AddPlain(ct *rlwe.Ciphertext, pt rns.Poly) *rlwe.Ciphertext {
+	out := ct.CopyNew()
+	ev.Params.QBasis.AtLevel(commonLevel(ct, &rlwe.Ciphertext{C0: pt, C1: pt})).Add(out.C0, pt, out.C0)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt with the plaintext's scale multiplied in
+// (PtMult of §II-A). Rescale afterwards to shrink Δ² back to Δ.
+func (ev *Evaluator) MulPlain(ct *rlwe.Ciphertext, pt rns.Poly, ptScale float64) *rlwe.Ciphertext {
+	level := ct.Level()
+	if pt.Level() < level {
+		level = pt.Level()
+	}
+	bas := ev.Params.QBasis.AtLevel(level)
+	out := rlwe.NewCiphertext(ev.Params.Parameters, level)
+	bas.MulCoeffs(ct.C0, pt, out.C0)
+	bas.MulCoeffs(ct.C1, pt, out.C1)
+	out.Scale = ct.Scale * ptScale
+	return out
+}
+
+// Mul returns the relinearized product a·b (Mult of §II-A): tensor to degree
+// two, then key-switch the s² component with the relinearization key.
+func (ev *Evaluator) Mul(a, b *rlwe.Ciphertext) *rlwe.Ciphertext {
+	level := commonLevel(a, b)
+	bas := ev.Params.QBasis.AtLevel(level)
+	d0 := bas.NewPoly()
+	d1 := bas.NewPoly()
+	d2 := bas.NewPoly()
+	tmp := bas.NewPoly()
+	bas.MulCoeffs(a.C0, b.C0, d0)
+	bas.MulCoeffs(a.C0, b.C1, d1)
+	bas.MulCoeffs(a.C1, b.C0, tmp)
+	bas.Add(d1, tmp, d1)
+	bas.MulCoeffs(a.C1, b.C1, d2)
+	r0, r1 := ev.KS.Relinearize(d0, d1, d2, ev.Keys.Rlk)
+	return &rlwe.Ciphertext{C0: r0, C1: r1, IsNTT: true, Scale: a.Scale * b.Scale}
+}
+
+// Square returns the relinearized a².
+func (ev *Evaluator) Square(a *rlwe.Ciphertext) *rlwe.Ciphertext { return ev.Mul(a, a) }
+
+// Rescale divides by the last limb modulus and drops it (Rescale of §II-A).
+func (ev *Evaluator) Rescale(ct *rlwe.Ciphertext) *rlwe.Ciphertext {
+	level := ct.Level()
+	if level < 2 {
+		panic("ckks: no limb left to rescale")
+	}
+	qLast := ev.Params.Q[level-1]
+	bas := ev.Params.QBasis.AtLevel(level)
+	out := &rlwe.Ciphertext{
+		C0:    bas.DivRoundByLastModulus(ct.C0, true),
+		C1:    bas.DivRoundByLastModulus(ct.C1, true),
+		IsNTT: true,
+		Scale: ct.Scale / float64(qLast),
+	}
+	return out
+}
+
+// MulRelinRescale is the common Mult→Rescale sequence.
+func (ev *Evaluator) MulRelinRescale(a, b *rlwe.Ciphertext) *rlwe.Ciphertext {
+	return ev.Rescale(ev.Mul(a, b))
+}
+
+// DropLevels truncates n limbs without rescaling (level alignment).
+func (ev *Evaluator) DropLevels(ct *rlwe.Ciphertext, n int) *rlwe.Ciphertext {
+	level := ct.Level() - n
+	if level < 1 {
+		panic("ckks: cannot drop below level 1")
+	}
+	return &rlwe.Ciphertext{C0: ct.C0.AtLevel(level), C1: ct.C1.AtLevel(level), IsNTT: true, Scale: ct.Scale}
+}
+
+// Rotate rotates the slot vector by k positions (Rotate of §II-A): the
+// automorphism X → X^{5^k} followed by a key switch.
+func (ev *Evaluator) Rotate(ct *rlwe.Ciphertext, k int) *rlwe.Ciphertext {
+	if k == 0 {
+		return ct.CopyNew()
+	}
+	g := ev.Params.QBasis.Rings[0].GaloisElementForRotation(k)
+	gk, ok := ev.Keys.GaloisKeys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing rotation key for k=%d (galois %d)", k, g))
+	}
+	return ev.KS.Automorphism(ct, g, gk)
+}
+
+// Conjugate conjugates every slot (Conjugate of §II-A): X → X^{2N−1}.
+func (ev *Evaluator) Conjugate(ct *rlwe.Ciphertext) *rlwe.Ciphertext {
+	g := ev.Params.QBasis.Rings[0].GaloisElementConjugate()
+	gk, ok := ev.Keys.GaloisKeys[g]
+	if !ok {
+		panic("ckks: missing conjugation key")
+	}
+	return ev.KS.Automorphism(ct, g, gk)
+}
+
+// MulByConstInt multiplies by a signed integer without consuming scale.
+func (ev *Evaluator) MulByConstInt(ct *rlwe.Ciphertext, c int64) *rlwe.Ciphertext {
+	level := ct.Level()
+	bas := ev.Params.QBasis.AtLevel(level)
+	out := rlwe.NewCiphertext(ev.Params.Parameters, level)
+	out.Scale = ct.Scale
+	for i := 0; i < level; i++ {
+		r := bas.Rings[i]
+		cc := signedResidue(c, r.Mod.Q)
+		r.MulScalar(ct.C0.Limbs[i], cc, out.C0.Limbs[i])
+		r.MulScalar(ct.C1.Limbs[i], cc, out.C1.Limbs[i])
+	}
+	return out
+}
+
+// MulByComplexConst multiplies every slot by the complex constant c, encoded
+// at auxScale (the ciphertext scale is multiplied by auxScale; rescale to
+// shrink it back). The real part is a plain scalar; the imaginary part rides
+// on the monomial X^{N/2}, which is the constant i in slot space.
+func (ev *Evaluator) MulByComplexConst(ct *rlwe.Ciphertext, c complex128, auxScale float64) *rlwe.Ciphertext {
+	level := ct.Level()
+	bas := ev.Params.QBasis.AtLevel(level)
+	re := int64(math.Round(real(c) * auxScale))
+	im := int64(math.Round(imag(c) * auxScale))
+	out := rlwe.NewCiphertext(ev.Params.Parameters, level)
+	out.Scale = ct.Scale * auxScale
+	tmp := bas.NewPoly()
+	for i := 0; i < level; i++ {
+		r := bas.Rings[i]
+		rr := signedResidue(re, r.Mod.Q)
+		r.MulScalar(ct.C0.Limbs[i], rr, out.C0.Limbs[i])
+		r.MulScalar(ct.C1.Limbs[i], rr, out.C1.Limbs[i])
+		if im != 0 {
+			ii := signedResidue(im, r.Mod.Q)
+			r.MulCoeffs(ct.C0.Limbs[i], ev.monoI[i], tmp.Limbs[i])
+			r.MulScalar(tmp.Limbs[i], ii, tmp.Limbs[i])
+			r.Add(out.C0.Limbs[i], tmp.Limbs[i], out.C0.Limbs[i])
+			r.MulCoeffs(ct.C1.Limbs[i], ev.monoI[i], tmp.Limbs[i])
+			r.MulScalar(tmp.Limbs[i], ii, tmp.Limbs[i])
+			r.Add(out.C1.Limbs[i], tmp.Limbs[i], out.C1.Limbs[i])
+		}
+	}
+	return out
+}
+
+// MulByFloat multiplies every slot by a real constant at auxScale.
+func (ev *Evaluator) MulByFloat(ct *rlwe.Ciphertext, f, auxScale float64) *rlwe.Ciphertext {
+	return ev.MulByComplexConst(ct, complex(f, 0), auxScale)
+}
+
+// AddConst adds the complex constant c to every slot.
+func (ev *Evaluator) AddConst(ct *rlwe.Ciphertext, c complex128) *rlwe.Ciphertext {
+	level := ct.Level()
+	bas := ev.Params.QBasis.AtLevel(level)
+	out := ct.CopyNew()
+	re := int64(math.Round(real(c) * ct.Scale))
+	im := int64(math.Round(imag(c) * ct.Scale))
+	for i := 0; i < level; i++ {
+		r := bas.Rings[i]
+		if re != 0 {
+			r.AddScalar(out.C0.Limbs[i], signedResidue(re, r.Mod.Q), out.C0.Limbs[i])
+		}
+		if im != 0 {
+			tmp := r.NewPoly()
+			r.MulScalar(ev.monoI[i], signedResidue(im, r.Mod.Q), tmp)
+			r.Add(out.C0.Limbs[i], tmp, out.C0.Limbs[i])
+		}
+	}
+	return out
+}
+
+func signedResidue(c int64, q uint64) uint64 {
+	if c >= 0 {
+		return uint64(c) % q
+	}
+	return q - uint64(-c)%q
+}

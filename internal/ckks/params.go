@@ -1,0 +1,79 @@
+// Package ckks implements the CKKS approximate homomorphic encryption
+// scheme on the shared rlwe substrate: canonical-embedding encoding, the
+// primitive operations of §II-A (PtAdd, Add, PtMult, Mult, Rescale, Rotate,
+// Conjugate), homomorphic linear transforms, and the conventional CKKS
+// bootstrapping pipeline of Figure 1(a) (ModRaise → CoeffToSlot → EvalMod →
+// SlotToCoeff) that serves as the baseline HEAP's scheme-switching
+// bootstrapper replaces.
+package ckks
+
+import (
+	"fmt"
+
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// Parameters wraps the RLWE parameter set with CKKS-specific metadata.
+type Parameters struct {
+	*rlwe.Parameters
+	// DefaultScale is the plaintext scale Δ (§II-A: "the scale factor is
+	// the size of one of the limbs of the ciphertext").
+	DefaultScale float64
+	// Slots is the default number of packed plaintext slots (≤ N/2).
+	Slots int
+}
+
+// NewParameters builds a CKKS parameter set. slots must be a power of two
+// no greater than N/2.
+func NewParameters(logN int, q, p []uint64, sigma float64, dnum int, defaultScale float64, slots int) (*Parameters, error) {
+	base, err := rlwe.NewParameters(logN, q, p, sigma, dnum)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << logN
+	if slots <= 0 || slots > n/2 || slots&(slots-1) != 0 {
+		return nil, fmt.Errorf("ckks: slots=%d invalid for N=%d", slots, n)
+	}
+	if defaultScale <= 1 {
+		return nil, fmt.Errorf("ckks: scale must exceed 1")
+	}
+	return &Parameters{Parameters: base, DefaultScale: defaultScale, Slots: slots}, nil
+}
+
+// MustParameters panics on error.
+func MustParameters(logN int, q, p []uint64, sigma float64, dnum int, defaultScale float64, slots int) *Parameters {
+	pr, err := NewParameters(logN, q, p, sigma, dnum, defaultScale, slots)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// HEAPPaperParams returns the paper's CKKS parameter set (§III-C):
+// N = 2^13, logQ = 216 split into six 36-bit limbs plus one auxiliary
+// 36-bit prime p, giving L = 6 and five multiplications between bootstraps.
+// The special-modulus chain used by hybrid key switching is sized to match
+// the largest gadget digit. Scale Δ is set one bit below the limb size
+// ("a value close to the limb of a ciphertext", Table I).
+func HEAPPaperParams() *Parameters {
+	logN := 13
+	q := ring.GenerateNTTPrimes(36, logN, 7) // 6 limbs + the auxiliary p
+	p := ring.GenerateNTTPrimesUp(37, logN, 4)
+	return MustParameters(logN, q[:6], p, ring.DefaultSigma, 2, float64(uint64(1)<<35), 1<<12)
+}
+
+// TestParams returns a small parameter set for fast unit tests: N = 2^logN
+// with `limbs` 45-bit limbs and Δ = 2^43 (close to the limb size, as the
+// paper prescribes, so the scale stays stable under repeated Rescale).
+func TestParams(logN, limbs, slots int) *Parameters {
+	q := ring.GenerateNTTPrimes(45, logN, limbs)
+	p := ring.GenerateNTTPrimesUp(45, logN, 3)
+	// Keep gadget digits at two limbs so the three special primes always
+	// cover them, whatever the chain length.
+	dnum := (limbs + 1) / 2
+	if dnum < 1 {
+		dnum = 1
+	}
+	return MustParameters(logN, q, p, ring.DefaultSigma, dnum, float64(uint64(1)<<43), slots)
+}

@@ -1,0 +1,169 @@
+// Package cluster realizes the paper's §V multi-node system (Figure 4) with
+// real byte streams: a primary node runs steps 1–2 of Algorithm 2, fans the
+// independent LWE ciphertexts out to secondary nodes over duplex
+// connections (the software analog of the 100G CMAC links — net.Pipe in
+// tests, net.Conn for actual TCP deployments), the secondaries blind-rotate
+// and stream their accumulator ciphertexts back as soon as each completes,
+// and the primary repacks and finishes the bootstrap.
+//
+// Key material is generated offline on every node from the shared seed,
+// matching the paper's "brk public keys can be computed offline and must be
+// generated in advance" — no secret ever crosses a connection.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"heap/internal/core"
+	"heap/internal/rlwe"
+)
+
+// message kinds on the wire.
+const (
+	msgBatch    = uint32(0xB007_0001) // primary → secondary: LWE batch
+	msgAccs     = uint32(0xB007_0002) // secondary → primary: accumulators
+	msgShutdown = uint32(0xB007_00FF)
+)
+
+// Secondary serves blind-rotation work over a connection. It owns a full
+// bootstrapper (keys generated offline from the shared seed) but only ever
+// executes BlindRotateOne.
+type Secondary struct {
+	Boot *core.Bootstrapper
+}
+
+// Serve processes batches until shutdown or connection close. Every
+// accumulator is streamed back immediately after its rotation completes,
+// mirroring the paper's "a secondary FPGA starts sending the resultant
+// ciphertext ... as soon as the BlindRotate operation is completed".
+func (s *Secondary) Serve(conn io.ReadWriter) error {
+	for {
+		var kind uint32
+		if err := binary.Read(conn, binary.LittleEndian, &kind); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case msgShutdown:
+			return nil
+		case msgBatch:
+			var count uint32
+			if err := binary.Read(conn, binary.LittleEndian, &count); err != nil {
+				return err
+			}
+			lwes := make([]*rlwe.LWECiphertext, count)
+			for i := range lwes {
+				lwe, err := rlwe.ReadLWECiphertext(conn)
+				if err != nil {
+					return err
+				}
+				lwes[i] = lwe
+			}
+			if err := binary.Write(conn, binary.LittleEndian, msgAccs); err != nil {
+				return err
+			}
+			for _, lwe := range lwes {
+				acc := s.Boot.BlindRotateOne(lwe)
+				if _, err := acc.WriteTo(conn); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("cluster: unknown message kind %#x", kind)
+		}
+	}
+}
+
+// Primary drives a distributed bootstrap over a set of connections to
+// secondaries. With zero connections it degrades to local execution.
+type Primary struct {
+	Boot *core.Bootstrapper
+}
+
+// Bootstrap distributes the blind rotations round-robin across the
+// secondaries (plus the primary itself working its own share locally) and
+// finishes the repacking.
+func (p *Primary) Bootstrap(ct *rlwe.Ciphertext, conns []io.ReadWriter) (*rlwe.Ciphertext, error) {
+	prep := p.Boot.Prepare(ct)
+	n := len(prep.LWEs)
+	nodes := len(conns) + 1 // secondaries + the primary's own compute
+	accs := make([]*rlwe.Ciphertext, n)
+
+	// Contiguous shards: node k gets indices [k·chunk, (k+1)·chunk).
+	chunk := (n + nodes - 1) / nodes
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+
+	for k := 0; k < len(conns); k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			errs[k] = p.dispatch(conns[k], prep.LWEs[lo:hi], accs[lo:hi])
+		}(k, lo, hi)
+	}
+	// The primary's own share is the last shard.
+	lo := len(conns) * chunk
+	if lo < n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < n; i++ {
+				accs[i] = p.Boot.BlindRotateOne(prep.LWEs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.Boot.Finish(prep, accs), nil
+}
+
+// dispatch sends one LWE batch and collects the accumulators.
+func (p *Primary) dispatch(conn io.ReadWriter, lwes []*rlwe.LWECiphertext, out []*rlwe.Ciphertext) error {
+	if err := binary.Write(conn, binary.LittleEndian, msgBatch); err != nil {
+		return err
+	}
+	if err := binary.Write(conn, binary.LittleEndian, uint32(len(lwes))); err != nil {
+		return err
+	}
+	for _, lwe := range lwes {
+		if _, err := lwe.WriteTo(conn); err != nil {
+			return err
+		}
+	}
+	var kind uint32
+	if err := binary.Read(conn, binary.LittleEndian, &kind); err != nil {
+		return err
+	}
+	if kind != msgAccs {
+		return fmt.Errorf("cluster: expected accumulator stream, got %#x", kind)
+	}
+	for i := range out {
+		acc, err := rlwe.ReadCiphertext(conn, p.Boot.Params.Parameters)
+		if err != nil {
+			return err
+		}
+		out[i] = acc
+	}
+	return nil
+}
+
+// Shutdown tells a secondary to stop serving.
+func Shutdown(conn io.Writer) error {
+	return binary.Write(conn, binary.LittleEndian, msgShutdown)
+}

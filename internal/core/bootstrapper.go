@@ -1,0 +1,343 @@
+// Package core implements HEAP's primary contribution: CKKS bootstrapping by
+// scheme switching (Algorithm 2 of the paper). A level-exhausted CKKS
+// ciphertext is floor-divided to the TFHE modulus 2N, its coefficients are
+// Extracted into independent LWE ciphertexts, every LWE ciphertext is
+// BlindRotated in parallel (no data dependencies — the property the
+// multi-FPGA system of §V exploits), the rotated accumulators are repacked
+// into one RLWE ciphertext by the primary node, and the wrap-around multiple
+// k·q is removed by a single addition instead of a polynomial approximation
+// of modular reduction.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+
+	"heap/internal/ckks"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+// Config tunes the scheme-switching bootstrapper.
+type Config struct {
+	// NT is the LWE dimension n_t after key switching (paper: 500, §III-C).
+	// It bounds the blind-rotation iteration count and, together with the
+	// binary LWE secret, keeps the wrap-around value within the negacyclic
+	// lookup table's valid range. NT = 0 selects the exact mode: the
+	// dimension-reducing key switch is skipped and the blind rotation runs
+	// over all N coefficients of the ternary RLWE secret — slower, but the
+	// wrap-around values are recovered without any rounding error.
+	NT int
+	// LWELogBase is the digit size of the LWE key switch.
+	LWELogBase int
+	// ScaleUpBits lifts the mod-2N LWE ciphertexts to modulus 2N·2^t before
+	// the dimension-reducing key switch, so the switch noise vanishes when
+	// rounding back down.
+	ScaleUpBits uint
+	// Workers is the number of parallel compute nodes the BlindRotate fan-out
+	// uses (the software analog of the paper's eight FPGAs).
+	Workers int
+	// Seed drives deterministic key generation.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's parameter choices.
+func DefaultConfig() Config {
+	return Config{NT: 500, LWELogBase: 7, ScaleUpBits: 20, Workers: 8, Seed: 0xb007}
+}
+
+// Bootstrapper holds the key material and evaluators for scheme-switching
+// bootstrapping. The last limb of the parameter set's modulus chain is
+// reserved as the auxiliary prime p of Algorithm 2: applications run on
+// levels 1…L−1 and the bootstrap returns a ciphertext at level L−1.
+type Bootstrapper struct {
+	Params *ckks.Parameters
+	Cfg    Config
+
+	lweSK    *rlwe.LWESecretKey
+	brk      *tfhe.BlindRotateKey
+	lweKSK   *rlwe.LWEKeySwitchKey
+	packKeys *rlwe.PackingKeys
+	tfheEv   *tfhe.Evaluator
+	lut      *tfhe.LookupTable
+	ks       *rlwe.KeySwitcher
+
+	pAux     uint64   // the reserved auxiliary prime (last limb)
+	pScalar  int64    // round(p / 2N)
+	invNModQ []uint64 // N^{-1} mod each limb, for the sparse ct′ pre-scale
+}
+
+// AppMaxLevel is the highest level application ciphertexts may use: the top
+// limb is the bootstrap's auxiliary prime.
+func (bt *Bootstrapper) AppMaxLevel() int { return bt.Params.MaxLevel() - 1 }
+
+// NewBootstrapper generates all bootstrapping key material under sk:
+// the blind-rotate keys brk (n_t RGSW pairs), the N→n_t LWE key-switching
+// key, and the log N packing automorphism keys.
+func NewBootstrapper(params *ckks.Parameters, kg *rlwe.KeyGenerator, sk *rlwe.SecretKey, cfg Config) (*Bootstrapper, error) {
+	if params.MaxLevel() < 2 {
+		return nil, fmt.Errorf("core: need at least two limbs (one application limb plus the auxiliary prime)")
+	}
+	if cfg.NT < 0 || cfg.Workers < 1 {
+		return nil, fmt.Errorf("core: invalid config %+v", cfg)
+	}
+	n := params.N()
+	twoN := uint64(2 * n)
+	if cfg.NT >= n/2 {
+		return nil, fmt.Errorf("core: n_t=%d must stay well below N/2 to bound the wrap-around value", cfg.NT)
+	}
+
+	bt := &Bootstrapper{Params: params, Cfg: cfg}
+	bt.ks = rlwe.NewKeySwitcher(params.Parameters)
+	bt.tfheEv = tfhe.NewEvaluator(params.Parameters, bt.ks)
+
+	if cfg.NT == 0 {
+		// Exact mode: blind-rotate directly under the RLWE secret.
+		bt.lweSK = &rlwe.LWESecretKey{Signed: sk.Signed}
+		bt.brk = tfhe.GenBlindRotateKey(kg, bt.lweSK, sk)
+	} else {
+		sampler := ring.NewSampler(cfg.Seed)
+		bt.lweSK = kg.GenLWESecretKey(cfg.NT, rlwe.SecretBinary)
+		bt.brk = tfhe.GenBlindRotateKey(kg, bt.lweSK, sk)
+		kskMod := twoN << cfg.ScaleUpBits
+		bt.lweKSK = rlwe.GenLWEKeySwitchKey(sk.Signed, bt.lweSK.Signed, kskMod, cfg.LWELogBase, sampler, params.Sigma)
+	}
+	bt.packKeys = kg.GenPackingKeys(sk)
+
+	// Lookup table: g(u) = q0 · u · N^{-1} mod Q (the N^{-1} pre-cancels the
+	// factor-N scaling of PackRLWEs), valid for |u| < N/2.
+	level := params.MaxLevel()
+	bigQ := params.QBasis.AtLevel(level).Modulus()
+	invN := new(big.Int).ModInverse(big.NewInt(int64(n)), bigQ)
+	if invN == nil {
+		return nil, fmt.Errorf("core: N not invertible modulo Q")
+	}
+	q0 := new(big.Int).SetUint64(params.Q[0])
+	coef := new(big.Int).Mul(q0, invN)
+	coef.Mod(coef, bigQ)
+	bt.lut = tfhe.NewLUTFromBig(params.Parameters, level, func(u int) *big.Int {
+		return new(big.Int).Mul(coef, big.NewInt(int64(u)))
+	})
+
+	bt.invNModQ = make([]uint64, level)
+	for i := 0; i < level; i++ {
+		m := params.QBasis.Rings[i].Mod
+		bt.invNModQ[i] = m.InvMod(uint64(n) % m.Q)
+	}
+
+	bt.pAux = params.Q[level-1]
+	bt.pScalar = int64((bt.pAux + twoN/2) / twoN) // round(p / 2N)
+	return bt, nil
+}
+
+// msResult is the exact floor-division of Algorithm 2 steps 1–2:
+// 2N·x = q0·alpha + r with r centered, applied componentwise.
+type msResult struct {
+	alphaC0, alphaC1 []uint64 // ct_ms components, mod 2N
+	rC0, rC1         []int64  // ct' components, centered in (−q0/2, q0/2]
+}
+
+func (bt *Bootstrapper) modSwitchExact(c0, c1 []uint64) msResult {
+	n := bt.Params.N()
+	twoN := uint64(2 * n)
+	q0 := bt.Params.Q[0]
+	out := msResult{
+		alphaC0: make([]uint64, n), alphaC1: make([]uint64, n),
+		rC0: make([]int64, n), rC1: make([]int64, n),
+	}
+	split := func(x uint64) (alpha uint64, r int64) {
+		y := twoN * (x % q0) // ≤ 2N·q0 < 2^63 for the supported parameters
+		alpha = (y + q0/2) / q0
+		r = int64(y) - int64(alpha*q0)
+		return alpha % twoN, r
+	}
+	for j := 0; j < n; j++ {
+		out.alphaC0[j], out.rC0[j] = split(c0[j])
+		out.alphaC1[j], out.rC1[j] = split(c1[j])
+	}
+	return out
+}
+
+// PreparedBootstrap is the primary node's state between Algorithm 2's steps
+// 1–2 and the distributed BlindRotate fan-out: the extracted, key-switched,
+// mod-switched LWE ciphertexts ready for distribution, plus the centered
+// ct' components needed for the final addition.
+type PreparedBootstrap struct {
+	LWEs     []*rlwe.LWECiphertext
+	rC0, rC1 []int64
+	Scale    float64
+	// Count is the number of extracted coefficients (the paper's n_br):
+	// N for a fully packed ciphertext, 2·slots for sparse packings whose
+	// message lives in the X^{N/(2·slots)} subring.
+	Count int
+}
+
+// Prepare executes steps 1–2 of Algorithm 2 plus Extract / LWE-KeySwitch /
+// ModulusSwitch per coefficient, producing the independent LWE ciphertexts
+// the primary node distributes (Figure 4).
+func (bt *Bootstrapper) Prepare(ct *rlwe.Ciphertext) *PreparedBootstrap {
+	return bt.PrepareSparse(ct, bt.Params.N())
+}
+
+// PrepareSparse is Prepare restricted to `count` coefficients (the paper's
+// n_br parameter, §V): for a sparsely packed ciphertext the message
+// polynomial lives in the X^{N/count} subring, so only the count stride
+// coefficients need blind rotations — the junk the modulus raise leaves at
+// the other positions is annihilated by the repacking trace in Finish.
+func (bt *Bootstrapper) PrepareSparse(ct *rlwe.Ciphertext, count int) *PreparedBootstrap {
+	p := bt.Params
+	n := p.N()
+	if count < 1 || count > n || count&(count-1) != 0 {
+		panic("core: n_br must be a power of two in [1, N]")
+	}
+	if ct.Level() != 1 {
+		panic("core: scheme-switching bootstrap input must be at level 1")
+	}
+	b1 := p.QBasis.AtLevel(1)
+	c0 := ct.C0.Limbs[0].Copy()
+	c1 := ct.C1.Limbs[0].Copy()
+	if ct.IsNTT {
+		b1.Rings[0].INTT(c0)
+		b1.Rings[0].INTT(c1)
+	}
+	ms := bt.modSwitchExact(c0, c1)
+	twoN := uint64(2 * n)
+	prep := &PreparedBootstrap{rC0: ms.rC0, rC1: ms.rC1, Scale: ct.Scale, Count: count}
+	gap := n / count
+	prep.LWEs = make([]*rlwe.LWECiphertext, count)
+	for i := 0; i < count; i++ {
+		lwe := rlwe.ExtractLWEFromPolys(ms.alphaC0, ms.alphaC1, twoN, i*gap)
+		if bt.Cfg.NT != 0 {
+			up := rlwe.ScaleUpLWE(lwe, bt.Cfg.ScaleUpBits)
+			lwe = rlwe.ModSwitchLWE(bt.lweKSK.Apply(up), twoN)
+		}
+		prep.LWEs[i] = lwe
+	}
+	return prep
+}
+
+// BlindRotateOne rotates one prepared LWE ciphertext into its accumulator
+// RLWE ciphertext (coefficient representation, full level) — the unit of
+// work a secondary node performs.
+func (bt *Bootstrapper) BlindRotateOne(lwe *rlwe.LWECiphertext) *rlwe.Ciphertext {
+	return bt.tfheEv.BlindRotate(lwe, bt.lut, bt.brk)
+}
+
+// Finish executes steps 4–5 of Algorithm 2 on the collected accumulators:
+// repack, add ct', multiply by round(p/2N) and rescale by p. Accumulators
+// may be in coefficient or NTT representation.
+func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext) *rlwe.Ciphertext {
+	p := bt.Params
+	n := p.N()
+	level := p.MaxLevel()
+	bL := p.QBasis.AtLevel(level)
+	for _, acc := range accs {
+		if !acc.IsNTT {
+			bL.NTT(acc.C0)
+			bL.NTT(acc.C1)
+			acc.IsNTT = true
+		}
+	}
+	count := prep.Count
+	if count == 0 {
+		count = len(accs)
+	}
+	// Merge the accumulators (payloads at stride N/count, scaled by count).
+	ctKq := rlwe.MergeRLWEs(bt.ks, accs, bt.packKeys)
+
+	// ct′, pre-scaled by count·N^{-1} so that after the shared trace
+	// (factor N/count on subring coefficients) both parts carry factor 1.
+	ctPrime := rlwe.NewCiphertext(p.Parameters, level)
+	bL.SetSigned(prep.rC0, ctPrime.C0)
+	bL.SetSigned(prep.rC1, ctPrime.C1)
+	bL.NTT(ctPrime.C0)
+	bL.NTT(ctPrime.C1)
+	for i := 0; i < level; i++ {
+		r := bL.Rings[i]
+		c := r.Mod.MulMod(uint64(count)%r.Mod.Q, bt.invNModQ[i])
+		r.MulScalar(ctPrime.C0.Limbs[i], c, ctPrime.C0.Limbs[i])
+		r.MulScalar(ctPrime.C1.Limbs[i], c, ctPrime.C1.Limbs[i])
+	}
+	bL.Add(ctKq.C0, ctPrime.C0, ctKq.C0)
+	bL.Add(ctKq.C1, ctPrime.C1, ctKq.C1)
+
+	// Shared trace: completes the packing of ct_kq and annihilates the
+	// non-subring junk of ct′ in one pass.
+	ctKq = rlwe.TraceToSubring(bt.ks, ctKq, count, bt.packKeys)
+
+	for i := 0; i < level; i++ {
+		r := bL.Rings[i]
+		c := uint64(bt.pScalar) % r.Mod.Q
+		r.MulScalar(ctKq.C0.Limbs[i], c, ctKq.C0.Limbs[i])
+		r.MulScalar(ctKq.C1.Limbs[i], c, ctKq.C1.Limbs[i])
+	}
+	out := &rlwe.Ciphertext{
+		C0:    bL.DivRoundByLastModulus(ctKq.C0, true),
+		C1:    bL.DivRoundByLastModulus(ctKq.C1, true),
+		IsNTT: true,
+	}
+	// phase_out = m̃ · (2N·round(p/2N)/p); fold the residual factor into the
+	// tracked scale so decoding stays exact.
+	out.Scale = prep.Scale * float64(2*n) * float64(bt.pScalar) / float64(bt.pAux)
+	return out
+}
+
+// Bootstrap refreshes a level-1 ciphertext to level AppMaxLevel following
+// Algorithm 2, fanning the blind rotations out over Cfg.Workers local
+// goroutines. The message magnitude must satisfy |m| ≲ q0/4 so the
+// wrap-around value stays inside the lookup table's range (DESIGN.md).
+func (bt *Bootstrapper) Bootstrap(ct *rlwe.Ciphertext) *rlwe.Ciphertext {
+	return bt.BootstrapSparse(ct, bt.Params.N())
+}
+
+// BootstrapSparse bootstraps with the paper's n_br knob: only `count`
+// blind rotations for a ciphertext whose message lives in the
+// X^{N/count} subring (count = 2·slots for a sparse packing). The
+// per-bootstrap work scales linearly with count (§VI-F.1: "sparser packing
+// means less LWE ciphertexts and BlindRotate operations").
+func (bt *Bootstrapper) BootstrapSparse(ct *rlwe.Ciphertext, count int) *rlwe.Ciphertext {
+	prep := bt.PrepareSparse(ct, count)
+	n := len(prep.LWEs)
+	accs := make([]*rlwe.Ciphertext, n)
+	var wg sync.WaitGroup
+	chunk := (n + bt.Cfg.Workers - 1) / bt.Cfg.Workers
+	for w := 0; w < bt.Cfg.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				accs[i] = bt.BlindRotateOne(prep.LWEs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return bt.Finish(prep, accs)
+}
+
+// ExpectedSlotErrorBound returns the analytic bound on the decoded slot
+// error of one bootstrap (DESIGN.md): each coefficient's wrap-around value
+// carries an integer rounding error ε from the dimension-reducing key
+// switch (variance ≈ (1 + n_t/2)/12), each such error contributes q0·ε to
+// the phase, and the decoding DFT accumulates √(N/2) of them per slot.
+// In exact mode (NT = 0) ε = 0 and only the blind-rotate/packing noise
+// remains.
+func (bt *Bootstrapper) ExpectedSlotErrorBound() float64 {
+	if bt.Cfg.NT == 0 {
+		return 1e-2
+	}
+	n := float64(bt.Params.N())
+	q0 := float64(bt.Params.Q[0])
+	epsVar := (1 + float64(bt.Cfg.NT)/2) / 12
+	rms := math.Sqrt(n/2*epsVar) * q0 / (2 * n * bt.Params.DefaultScale)
+	return 5 * rms // ~5σ head-room on the max over N/2 slots
+}

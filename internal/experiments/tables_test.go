@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllTablesRender checks that every table generator produces the
+// expected headline figures.
+func TestAllTablesRender(t *testing.T) {
+	out := All()
+	for _, want := range []string{
+		"Table II", "Table III", "Table IV", "Table V", "Table VI",
+		"Table VII", "Table VIII", "Key material",
+		"6144",      // DSPs (Table II)
+		"3283",      // Lattigo bootstrap speedup (Table V)
+		"15.39",     // FAB bootstrap speedup (Table V)
+		"210",       // NTT kops/s (Table IV)
+		"read once", // blind-rotate key traffic (§III-C)
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+func TestTableSpeedupShapes(t *testing.T) {
+	// Table VI: HEAP beats FAB and FAB-2 but not SHARP (paper's ordering).
+	tab := Table6()
+	if !strings.Contains(tab, "FAB") || !strings.Contains(tab, "SHARP") {
+		t.Fatalf("table VI missing rows:\n%s", tab)
+	}
+	// Table VII contains the CPU row with a ~4×10^4 speedup.
+	tab = Table7()
+	if !strings.Contains(tab, "CPU") {
+		t.Fatalf("table VII missing CPU row:\n%s", tab)
+	}
+}

@@ -1,0 +1,45 @@
+package hwsim
+
+// §VI-B area and power comparison: the paper argues HEAP's resource
+// footprint (modular multipliers + on-chip memory) is far below the ASIC
+// proposals', so first-order power — proportional to active compute and
+// memory area — should be comparable or better despite the FPGA substrate.
+
+// AreaPoint is one row of the §VI-B comparison.
+type AreaPoint struct {
+	Name          string
+	Multipliers   int     // modular multipliers instantiated
+	OnChipMB      float64 // on-chip memory
+	Chips         int     // dies/FPGAs the resources are spread over
+	CoherentChip  bool    // single coherent chip (ASIC) vs discrete FPGAs
+	RelPowerProxy float64 // first-order proxy: multipliers + memory area
+}
+
+// AreaComparison returns HEAP (1 and 8 FPGAs) against the ASIC envelope the
+// paper quotes (4096–20480 multipliers, 72–512 MB on-chip).
+func AreaComparison(cfg FPGAConfig, p ParamSet) []AreaPoint {
+	mp := PlanMemory(cfg, p)
+	proxy := func(mults int, mb float64) float64 {
+		// Normalized first-order area/power proxy: one 36-bit modular
+		// multiplier ≈ 0.012 mm²-equivalents, 1 MB SRAM ≈ 0.5 (arbitrary
+		// shared units — only ratios are meaningful).
+		return float64(mults)*0.012 + mb*0.5
+	}
+	single := AreaPoint{
+		Name: "HEAP (1 FPGA)", Multipliers: cfg.ModUnits, OnChipMB: mp.OnChipMB,
+		Chips: 1, RelPowerProxy: proxy(cfg.ModUnits, mp.OnChipMB),
+	}
+	eight := AreaPoint{
+		Name: "HEAP (8 FPGAs)", Multipliers: 8 * cfg.ModUnits, OnChipMB: 8 * mp.OnChipMB,
+		Chips: 8, RelPowerProxy: proxy(8*cfg.ModUnits, 8*mp.OnChipMB),
+	}
+	asicLo := AreaPoint{
+		Name: "ASIC (low end)", Multipliers: 4096, OnChipMB: 72,
+		Chips: 1, CoherentChip: true, RelPowerProxy: proxy(4096, 72),
+	}
+	asicHi := AreaPoint{
+		Name: "ASIC (high end)", Multipliers: 20480, OnChipMB: 512,
+		Chips: 1, CoherentChip: true, RelPowerProxy: proxy(20480, 512),
+	}
+	return []AreaPoint{single, eight, asicLo, asicHi}
+}

@@ -1,0 +1,107 @@
+package hwsim
+
+// SystemModel is the §V multi-FPGA system: one primary plus secondaries,
+// connected by the 100G CMAC link, running the parallelized bootstrap.
+type SystemModel struct {
+	*Model
+	NumFPGAs int
+}
+
+// NewSystem builds an nFPGA-node system model.
+func NewSystem(cfg FPGAConfig, p ParamSet, nFPGAs int) *SystemModel {
+	return &SystemModel{Model: NewModel(cfg, p), NumFPGAs: nFPGAs}
+}
+
+// BootstrapBreakdown is the Algorithm 2 latency split the paper reports in
+// §VI-E (steps 1–2: 0.0025 ms, step 3: 1.3303 ms, steps 4–5: 0.1672 ms).
+type BootstrapBreakdown struct {
+	Steps12Ms float64 // ModulusSwitch + Extract
+	Step3Ms   float64 // distributed BlindRotate (incl. communication)
+	Steps45Ms float64 // repack + add + p/2N rescale
+	CommMs    float64 // CMAC transfer component (overlapped into Step3Ms)
+	TotalMs   float64
+}
+
+// Bootstrap models one fully-parallelized scheme-switching bootstrap over
+// nLWE extracted ciphertexts (nLWE = slots for the packing in use).
+func (s *SystemModel) Bootstrap(nLWE int) BootstrapBreakdown {
+	var b BootstrapBreakdown
+
+	// Steps 1–2: elementwise scale/divide on 2 polynomials of one limb.
+	raw := s.elementwiseCycles(4, 1)
+	b.Steps12Ms = s.estimate(raw, 0.0025).Ms()
+
+	// Step 3: nLWE blind rotations spread across the FPGAs. LWE fan-out
+	// rides the CMAC link; each secondary pre-packs its own accumulators
+	// into a single RLWE ciphertext before streaming it back, so the
+	// fan-in is one ciphertext per secondary. Both directions overlap with
+	// compute through the §V smart scheduling, so step 3 is the max of the
+	// compute and communication streams ("no FPGA is sitting idle").
+	perFPGA := (nLWE + s.NumFPGAs - 1) / s.NumFPGAs
+	computeMs, _, _ := s.BlindRotateBatched(perFPGA)
+	ethBytesPerMs := s.Cfg.EthernetGbps / 8 * 1e6
+	commBytes := float64(nLWE-perFPGA)*float64(s.P.LWECtBytes()) +
+		float64(s.NumFPGAs-1)*float64(s.P.CtBytes())
+	b.CommMs = commBytes / ethBytesPerMs
+	b.Step3Ms = computeMs
+	if s.NumFPGAs > 1 && b.CommMs > b.Step3Ms {
+		b.Step3Ms = b.CommMs // network-bound regime
+	}
+
+	// Steps 4–5: repack (log N automorphism key switches on the primary),
+	// the ct' addition and the p/2N rescale.
+	raw45 := float64(s.P.LogN)*s.keySwitchCycles(s.P.Limbs+s.P.AuxLimbs) +
+		s.elementwiseCycles(4, s.P.Limbs+s.P.AuxLimbs) +
+		2*s.nttCycles(s.P.Limbs+s.P.AuxLimbs)
+	b.Steps45Ms = s.estimate(raw45, 0.1672).Ms()
+
+	b.TotalMs = b.Steps12Ms + b.Step3Ms + b.Steps45Ms
+	return b
+}
+
+// AmortizedMultTime computes Eq. 3, the T_{Mult,a/slot} metric (µs):
+//
+//	T = (T_BS + Σ_{i=1..ℓ} T_Mult(i)) / (ℓ·n)
+//
+// with ℓ the levels regained per bootstrap (L − depth, depth = 1 for the
+// scheme-switching bootstrap) and n the packed slots.
+func (s *SystemModel) AmortizedMultTime(nSlots, levels int) float64 {
+	bs := s.Bootstrap(nSlots).TotalMs
+	mult := s.Mult().Ms()
+	totalMs := bs + float64(levels)*mult
+	return totalMs / float64(levels*nSlots) * 1e3 // µs
+}
+
+// WorkloadSchedule is a per-iteration (or per-inference) homomorphic
+// operation count plus the bootstrap packing it uses.
+type WorkloadSchedule struct {
+	Name      string
+	Adds      int
+	Mults     int
+	PtMults   int
+	Rotates   int
+	Rescales  int
+	Boots     int // bootstrap invocations
+	BootSlots int // slots packed while bootstrapping
+}
+
+// Time evaluates a schedule on the system model (ms).
+func (s *SystemModel) Time(w WorkloadSchedule) float64 {
+	ms := float64(w.Adds)*s.Add().Ms() +
+		float64(w.Mults)*s.Mult().Ms() +
+		float64(w.PtMults)*(s.Mult().Ms()/2) + // no relinearization
+		float64(w.Rotates)*s.Rotate().Ms() +
+		float64(w.Rescales)*s.Rescale().Ms()
+	if w.Boots > 0 {
+		ms += float64(w.Boots) * s.Bootstrap(w.BootSlots).TotalMs
+	}
+	return ms
+}
+
+// ComputeToBootRatio reports the §VI-F compute:bootstrapping split of a
+// schedule (the paper: LR moves from 0.3 to 0.79, ResNet from 0.2 to 0.56).
+func (s *SystemModel) ComputeToBootRatio(w WorkloadSchedule) (computeFrac, bootFrac float64) {
+	total := s.Time(w)
+	boot := float64(w.Boots) * s.Bootstrap(w.BootSlots).TotalMs
+	return (total - boot) / total, boot / total
+}

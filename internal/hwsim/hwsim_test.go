@@ -1,0 +1,188 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+)
+
+func paperModel() *Model { return NewModel(AlveoU280(), PaperParams()) }
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if r := math.Abs(got-want) / want; r > relTol {
+		t.Errorf("%s: got %g want %g (rel err %.2f > %.2f)", name, got, want, r, relTol)
+	}
+}
+
+func TestResourceModelMatchesTableII(t *testing.T) {
+	got := ResourceModel(AlveoU280(), PaperParams())
+	want, avail := PaperResourceTable()
+	within(t, "LUTs", float64(got.LUTs), float64(want.LUTs), 0.02)
+	within(t, "FFs", float64(got.FFs), float64(want.FFs), 0.02)
+	if got.DSPs != want.DSPs {
+		t.Errorf("DSPs: got %d want %d", got.DSPs, want.DSPs)
+	}
+	if got.BRAMs != want.BRAMs || got.URAMs != want.URAMs {
+		t.Errorf("memory blocks: got %d/%d want %d/%d", got.BRAMs, got.URAMs, want.BRAMs, want.URAMs)
+	}
+	// Nothing may exceed the device budget.
+	if got.LUTs > avail.LUTs || got.DSPs > avail.DSPs || got.BRAMs > avail.BRAMs || got.URAMs > avail.URAMs {
+		t.Error("modeled design exceeds the U280 budget")
+	}
+}
+
+func TestMemoryPlanMatchesFigures(t *testing.T) {
+	mp := PlanMemory(AlveoU280(), PaperParams())
+	if mp.URAMPerCt != 12 || mp.CtsInURAM != 80 {
+		t.Errorf("URAM plan %d/%d, Fig. 2 says 12 blocks/ct and 80 cts", mp.URAMPerCt, mp.CtsInURAM)
+	}
+	if mp.BRAMPerCt != 192 || mp.CtsInBRAM != 20 {
+		t.Errorf("BRAM plan %d/%d, Fig. 3 says 192 blocks/ct and 20 cts", mp.BRAMPerCt, mp.CtsInBRAM)
+	}
+	within(t, "on-chip MB", mp.OnChipMB, 43, 0.15) // §VI-B: 43 MB
+}
+
+func TestParamSetSizes(t *testing.T) {
+	p := PaperParams()
+	// §III-C: RLWE ct ≈ 0.44 MB, LWE ct ≈ 2.3 KB, brk key ≈ 3.52 MB,
+	// total keys ≈ 1.76 GB.
+	within(t, "RLWE ct bytes", float64(p.CtBytes()), 0.44*(1<<20), 0.05)
+	within(t, "LWE ct bytes", float64(p.LWECtBytes()), 2.3*1024, 0.05)
+	within(t, "brk key bytes", float64(p.BRKKeyBytes()), 3.52*(1<<20), 0.05)
+	within(t, "brk total bytes", float64(p.BRKTotalBytes()), 1.76*(1<<30), 0.05)
+}
+
+func TestBasicOpsAnchoredToTableIII(t *testing.T) {
+	m := paperModel()
+	within(t, "Add", m.Add().Ms(), 0.001, 1e-9)
+	within(t, "Mult", m.Mult().Ms(), 0.028, 1e-9)
+	within(t, "Rescale", m.Rescale().Ms(), 0.010, 1e-9)
+	within(t, "Rotate", m.Rotate().Ms(), 0.025, 1e-9)
+	within(t, "BlindRotate", m.BlindRotate().Ms(), 0.060, 1e-9)
+
+	// First-principles estimates must sit within an order of magnitude of
+	// the anchors for the basic CKKS operations (they are compute-bound and
+	// well understood; the BlindRotate batch anchor is the known exception,
+	// see EXPERIMENTS.md).
+	for _, tc := range []struct {
+		name string
+		est  CycleEstimate
+	}{
+		{"Add", m.Add()}, {"Mult", m.Mult()}, {"Rescale", m.Rescale()}, {"Rotate", m.Rotate()},
+	} {
+		if tc.est.Calibration > 10 || tc.est.Calibration < 0.1 {
+			t.Errorf("%s: calibration factor %.2f outside [0.1, 10] — first-principles model far off", tc.name, tc.est.Calibration)
+		}
+	}
+}
+
+func TestNTTThroughputTableIV(t *testing.T) {
+	m := paperModel()
+	ops, est := m.NTTThroughput()
+	within(t, "NTT ops/s", ops, 210_000, 1e-6)
+	if est.Calibration > 10 || est.Calibration < 0.1 {
+		t.Errorf("NTT calibration %.2f out of range", est.Calibration)
+	}
+	for _, b := range TableIVBaselines() {
+		if ops <= b.Ops {
+			t.Errorf("HEAP NTT throughput %.0f should exceed %s's %.0f", ops, b.Name, b.Ops)
+		}
+	}
+}
+
+func TestBootstrapBreakdownMatchesPaper(t *testing.T) {
+	s := NewSystem(AlveoU280(), PaperParams(), 8)
+	b := s.Bootstrap(1 << 12) // fully packed: 4096 LWE ciphertexts
+	within(t, "steps 1-2", b.Steps12Ms, 0.0025, 1e-6)
+	within(t, "step 3", b.Step3Ms, 1.3303, 0.05)
+	within(t, "steps 4-5", b.Steps45Ms, 0.1672, 1e-6)
+	within(t, "total", b.TotalMs, 1.5, 0.05)
+}
+
+func TestBootstrapScalesWithSlotsAndFPGAs(t *testing.T) {
+	s8 := NewSystem(AlveoU280(), PaperParams(), 8)
+	s1 := NewSystem(AlveoU280(), PaperParams(), 1)
+	full := s8.Bootstrap(1 << 12).TotalMs
+	sparse := s8.Bootstrap(256).TotalMs
+	if sparse >= full {
+		t.Errorf("sparse packing (256) should bootstrap faster: %g vs %g", sparse, full)
+	}
+	single := s1.Bootstrap(1 << 12).TotalMs
+	if single <= full {
+		t.Errorf("single FPGA should be slower: %g vs %g", single, full)
+	}
+	// Fully-packed blind rotation parallelizes near-linearly (§V).
+	if ratio := single / full; ratio < 4 {
+		t.Errorf("8-FPGA speedup %.1f× too low for a parallelized step 3", ratio)
+	}
+}
+
+func TestAmortizedMultTimeTableV(t *testing.T) {
+	s := NewSystem(AlveoU280(), PaperParams(), 8)
+	eq3 := s.AmortizedMultTime(1<<12, 5)
+	// Our Eq.-3 evaluation of the paper's own latency split gives ~0.08 µs
+	// against the 0.031 µs the paper reports; the gap (≈2.6×) is recorded
+	// in EXPERIMENTS.md. The table rows quote the paper's anchored value.
+	if eq3 < PaperHEAPTMultUs || eq3 > 4*PaperHEAPTMultUs {
+		t.Errorf("Eq. 3 evaluation %.3f µs should sit within 4× of the paper's %.3f µs", eq3, PaperHEAPTMultUs)
+	}
+	got := PaperHEAPTMultUs
+	// Table V ordering: HEAP beats every baseline except ARK and SHARP on
+	// absolute time.
+	for _, b := range TableVBaselines() {
+		faster := got < b.TimeUs
+		wantFaster := b.Name != "ARK" && b.Name != "SHARP"
+		if faster != wantFaster {
+			t.Errorf("vs %s: HEAP %.3fµs, baseline %.3fµs — ordering differs from Table V", b.Name, got, b.TimeUs)
+		}
+	}
+	// Cycle-normalized, HEAP must beat everything (Table V last column).
+	for _, b := range TableVBaselines() {
+		heapCycles := got * HEAPFreqGHz
+		baseCycles := b.TimeUs * b.FreqGHz
+		if heapCycles >= baseCycles {
+			t.Errorf("vs %s: HEAP %.4f cycle-µs not below %.4f", b.Name, heapCycles, baseCycles)
+		}
+	}
+}
+
+func TestKeyTrafficBound(t *testing.T) {
+	m := paperModel()
+	ms, keyBytes, memBound := m.BlindRotateBatched(512)
+	if ms <= 0 {
+		t.Fatal("non-positive batch latency")
+	}
+	within(t, "key bytes", float64(keyBytes), 1.76*(1<<30), 0.05)
+	// Streaming 1.76 GB at 460 GB/s takes ≈ 3.8 ms: the first-principles
+	// memory bound exceeds the paper's reported 1.33 ms step-3 latency —
+	// the model must surface that gap (EXPERIMENTS.md discusses it).
+	if memBound < 3.5 {
+		t.Errorf("key-streaming bound %.2f ms too low", memBound)
+	}
+	if ms >= memBound {
+		t.Errorf("anchored latency %.2f ms should be below the memory bound %.2f ms (the flagged discrepancy)", ms, memBound)
+	}
+}
+
+// TestAreaComparisonMatchesSectionVIB checks the §VI-B claims: HEAP on
+// eight FPGAs instantiates 4096 multipliers and ~344 MB of on-chip memory,
+// within/below the ASIC envelope.
+func TestAreaComparisonMatchesSectionVIB(t *testing.T) {
+	pts := AreaComparison(AlveoU280(), PaperParams())
+	if len(pts) != 4 {
+		t.Fatalf("expected 4 comparison points, got %d", len(pts))
+	}
+	eight := pts[1]
+	if eight.Multipliers != 4096 {
+		t.Errorf("8-FPGA multipliers %d, §VI-B says 4096", eight.Multipliers)
+	}
+	within(t, "8-FPGA on-chip MB", eight.OnChipMB, 344, 0.1)
+	asicHi := pts[3]
+	if eight.RelPowerProxy >= asicHi.RelPowerProxy {
+		t.Errorf("HEAP power proxy %.1f should undercut the high-end ASIC %.1f",
+			eight.RelPowerProxy, asicHi.RelPowerProxy)
+	}
+}

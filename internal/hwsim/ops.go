@@ -1,0 +1,155 @@
+package hwsim
+
+// CycleEstimate pairs a first-principles cycle count with the wall-clock
+// latency the paper reports, plus the resulting calibration factor. Tables
+// use the calibrated latency; EXPERIMENTS.md reports the raw estimate so
+// modeling gaps stay visible.
+type CycleEstimate struct {
+	RawCycles   float64
+	RawMs       float64
+	PaperMs     float64 // 0 when the paper reports no number (pure prediction)
+	Calibration float64 // PaperMs / RawMs (1 when no paper number exists)
+}
+
+// Ms returns the model's working latency: calibrated when a paper anchor
+// exists, raw otherwise.
+func (c CycleEstimate) Ms() float64 {
+	if c.PaperMs > 0 {
+		return c.PaperMs
+	}
+	return c.RawMs
+}
+
+// Model evaluates the HEAP datapath at a parameter set.
+type Model struct {
+	Cfg FPGAConfig
+	P   ParamSet
+}
+
+// NewModel builds the single-FPGA model.
+func NewModel(cfg FPGAConfig, p ParamSet) *Model { return &Model{Cfg: cfg, P: p} }
+
+func (m *Model) cyclesToMs(c float64) float64 { return c / (m.Cfg.FreqMHz * 1e3) }
+
+func (m *Model) estimate(raw float64, paperMs float64) CycleEstimate {
+	e := CycleEstimate{RawCycles: raw, RawMs: m.cyclesToMs(raw), PaperMs: paperMs, Calibration: 1}
+	if paperMs > 0 && e.RawMs > 0 {
+		e.Calibration = paperMs / e.RawMs
+	}
+	return e
+}
+
+// nttCycles models the §IV-D datapath: two limbs are transformed together
+// (256 butterflies each per cycle with 512 units), log N stages of N/2
+// butterflies, plus the 7-cycle pipeline fill per stage.
+func (m *Model) nttCycles(limbs int) float64 {
+	n := float64(m.P.N())
+	perLimbPair := float64(m.P.LogN) * (n/2/float64(m.Cfg.ModUnits/2) + float64(m.Cfg.ModOpLatency))
+	pairs := float64((limbs + 1) / 2)
+	return pairs * perLimbPair
+}
+
+// elementwiseCycles is L·N/units per polynomial touched.
+func (m *Model) elementwiseCycles(polys, limbs int) float64 {
+	return float64(polys*limbs) * float64(m.P.N()) / float64(m.Cfg.ModUnits)
+}
+
+// keySwitchCycles models the hybrid key switch (§IV-A basis-conversion
+// datapath): per digit an iNTT of the digit window, the basis extension
+// MACs, NTTs over the extended basis, and the row MACs; then ModDown.
+func (m *Model) keySwitchCycles(limbs int) float64 {
+	alpha := (limbs + m.P.D - 1) / m.P.D
+	ext := limbs + m.P.AuxLimbs // extended basis size
+	var c float64
+	for d := 0; d < m.P.D; d++ {
+		c += m.nttCycles(alpha)                // iNTT digit window
+		c += m.elementwiseCycles(alpha*ext, 1) // basis-extension MACs
+		c += m.nttCycles(ext)                  // NTT extended digit
+		c += m.elementwiseCycles(2*2, ext)     // MAC against both key rows
+	}
+	// ModDown: iNTT aux, extend back, NTT L limbs, scale.
+	c += m.nttCycles(m.P.AuxLimbs) + m.elementwiseCycles(m.P.AuxLimbs*limbs, 1) +
+		m.nttCycles(limbs) + m.elementwiseCycles(2, limbs)
+	return c
+}
+
+// Table III anchors (§VI-D, single FPGA, ms).
+const (
+	paperAddMs         = 0.001
+	paperMultMs        = 0.028
+	paperRescaleMs     = 0.010
+	paperRotateMs      = 0.025
+	paperBlindRotateMs = 0.060
+)
+
+// Add models the CKKS Add: two polynomials, elementwise.
+func (m *Model) Add() CycleEstimate {
+	return m.estimate(m.elementwiseCycles(2, m.P.Limbs), paperAddMs)
+}
+
+// Mult models CKKS Mult: the four-way tensor product plus relinearization.
+func (m *Model) Mult() CycleEstimate {
+	raw := m.elementwiseCycles(4, m.P.Limbs) + m.keySwitchCycles(m.P.Limbs)
+	return m.estimate(raw, paperMultMs)
+}
+
+// Rescale models DivRoundByLastModulus: one iNTT, per-limb re-encode +
+// NTT + subtract/scale on both polynomials.
+func (m *Model) Rescale() CycleEstimate {
+	raw := 2*(m.nttCycles(1)+m.nttCycles(m.P.Limbs-1)) + m.elementwiseCycles(4, m.P.Limbs-1)
+	return m.estimate(raw, paperRescaleMs)
+}
+
+// Rotate models the automorph unit (16 cycles per limb with 512 units on 16
+// elements each, §IV-A) followed by a key switch.
+func (m *Model) Rotate() CycleEstimate {
+	raw := float64(16*2*m.P.Limbs) + m.keySwitchCycles(m.P.Limbs)
+	return m.estimate(raw, paperRotateMs)
+}
+
+// NTTThroughput models Table IV: single-limb NTTs per second at the
+// benchmark parameter set, derived from the datapath cycles plus HBM
+// streaming of the operand.
+func (m *Model) NTTThroughput() (opsPerSec float64, raw CycleEstimate) {
+	compute := m.nttCycles(1)
+	bytes := float64(m.P.N()) * 8
+	memCycles := bytes / (m.Cfg.HBMBytesPerGB * 1e9 / (m.Cfg.FreqMHz * 1e6))
+	raw = m.estimate(compute+memCycles, 1e3/210_000) // paper: 210K ops/s
+	return 1e3 / raw.Ms(), raw
+}
+
+// BlindRotate models a single TFHE blind rotation (Table III): n_t
+// iterations of rotate → decompose → NTT → external-product MAC over the
+// raised basis (§IV-E), with the accumulator kept on-chip.
+func (m *Model) BlindRotate() CycleEstimate {
+	lb := m.P.Limbs + m.P.AuxLimbs
+	perIter := m.elementwiseCycles(2*(m.P.H+1), lb) + // monomial rotate + sub
+		m.elementwiseCycles(m.P.D*(m.P.H+1), lb) + // gadget decompose
+		m.nttCycles(m.P.D*(m.P.H+1)*lb) + // NTTs of the digits
+		m.elementwiseCycles(2*m.P.D*(m.P.H+1)*(m.P.H+1), lb) + // MACs
+		m.nttCycles((m.P.H+1)*lb) // accumulator back to coefficients
+	raw := float64(m.P.NT) * perIter
+	return m.estimate(raw, paperBlindRotateMs)
+}
+
+// BlindRotateBatched models the §IV-E parallel schedule: B ciphertexts
+// advance through each iteration together, so every brk key is fetched once
+// and the MAC pipeline stays full. It returns the per-FPGA latency for B
+// ciphertexts (anchored to the paper's reported step-3 throughput), the key
+// traffic, and the first-principles key-streaming lower bound — which at
+// full packing EXCEEDS the reported latency (1.76 GB over 460 GB/s ≈
+// 3.8 ms > 1.33 ms); EXPERIMENTS.md flags this as a soundness gap in the
+// paper, and the tables use the reported figure, as the paper does.
+func (m *Model) BlindRotateBatched(batch int) (ms float64, keyBytes int64, memBoundMs float64) {
+	const paperBatch, paperBatchMs = 512, 1.3303
+	ms = paperBatchMs * float64(batch) / float64(paperBatch)
+	keyBytes = m.P.BRKTotalBytes()
+	memBoundMs = float64(keyBytes) / (m.Cfg.HBMBytesPerGB * 1e9) * 1e3
+	return ms, keyBytes, memBoundMs
+}
+
+// PaperHEAPTMultUs is the paper's reported Table V amortized
+// per-slot-multiplication time for HEAP (µs). Our own Eq.-3 evaluation of
+// the paper's latency split yields ≈0.08 µs (see AmortizedMultTime and
+// EXPERIMENTS.md); tables quote the paper figure, as the paper does.
+const PaperHEAPTMultUs = 0.031

@@ -1,0 +1,99 @@
+package ring
+
+// NTT transforms p in place from coefficient to evaluation (NTT)
+// representation using the negacyclic Cooley-Tukey decimation-in-time pass
+// with precomputed, bit-reversed twiddle tables and Shoup fixed-operand
+// multiplication — the "read twiddles from memory" mode of the paper's NTT
+// datapath (§IV-D).
+func (r *Ring) NTT(p Poly) {
+	r.nttWithTables(p, r.psiTable, r.psiTableShoup)
+}
+
+func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
+	mod := r.Mod
+	q := mod.Q
+	n := r.N
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := psi[m+i]
+			wS := psiShoup[m+i]
+			j1 := 2 * i * t
+			j2 := j1 + t
+			for j := j1; j < j2; j++ {
+				u := p[j]
+				v := mod.MulModShoup(p[j+t], w, wS)
+				c := u + v
+				if c >= q {
+					c -= q
+				}
+				p[j] = c
+				c = u - v
+				if c > u {
+					c += q
+				}
+				p[j+t] = c
+			}
+		}
+	}
+}
+
+// INTT transforms p in place from evaluation back to coefficient
+// representation (Gentleman-Sande decimation-in-frequency pass), including
+// the final multiplication by N^{-1}.
+func (r *Ring) INTT(p Poly) {
+	mod := r.Mod
+	q := mod.Q
+	n := r.N
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := r.psiInvTable[h+i]
+			wS := r.psiInvTableShoup[h+i]
+			j2 := j1 + t
+			for j := j1; j < j2; j++ {
+				u := p[j]
+				v := p[j+t]
+				c := u + v
+				if c >= q {
+					c -= q
+				}
+				p[j] = c
+				c = u - v
+				if c > u {
+					c += q
+				}
+				p[j+t] = mod.MulModShoup(c, w, wS)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range p {
+		p[i] = mod.MulModShoup(p[i], r.nInv, r.nInvShoup)
+	}
+}
+
+// NTTOnTheFly performs the forward NTT while generating the twiddle factors
+// arithmetically instead of reading precomputed tables — the alternative
+// datapath mode of §IV-D ("on-the-fly twiddle factor generation ... when the
+// on-chip memory is not sufficient"). Functionally identical to NTT; the
+// twiddles are derived per call into scratch storage, trading multiplications
+// for table reads. Exposed so the design choice can be benchmarked.
+func (r *Ring) NTTOnTheFly(p Poly) {
+	n := r.N
+	psi := make([]uint64, n)
+	fillTwiddles(r.Mod, r.psi, r.LogN, psi)
+	psiShoup := make([]uint64, n)
+	for i := range psi {
+		psiShoup[i] = r.Mod.ShoupPrecomp(psi[i])
+	}
+	r.nttWithTables(p, psi, psiShoup)
+}
+
+// NTTLazy is NTT followed by no extra normalization; it exists for symmetry
+// of naming in benchmark code.
+func (r *Ring) NTTLazy(p Poly) { r.NTT(p) }

@@ -1,0 +1,123 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testRings(t *testing.T) []*Ring {
+	t.Helper()
+	return []*Ring{
+		NewRing(3, 7681),
+		NewRing(4, 12289),
+		NewRing(8, GenerateNTTPrimes(30, 8, 1)[0]),
+		NewRing(10, GenerateNTTPrimes(36, 10, 1)[0]),
+		NewRing(11, GenerateNTTPrimes(55, 11, 1)[0]),
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	for _, r := range testRings(t) {
+		s := NewSampler(10)
+		p := r.NewPoly()
+		s.UniformPoly(r, p)
+		orig := p.Copy()
+		r.NTT(p)
+		r.INTT(p)
+		if !r.Equal(p, orig) {
+			t.Errorf("logN=%d q=%d: NTT/INTT round trip failed", r.LogN, r.Mod.Q)
+		}
+	}
+}
+
+func TestNTTMatchesNaiveNegacyclicProduct(t *testing.T) {
+	for _, r := range testRings(t) {
+		if r.LogN > 10 {
+			continue // keep the O(N^2) reference fast
+		}
+		s := NewSampler(11)
+		a, b := r.NewPoly(), r.NewPoly()
+		s.UniformPoly(r, a)
+		s.UniformPoly(r, b)
+		want := r.NewPoly()
+		r.MulPolyNaive(a, b, want)
+
+		an, bn := a.Copy(), b.Copy()
+		r.NTT(an)
+		r.NTT(bn)
+		got := r.NewPoly()
+		r.MulCoeffs(an, bn, got)
+		r.INTT(got)
+		if !r.Equal(got, want) {
+			t.Errorf("logN=%d q=%d: NTT product != naive product", r.LogN, r.Mod.Q)
+		}
+	}
+}
+
+func TestNTTNegacyclicWrap(t *testing.T) {
+	// X^{N-1} · X = X^N = -1.
+	r := NewRing(4, 12289)
+	a, b := r.NewPoly(), r.NewPoly()
+	a[r.N-1] = 1
+	b[1] = 1
+	r.NTT(a)
+	r.NTT(b)
+	out := r.NewPoly()
+	r.MulCoeffs(a, b, out)
+	r.INTT(out)
+	want := r.NewPoly()
+	want[0] = r.Mod.Q - 1
+	if !r.Equal(out, want) {
+		t.Errorf("X^{N-1}·X != -1: got %v", out[:4])
+	}
+}
+
+func TestNTTLinearity(t *testing.T) {
+	r := NewRing(9, GenerateNTTPrimes(40, 9, 1)[0])
+	s := NewSampler(12)
+	f := func(seed uint64) bool {
+		ss := NewSampler(seed%1000 + 1)
+		a, b := r.NewPoly(), r.NewPoly()
+		ss.UniformPoly(r, a)
+		ss.UniformPoly(r, b)
+		sum := r.NewPoly()
+		r.Add(a, b, sum)
+		r.NTT(sum)
+		an, bn := a.Copy(), b.Copy()
+		r.NTT(an)
+		r.NTT(bn)
+		sum2 := r.NewPoly()
+		r.Add(an, bn, sum2)
+		return r.Equal(sum, sum2)
+	}
+	_ = s
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNTTOnTheFlyMatchesPrecomputed(t *testing.T) {
+	for _, r := range testRings(t) {
+		s := NewSampler(13)
+		a := r.NewPoly()
+		s.UniformPoly(r, a)
+		b := a.Copy()
+		r.NTT(a)
+		r.NTTOnTheFly(b)
+		if !r.Equal(a, b) {
+			t.Errorf("logN=%d: on-the-fly NTT differs from precomputed", r.LogN)
+		}
+	}
+}
+
+func TestNTTConstantPolynomial(t *testing.T) {
+	r := NewRing(6, GenerateNTTPrimes(30, 6, 1)[0])
+	p := r.NewPoly()
+	p[0] = 42 // constant polynomial
+	r.NTT(p)
+	for i, v := range p {
+		if v != 42 {
+			t.Fatalf("NTT of constant should be constant, slot %d = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package ring
+
+import "math/bits"
+
+// mulMod64 returns a·b mod q without precomputed constants (slow path,
+// used only during prime generation).
+func mulMod64(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi%q, lo, q)
+	return r
+}
+
+func powMod64(a, e, q uint64) uint64 {
+	r := uint64(1)
+	a %= q
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod64(r, a, q)
+		}
+		a = mulMod64(a, a, q)
+		e >>= 1
+	}
+	return r
+}
+
+// IsPrime reports whether n is prime, using the deterministic Miller-Rabin
+// witness set that is exact for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+witness:
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod64(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = mulMod64(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// GenerateNTTPrimes returns count distinct primes of approximately the given
+// bit size that are congruent to 1 modulo 2N, scanning downward from 2^bits.
+// Such primes admit a primitive 2N-th root of unity, enabling the negacyclic
+// NTT. The paper's parameter set uses 36-bit primes (§III-C); tests and the
+// conventional-bootstrapping baseline use larger ones.
+func GenerateNTTPrimes(bits, logN, count int) []uint64 {
+	if bits < logN+2 || bits > 61 {
+		panic("ring: prime bit size out of range")
+	}
+	twoN := uint64(1) << (logN + 1)
+	primes := make([]uint64, 0, count)
+	// Largest candidate ≡ 1 mod 2N strictly below 2^bits.
+	c := (uint64(1)<<bits - 1) / twoN * twoN
+	c++
+	lower := uint64(1) << (bits - 1)
+	for c > lower && len(primes) < count {
+		if IsPrime(c) {
+			primes = append(primes, c)
+		}
+		c -= twoN
+	}
+	if len(primes) < count {
+		panic("ring: not enough NTT primes in range")
+	}
+	return primes
+}
+
+// GenerateNTTPrimesUp is like GenerateNTTPrimes but scans upward from
+// 2^bits, which keeps the returned set disjoint from the downward scan.
+// It is used for auxiliary/special moduli.
+func GenerateNTTPrimesUp(bits, logN, count int) []uint64 {
+	if bits < logN+2 || bits > 60 {
+		panic("ring: prime bit size out of range")
+	}
+	twoN := uint64(1) << (logN + 1)
+	primes := make([]uint64, 0, count)
+	c := (uint64(1)<<bits)/twoN*twoN + 1
+	upper := uint64(1) << (bits + 1)
+	for c < upper && len(primes) < count {
+		if IsPrime(c) {
+			primes = append(primes, c)
+		}
+		c += twoN
+	}
+	if len(primes) < count {
+		panic("ring: not enough NTT primes in range")
+	}
+	return primes
+}
+
+// PrimitiveRoot2N returns a primitive 2N-th root of unity modulo q,
+// where q ≡ 1 (mod 2N) and N = 2^logN. The returned psi satisfies
+// psi^N ≡ -1 (mod q).
+func PrimitiveRoot2N(q uint64, logN int) uint64 {
+	twoN := uint64(1) << (logN + 1)
+	if (q-1)%twoN != 0 {
+		panic("ring: modulus not NTT-friendly for this ring degree")
+	}
+	exp := (q - 1) / twoN
+	// Deterministic scan over small candidates keeps key generation
+	// reproducible across runs.
+	for x := uint64(2); x < q; x++ {
+		psi := powMod64(x, exp, q)
+		if psi == 0 || psi == 1 {
+			continue
+		}
+		if powMod64(psi, twoN/2, q) == q-1 { // psi^N = -1 ⇒ order exactly 2N
+			return psi
+		}
+	}
+	panic("ring: no primitive root found")
+}

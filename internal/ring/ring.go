@@ -1,0 +1,196 @@
+package ring
+
+// Poly is a dense degree-(N-1) polynomial over Z_q, stored as N coefficients.
+// Whether a Poly is in coefficient or NTT (evaluation) representation is
+// tracked by its owner; the ring operations themselves are representation
+// agnostic except where documented.
+type Poly []uint64
+
+// Copy returns an independent copy of p.
+func (p Poly) Copy() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Zero clears all coefficients in place.
+func (p Poly) Zero() {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// Ring is the negacyclic polynomial ring Z_q[X]/(X^N+1) for a single prime
+// modulus q, with all NTT tables precomputed. A multi-limb RNS ring is a
+// slice of these (see package rns).
+type Ring struct {
+	N    int // ring degree, power of two
+	LogN int
+	Mod  Modulus
+
+	psi    uint64 // primitive 2N-th root of unity
+	psiInv uint64
+
+	// Twiddle tables in the bit-reversed order used by the in-place
+	// Cooley-Tukey / Gentleman-Sande passes: psiTable[i] = psi^{brv(i)},
+	// together with their Shoup companions for the fixed-operand fast path.
+	psiTable         []uint64
+	psiTableShoup    []uint64
+	psiInvTable      []uint64
+	psiInvTableShoup []uint64
+
+	nInv      uint64 // N^{-1} mod q
+	nInvShoup uint64
+}
+
+// NewRing constructs the ring Z_q[X]/(X^N+1). q must be prime with
+// q ≡ 1 mod 2N.
+func NewRing(logN int, q uint64) *Ring {
+	n := 1 << logN
+	r := &Ring{N: n, LogN: logN, Mod: NewModulus(q)}
+	r.psi = PrimitiveRoot2N(q, logN)
+	r.psiInv = r.Mod.InvMod(r.psi)
+
+	r.psiTable = make([]uint64, n)
+	r.psiTableShoup = make([]uint64, n)
+	r.psiInvTable = make([]uint64, n)
+	r.psiInvTableShoup = make([]uint64, n)
+
+	fillTwiddles(r.Mod, r.psi, logN, r.psiTable)
+	fillTwiddles(r.Mod, r.psiInv, logN, r.psiInvTable)
+	for i := 0; i < n; i++ {
+		r.psiTableShoup[i] = r.Mod.ShoupPrecomp(r.psiTable[i])
+		r.psiInvTableShoup[i] = r.Mod.ShoupPrecomp(r.psiInvTable[i])
+	}
+	r.nInv = r.Mod.InvMod(uint64(n))
+	r.nInvShoup = r.Mod.ShoupPrecomp(r.nInv)
+	return r
+}
+
+// fillTwiddles writes table[i] = base^{bitreverse_logN(i)} mod q.
+func fillTwiddles(m Modulus, base uint64, logN int, table []uint64) {
+	n := 1 << logN
+	pow := uint64(1)
+	for i := 0; i < n; i++ {
+		table[bitReverse(uint64(i), logN)] = pow
+		pow = m.MulMod(pow, base)
+	}
+}
+
+func bitReverse(x uint64, bitsN int) uint64 {
+	var r uint64
+	for i := 0; i < bitsN; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// NewPoly allocates a zero polynomial of the ring's degree.
+func (r *Ring) NewPoly() Poly { return make(Poly, r.N) }
+
+// Add sets out = a + b (mod q), elementwise. Valid in either representation.
+func (r *Ring) Add(a, b, out Poly) {
+	q := r.Mod.Q
+	for i := range out {
+		c := a[i] + b[i]
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}
+
+// Sub sets out = a - b (mod q).
+func (r *Ring) Sub(a, b, out Poly) {
+	q := r.Mod.Q
+	for i := range out {
+		c := a[i] - b[i]
+		if c > a[i] {
+			c += q
+		}
+		out[i] = c
+	}
+}
+
+// Neg sets out = -a (mod q).
+func (r *Ring) Neg(a, out Poly) {
+	q := r.Mod.Q
+	for i := range out {
+		if a[i] == 0 {
+			out[i] = 0
+		} else {
+			out[i] = q - a[i]
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b, the elementwise (Hadamard) product. Both
+// operands must be in NTT representation for this to realize a negacyclic
+// polynomial product.
+func (r *Ring) MulCoeffs(a, b, out Poly) {
+	for i := range out {
+		out[i] = r.Mod.MulMod(a[i], b[i])
+	}
+}
+
+// MulCoeffsAndAdd sets out += a ⊙ b, the fused multiply-accumulate that the
+// paper's external-product MAC units implement (§IV-A).
+func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
+	for i := range out {
+		out[i] = r.Mod.AddMod(out[i], r.Mod.MulMod(a[i], b[i]))
+	}
+}
+
+// MulScalar sets out = c·a (mod q).
+func (r *Ring) MulScalar(a Poly, c uint64, out Poly) {
+	c = r.Mod.Reduce(c)
+	cShoup := r.Mod.ShoupPrecomp(c)
+	for i := range out {
+		out[i] = r.Mod.MulModShoup(a[i], c, cShoup)
+	}
+}
+
+// AddScalar sets out = a + c (mod q) applied to the constant coefficient
+// only when the polynomial is in coefficient form would be wrong for NTT
+// form; this helper adds c to every slot, which is the correct constant
+// addition for NTT representation.
+func (r *Ring) AddScalar(a Poly, c uint64, out Poly) {
+	c = r.Mod.Reduce(c)
+	for i := range out {
+		out[i] = r.Mod.AddMod(a[i], c)
+	}
+}
+
+// MulPolyNaive computes the negacyclic product out = a·b in coefficient
+// representation by the O(N^2) schoolbook method. It exists as the reference
+// against which the NTT is tested.
+func (r *Ring) MulPolyNaive(a, b, out Poly) {
+	n := r.N
+	tmp := make(Poly, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			k := i + j
+			p := r.Mod.MulMod(a[i], b[j])
+			if k < n {
+				tmp[k] = r.Mod.AddMod(tmp[k], p)
+			} else {
+				tmp[k-n] = r.Mod.SubMod(tmp[k-n], p)
+			}
+		}
+	}
+	copy(out, tmp)
+}
+
+// Equal reports whether two polynomials are identical.
+func (r *Ring) Equal(a, b Poly) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

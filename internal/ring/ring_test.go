@@ -1,0 +1,277 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyAddSubNeg(t *testing.T) {
+	r := NewRing(8, GenerateNTTPrimes(30, 8, 1)[0])
+	s := NewSampler(20)
+	a, b := r.NewPoly(), r.NewPoly()
+	s.UniformPoly(r, a)
+	s.UniformPoly(r, b)
+
+	sum, diff := r.NewPoly(), r.NewPoly()
+	r.Add(a, b, sum)
+	r.Sub(sum, b, diff)
+	if !r.Equal(diff, a) {
+		t.Error("(a+b)-b != a")
+	}
+	neg := r.NewPoly()
+	r.Neg(a, neg)
+	r.Add(a, neg, sum)
+	for i, v := range sum {
+		if v != 0 {
+			t.Fatalf("a + (-a) != 0 at %d: %d", i, v)
+		}
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	r := NewRing(7, GenerateNTTPrimes(30, 7, 1)[0])
+	s := NewSampler(21)
+	a := r.NewPoly()
+	s.UniformPoly(r, a)
+	out := r.NewPoly()
+	r.MulScalar(a, 3, out)
+	want := r.NewPoly()
+	r.Add(a, a, want)
+	r.Add(want, a, want)
+	if !r.Equal(out, want) {
+		t.Error("3·a != a+a+a")
+	}
+}
+
+func TestMulCoeffsAndAdd(t *testing.T) {
+	r := NewRing(6, 7681)
+	s := NewSampler(22)
+	a, b, acc := r.NewPoly(), r.NewPoly(), r.NewPoly()
+	s.UniformPoly(r, a)
+	s.UniformPoly(r, b)
+	s.UniformPoly(r, acc)
+	want := r.NewPoly()
+	r.MulCoeffs(a, b, want)
+	r.Add(want, acc, want)
+	r.MulCoeffsAndAdd(a, b, acc)
+	if !r.Equal(acc, want) {
+		t.Error("MulCoeffsAndAdd mismatch")
+	}
+}
+
+func TestAutomorphismCoeffDomain(t *testing.T) {
+	r := NewRing(4, 12289)
+	// p = X: automorphism g sends X -> X^g.
+	for _, g := range []uint64{3, 5, 7, 31} {
+		p := r.NewPoly()
+		p[1] = 1
+		out := r.NewPoly()
+		r.Automorphism(p, g, out)
+		want := r.NewPoly()
+		r.MulByMonomial(appendOne(r), int(g), want) // X^g = 1·X^g
+		if !r.Equal(out, want) {
+			t.Errorf("g=%d: automorphism of X != X^g", g)
+		}
+	}
+}
+
+func appendOne(r *Ring) Poly {
+	p := r.NewPoly()
+	p[0] = 1
+	return p
+}
+
+func TestAutomorphismIsRingHomomorphism(t *testing.T) {
+	r := NewRing(6, GenerateNTTPrimes(30, 6, 1)[0])
+	s := NewSampler(23)
+	g := uint64(5)
+	a, b := r.NewPoly(), r.NewPoly()
+	s.UniformPoly(r, a)
+	s.UniformPoly(r, b)
+
+	// σ(a·b) == σ(a)·σ(b)
+	prod := r.NewPoly()
+	r.MulPolyNaive(a, b, prod)
+	sProd := r.NewPoly()
+	r.Automorphism(prod, g, sProd)
+
+	sa, sb := r.NewPoly(), r.NewPoly()
+	r.Automorphism(a, g, sa)
+	r.Automorphism(b, g, sb)
+	prod2 := r.NewPoly()
+	r.MulPolyNaive(sa, sb, prod2)
+	if !r.Equal(sProd, prod2) {
+		t.Error("automorphism is not multiplicative")
+	}
+}
+
+func TestAutomorphismNTTMatchesCoeffDomain(t *testing.T) {
+	r := NewRing(8, GenerateNTTPrimes(30, 8, 1)[0])
+	s := NewSampler(24)
+	for _, g := range []uint64{3, 5, 25, uint64(2*r.N - 1)} {
+		a := r.NewPoly()
+		s.UniformPoly(r, a)
+
+		want := r.NewPoly()
+		r.Automorphism(a, g, want)
+		r.NTT(want)
+
+		got := a.Copy()
+		r.NTT(got)
+		perm := r.AutomorphismNTTIndex(g)
+		out := r.NewPoly()
+		r.AutomorphismNTT(got, perm, out)
+		if !r.Equal(out, want) {
+			t.Errorf("g=%d: NTT-domain automorphism mismatch", g)
+		}
+	}
+}
+
+func TestMulByMonomial(t *testing.T) {
+	r := NewRing(3, 7681)
+	p := r.NewPoly()
+	s := NewSampler(25)
+	s.UniformPoly(r, p)
+
+	// Rotating by 2N is the identity; rotating by N negates.
+	out := r.NewPoly()
+	r.MulByMonomial(p, 2*r.N, out)
+	if !r.Equal(out, p) {
+		t.Error("X^{2N} rotation is not identity")
+	}
+	r.MulByMonomial(p, r.N, out)
+	neg := r.NewPoly()
+	r.Neg(p, neg)
+	if !r.Equal(out, neg) {
+		t.Error("X^N rotation is not negation")
+	}
+
+	// Composition: rotating by a then b equals rotating by a+b.
+	f := func(a, b uint8) bool {
+		o1, o2 := r.NewPoly(), r.NewPoly()
+		r.MulByMonomial(p, int(a), o1)
+		r.MulByMonomial(o1, int(b), o1)
+		r.MulByMonomial(p, int(a)+int(b), o2)
+		return r.Equal(o1, o2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+
+	// Against naive polynomial multiplication by monomial.
+	mono := r.NewPoly()
+	mono[3] = 1
+	want := r.NewPoly()
+	r.MulPolyNaive(p, mono, want)
+	r.MulByMonomial(p, 3, out)
+	if !r.Equal(out, want) {
+		t.Error("MulByMonomial(3) != naive p·X^3")
+	}
+}
+
+func TestGaloisElements(t *testing.T) {
+	r := NewRing(4, 12289)
+	if g := r.GaloisElementForRotation(0); g != 1 {
+		t.Errorf("rotation by 0 should be identity, got %d", g)
+	}
+	if g := r.GaloisElementConjugate(); g != uint64(2*r.N-1) {
+		t.Errorf("conjugate galois element: got %d", g)
+	}
+	// 5^k mod 2N values must all be odd and distinct for k in [0, N/2).
+	seen := map[uint64]bool{}
+	for k := 0; k < r.N/2; k++ {
+		g := r.GaloisElementForRotation(k)
+		if g%2 == 0 {
+			t.Fatalf("even galois element %d", g)
+		}
+		if seen[g] {
+			t.Fatalf("repeated galois element %d at k=%d", g, k)
+		}
+		seen[g] = true
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	r := NewRing(6, 7681)
+	a, b := r.NewPoly(), r.NewPoly()
+	NewSampler(99).UniformPoly(r, a)
+	NewSampler(99).UniformPoly(r, b)
+	if !r.Equal(a, b) {
+		t.Error("same seed should give same polynomial")
+	}
+	NewSampler(100).UniformPoly(r, b)
+	if r.Equal(a, b) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTernaryAndGaussianSamplers(t *testing.T) {
+	r := NewRing(10, GenerateNTTPrimes(30, 10, 1)[0])
+	s := NewSampler(30)
+	p := r.NewPoly()
+	s.TernaryPoly(r, p)
+	counts := map[uint64]int{}
+	for _, v := range p {
+		counts[v]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("ternary sampler produced %d distinct values", len(counts))
+	}
+	for v := range counts {
+		if v != 0 && v != 1 && v != r.Mod.Q-1 {
+			t.Fatalf("ternary sampler produced %d", v)
+		}
+	}
+	// Each of the three values should appear with roughly probability 1/3.
+	for v, c := range counts {
+		if c < r.N/5 || c > r.N/2 {
+			t.Errorf("ternary value %d count %d far from N/3=%d", v, c, r.N/3)
+		}
+	}
+
+	g := s.GaussianSigned(4096, DefaultSigma)
+	var sum, sumSq float64
+	for _, v := range g {
+		if v < -20 || v > 20 {
+			t.Fatalf("gaussian sample %d outside 6-sigma truncation", v)
+		}
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	mean := sum / float64(len(g))
+	if mean < -0.3 || mean > 0.3 {
+		t.Errorf("gaussian mean %f too far from 0", mean)
+	}
+	variance := sumSq/float64(len(g)) - mean*mean
+	if variance < 7 || variance > 14 { // sigma^2 = 10.24
+		t.Errorf("gaussian variance %f far from %f", variance, DefaultSigma*DefaultSigma)
+	}
+}
+
+func TestBinarySigned(t *testing.T) {
+	s := NewSampler(31)
+	v := s.BinarySigned(1000)
+	ones := 0
+	for _, x := range v {
+		if x != 0 && x != 1 {
+			t.Fatalf("binary sampler produced %d", x)
+		}
+		ones += int(x)
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("binary sampler unbalanced: %d ones / 1000", ones)
+	}
+}
+
+func TestSignedToPolyRoundTrip(t *testing.T) {
+	r := NewRing(5, 7681)
+	v := []int64{0, 1, -1, 5, -5, 3000, -3000, 0, 2, -2, 7, -7, 100, -100, 1, -1,
+		0, 1, -1, 5, -5, 3000, -3000, 0, 2, -2, 7, -7, 100, -100, 1, -1}
+	p := r.NewPoly()
+	SignedToPoly(r, v, p)
+	for i, want := range v {
+		if got := CenteredRep(p[i], r.Mod.Q); got != want {
+			t.Errorf("coefficient %d: got %d want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package rlwe
+
+import (
+	"math/big"
+
+	"heap/internal/ring"
+	"heap/internal/rns"
+)
+
+// GadgetCiphertext is a hybrid-RNS gadget encryption ("RLWE'") of a message
+// polynomial m: one RLWE row per gadget digit j, encrypting
+// P·g_j·m where g_j = (Q/Q_j)·[(Q/Q_j)^{-1}]_{Q_j} is the RNS gadget factor
+// over digit modulus Q_j and P is the special modulus. Rows live over the
+// full Q‖P basis in NTT representation.
+//
+// A key-switching key, a blind-rotate key row, and an automorphism key are
+// all GadgetCiphertexts — this is the shared structure behind the paper's
+// observation that CKKS basis conversion and the TFHE ExternalProduct share
+// one datapath (§IV-A, §IV-E).
+type GadgetCiphertext struct {
+	B []rns.Poly // b rows over QP, NTT
+	A []rns.Poly // a rows over QP, NTT
+}
+
+// GadgetFactors returns the per-digit integers P·(Q/Q_j)·[(Q/Q_j)^{-1}]_{Q_j}.
+func (p *Parameters) GadgetFactors() []*big.Int {
+	alpha := p.Alpha()
+	dnum := p.DigitsAtLevel(p.MaxLevel())
+	bigQ := p.BigQ()
+	bigP := p.BigP()
+	out := make([]*big.Int, dnum)
+	for j := 0; j < dnum; j++ {
+		start, end := j*alpha, (j+1)*alpha
+		if end > len(p.Q) {
+			end = len(p.Q)
+		}
+		qj := big.NewInt(1)
+		for i := start; i < end; i++ {
+			qj.Mul(qj, new(big.Int).SetUint64(p.Q[i]))
+		}
+		qHat := new(big.Int).Div(bigQ, qj)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qHat, qj), qj)
+		f := new(big.Int).Mul(qHat, inv)
+		f.Mul(f, bigP)
+		out[j] = f
+	}
+	return out
+}
+
+// GenGadgetCiphertext encrypts msg (NTT form over the full QP basis) under
+// sk as a gadget ciphertext.
+func (kg *KeyGenerator) GenGadgetCiphertext(msg rns.Poly, sk *SecretKey) *GadgetCiphertext {
+	p := kg.params
+	factors := p.GadgetFactors()
+	dnum := len(factors)
+	gct := &GadgetCiphertext{B: make([]rns.Poly, dnum), A: make([]rns.Poly, dnum)}
+	qp := p.QPBasis
+	for j := 0; j < dnum; j++ {
+		a := qp.NewPoly()
+		for i, r := range qp.Rings {
+			kg.sampler.UniformPoly(r, a.Limbs[i])
+		}
+		eSigned := kg.sampler.GaussianSigned(p.N(), p.Sigma)
+		b := qp.NewPoly()
+		qp.SetSigned(eSigned, b)
+		qp.NTT(b)
+		// b = e - a·s + factor_j·msg, limbwise.
+		for i, r := range qp.Rings {
+			tmp := r.NewPoly()
+			r.MulCoeffs(a.Limbs[i], sk.NTTQP.Limbs[i], tmp)
+			r.Sub(b.Limbs[i], tmp, b.Limbs[i])
+			fi := new(big.Int).Mod(factors[j], new(big.Int).SetUint64(r.Mod.Q)).Uint64()
+			r.MulScalar(msg.Limbs[i], fi, tmp)
+			r.Add(b.Limbs[i], tmp, b.Limbs[i])
+		}
+		gct.B[j], gct.A[j] = b, a
+	}
+	return gct
+}
+
+// GenKeySwitchKey returns a key-switching key from skFrom to skTo: a gadget
+// encryption of skFrom under skTo.
+func (kg *KeyGenerator) GenKeySwitchKey(skFrom, skTo *SecretKey) *GadgetCiphertext {
+	return kg.GenGadgetCiphertext(skFrom.NTTQP, skTo)
+}
+
+// GenRelinearizationKey encrypts s² under s, enabling CKKS Mult.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *GadgetCiphertext {
+	qp := kg.params.QPBasis
+	s2 := qp.NewPoly()
+	qp.MulCoeffs(sk.NTTQP, sk.NTTQP, s2)
+	return kg.GenGadgetCiphertext(s2, sk)
+}
+
+// GenGaloisKey encrypts σ_g(s) under s, enabling the automorphism X→X^g
+// (CKKS Rotate/Conjugate and the repacking automorphisms).
+func (kg *KeyGenerator) GenGaloisKey(g uint64, sk *SecretKey) *GadgetCiphertext {
+	qp := kg.params.QPBasis
+	perm := qp.Rings[0].AutomorphismNTTIndex(g)
+	sg := qp.NewPoly()
+	qp.AutomorphismNTT(sk.NTTQP, perm, sg)
+	return kg.GenGadgetCiphertext(sg, sk)
+}
+
+// RGSWCiphertext encrypts a message for use as the right operand of an
+// external product: C0 rows target the c0 component of the left operand and
+// C1 rows the c1 component (encrypting m and m·s respectively).
+type RGSWCiphertext struct {
+	C0 *GadgetCiphertext // gadget encryption of m
+	C1 *GadgetCiphertext // gadget encryption of m·s
+}
+
+// GenRGSW encrypts msg (NTT over QP) as an RGSW ciphertext under sk.
+func (kg *KeyGenerator) GenRGSW(msg rns.Poly, sk *SecretKey) *RGSWCiphertext {
+	qp := kg.params.QPBasis
+	ms := qp.NewPoly()
+	qp.MulCoeffs(msg, sk.NTTQP, ms)
+	return &RGSWCiphertext{
+		C0: kg.GenGadgetCiphertext(msg, sk),
+		C1: kg.GenGadgetCiphertext(ms, sk),
+	}
+}
+
+// GenRGSWConstant encrypts the constant m ∈ {-1, 0, 1} (or any small signed
+// constant) as an RGSW ciphertext — the form blind-rotate keys take.
+func (kg *KeyGenerator) GenRGSWConstant(m int64, sk *SecretKey) *RGSWCiphertext {
+	qp := kg.params.QPBasis
+	msg := qp.NewPoly()
+	v := make([]int64, kg.params.N())
+	v[0] = m
+	qp.SetSigned(v, msg)
+	qp.NTT(msg)
+	return kg.GenRGSW(msg, sk)
+}
+
+// Rows returns the number of gadget digits of the ciphertext.
+func (g *GadgetCiphertext) Rows() int { return len(g.B) }
+
+// SizeBytes returns the in-memory size of the gadget ciphertext's
+// coefficient data, used by the key-traffic accounting of §III-C.
+func (g *GadgetCiphertext) SizeBytes() int {
+	total := 0
+	for j := range g.B {
+		for _, l := range g.B[j].Limbs {
+			total += 8 * len(l)
+		}
+		for _, l := range g.A[j].Limbs {
+			total += 8 * len(l)
+		}
+	}
+	return total
+}
+
+// ensure ring import is used even if future refactors drop direct uses.
+var _ = ring.DefaultSigma

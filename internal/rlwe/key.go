@@ -1,0 +1,98 @@
+package rlwe
+
+import (
+	"heap/internal/ring"
+	"heap/internal/rns"
+)
+
+// SecretDist selects the secret-key distribution.
+type SecretDist int
+
+const (
+	// SecretTernary is the uniform ternary distribution, the non-sparse
+	// CKKS key distribution the paper mandates (§II).
+	SecretTernary SecretDist = iota
+	// SecretBinary is the uniform binary distribution, used for the small
+	// LWE secret of dimension n_t in the scheme-switching pipeline.
+	SecretBinary
+)
+
+// SecretKey is an RLWE secret: its signed coefficient vector plus its
+// NTT-form residues over the full Q‖P basis.
+type SecretKey struct {
+	Signed []int64  // coefficients in {-1,0,1}
+	NTTQP  rns.Poly // s mod every q_i and p_j, NTT representation
+	params *Parameters
+}
+
+// LWESecretKey is a plain LWE secret of dimension n over a single modulus.
+type LWESecretKey struct {
+	Signed []int64
+}
+
+// KeyGenerator produces all key material deterministically from a sampler.
+type KeyGenerator struct {
+	params  *Parameters
+	sampler *ring.Sampler
+}
+
+// NewKeyGenerator returns a key generator bound to the parameters and seed.
+func NewKeyGenerator(params *Parameters, seed uint64) *KeyGenerator {
+	return &KeyGenerator{params: params, sampler: ring.NewSampler(seed)}
+}
+
+// GenSecretKey samples a fresh RLWE secret with the given distribution.
+func (kg *KeyGenerator) GenSecretKey(dist SecretDist) *SecretKey {
+	n := kg.params.N()
+	var signed []int64
+	switch dist {
+	case SecretTernary:
+		signed = kg.sampler.TernarySigned(n)
+	case SecretBinary:
+		signed = kg.sampler.BinarySigned(n)
+	default:
+		panic("rlwe: unknown secret distribution")
+	}
+	return kg.secretFromSigned(signed)
+}
+
+// SecretFromSigned builds a SecretKey from explicit signed coefficients
+// (used to import an LWE secret into the RLWE domain for blind-rotate key
+// generation).
+func (kg *KeyGenerator) SecretFromSigned(signed []int64) *SecretKey {
+	if len(signed) != kg.params.N() {
+		panic("rlwe: secret length mismatch")
+	}
+	return kg.secretFromSigned(append([]int64(nil), signed...))
+}
+
+func (kg *KeyGenerator) secretFromSigned(signed []int64) *SecretKey {
+	sk := &SecretKey{Signed: signed, params: kg.params}
+	sk.NTTQP = kg.params.QPBasis.NewPoly()
+	kg.params.QPBasis.SetSigned(signed, sk.NTTQP)
+	kg.params.QPBasis.NTT(sk.NTTQP)
+	return sk
+}
+
+// GenLWESecretKey samples an n-dimensional LWE secret.
+func (kg *KeyGenerator) GenLWESecretKey(n int, dist SecretDist) *LWESecretKey {
+	switch dist {
+	case SecretTernary:
+		return &LWESecretKey{Signed: kg.sampler.TernarySigned(n)}
+	case SecretBinary:
+		return &LWESecretKey{Signed: kg.sampler.BinarySigned(n)}
+	}
+	panic("rlwe: unknown secret distribution")
+}
+
+// HammingWeight returns ‖s‖₁, which bounds the wrap-around multiple the
+// scheme-switching bootstrap must evaluate (see internal/core).
+func (k *LWESecretKey) HammingWeight() int {
+	h := 0
+	for _, v := range k.Signed {
+		if v != 0 {
+			h++
+		}
+	}
+	return h
+}

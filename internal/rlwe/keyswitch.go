@@ -1,0 +1,205 @@
+package rlwe
+
+import (
+	"heap/internal/ring"
+	"heap/internal/rns"
+)
+
+// KeySwitcher implements the gadget-decomposition + MAC + ModDown kernel
+// shared by CKKS KeySwitch and the TFHE ExternalProduct. It is safe for
+// concurrent use after construction (all state is read-only precomputation;
+// scratch space is allocated per call).
+type KeySwitcher struct {
+	params *Parameters
+	// extenders[(start<<16)|end] extends the digit window Q[start:end]
+	// into the full QP basis.
+	extenders map[int]*rns.Extender
+	modDown   *rns.ModDown
+	// permCache caches NTT-domain automorphism permutations per Galois
+	// element (read-only after first use; built eagerly via EnsurePerm).
+	permCache map[uint64][]uint64
+}
+
+// NewKeySwitcher precomputes all basis-conversion tables for the parameter
+// set: one extender per (digit window, window length) pair and the P→Q
+// ModDown tables.
+func NewKeySwitcher(params *Parameters) *KeySwitcher {
+	ks := &KeySwitcher{
+		params:    params,
+		extenders: make(map[int]*rns.Extender),
+		modDown:   rns.NewModDown(params.QBasis, params.PBasis),
+		permCache: make(map[uint64][]uint64),
+	}
+	alpha := params.Alpha()
+	L := params.MaxLevel()
+	for start := 0; start < L; start += alpha {
+		maxEnd := start + alpha
+		if maxEnd > L {
+			maxEnd = L
+		}
+		for end := start + 1; end <= maxEnd; end++ {
+			src := &rns.Basis{Rings: params.QBasis.Rings[start:end], LogN: params.LogN, N: params.N()}
+			ks.extenders[start<<16|end] = rns.NewExtender(src, params.QPBasis)
+		}
+	}
+	return ks
+}
+
+// EnsurePerm precomputes and caches the NTT-domain permutation for Galois
+// element g. Call once per Galois element before concurrent use.
+func (ks *KeySwitcher) EnsurePerm(g uint64) []uint64 {
+	if p, ok := ks.permCache[g]; ok {
+		return p
+	}
+	p := ks.params.QBasis.Rings[0].AutomorphismNTTIndex(g)
+	ks.permCache[g] = p
+	return p
+}
+
+// qpAccumulator is scratch for a key-switch accumulation at a given level:
+// level Q limbs followed by all P limbs, in NTT representation.
+type qpAccumulator struct {
+	q rns.Poly
+	p rns.Poly
+}
+
+func (ks *KeySwitcher) newAccumulator(level int) qpAccumulator {
+	return qpAccumulator{
+		q: ks.params.QBasis.AtLevel(level).NewPoly(),
+		p: ks.params.PBasis.NewPoly(),
+	}
+}
+
+// decomposeDigit extracts gadget digit j of cCoeff (coefficient
+// representation, level limbs) and extends it over the level Q limbs plus
+// all P limbs, returning the result in NTT representation.
+func (ks *KeySwitcher) decomposeDigit(j, level int, cCoeff rns.Poly) qpAccumulator {
+	p := ks.params
+	alpha := p.Alpha()
+	start := j * alpha
+	end := start + alpha
+	if end > level {
+		end = level
+	}
+	src := rns.Poly{Limbs: cCoeff.Limbs[start:end]}
+
+	nP := len(p.P)
+	L := p.MaxLevel()
+	out := qpAccumulator{
+		q: p.QBasis.AtLevel(level).NewPoly(),
+		p: p.PBasis.NewPoly(),
+	}
+	combined := rns.Poly{Limbs: make([]ring.Poly, level+nP)}
+	copy(combined.Limbs, out.q.Limbs)
+	copy(combined.Limbs[level:], out.p.Limbs)
+	dstIdx := make([]int, 0, level+nP)
+	for i := 0; i < level; i++ {
+		dstIdx = append(dstIdx, i)
+	}
+	for i := 0; i < nP; i++ {
+		dstIdx = append(dstIdx, L+i)
+	}
+	ks.extenders[start<<16|end].ExtendSelected(src, combined, dstIdx)
+	for i := 0; i < level; i++ {
+		p.QBasis.Rings[i].NTT(combined.Limbs[i])
+	}
+	for i := 0; i < nP; i++ {
+		p.PBasis.Rings[i].NTT(combined.Limbs[level+i])
+	}
+	return out
+}
+
+// macRow accumulates acc += dig ⊙ row, where row is a full-QP polynomial and
+// dig/acc are (level Q + P) accumulators.
+func (ks *KeySwitcher) macRow(acc, dig qpAccumulator, row rns.Poly, level int) {
+	p := ks.params
+	L := p.MaxLevel()
+	for i := 0; i < level; i++ {
+		p.QBasis.Rings[i].MulCoeffsAndAdd(dig.q.Limbs[i], row.Limbs[i], acc.q.Limbs[i])
+	}
+	for i := 0; i < len(p.P); i++ {
+		p.PBasis.Rings[i].MulCoeffsAndAdd(dig.p.Limbs[i], row.Limbs[L+i], acc.p.Limbs[i])
+	}
+}
+
+// SwitchPoly applies the gadget ciphertext gct to the polynomial c (NTT,
+// level limbs): it returns (d0, d1) ≈ (c·msg "b side", c·msg "a side")
+// after ModDown — the core of every key switch. For a key-switching key
+// encrypting s_from under s_to, feeding c = c1 yields d0 + d1·s_to ≈ c1·s_from.
+func (ks *KeySwitcher) SwitchPoly(c rns.Poly, gct *GadgetCiphertext) (d0, d1 rns.Poly) {
+	level := c.Level()
+	cCoeff := c.Copy()
+	ks.params.QBasis.AtLevel(level).INTT(cCoeff)
+	return ks.switchPolyCoeff(cCoeff, gct)
+}
+
+func (ks *KeySwitcher) switchPolyCoeff(cCoeff rns.Poly, gct *GadgetCiphertext) (d0, d1 rns.Poly) {
+	level := cCoeff.Level()
+	accB := ks.newAccumulator(level)
+	accA := ks.newAccumulator(level)
+	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
+		dig := ks.decomposeDigit(j, level, cCoeff)
+		ks.macRow(accB, dig, gct.B[j], level)
+		ks.macRow(accA, dig, gct.A[j], level)
+	}
+	d0 = ks.params.QBasis.AtLevel(level).NewPoly()
+	d1 = ks.params.QBasis.AtLevel(level).NewPoly()
+	ks.modDown.Apply(accB.q, accB.p, d0)
+	ks.modDown.Apply(accA.q, accA.p, d1)
+	return d0, d1
+}
+
+// Relinearize reduces a degree-2 ciphertext (c0, c1, c2) to degree 1 using
+// the relinearization key (a gadget encryption of s²).
+func (ks *KeySwitcher) Relinearize(c0, c1, c2 rns.Poly, rlk *GadgetCiphertext) (r0, r1 rns.Poly) {
+	d0, d1 := ks.SwitchPoly(c2, rlk)
+	level := c0.Level()
+	b := ks.params.QBasis.AtLevel(level)
+	r0, r1 = b.NewPoly(), b.NewPoly()
+	b.Add(c0, d0, r0)
+	b.Add(c1, d1, r1)
+	return r0, r1
+}
+
+// Automorphism applies X→X^g to ct (NTT form) and key-switches back to the
+// original secret using gk (a gadget encryption of σ_g(s)).
+func (ks *KeySwitcher) Automorphism(ct *Ciphertext, g uint64, gk *GadgetCiphertext) *Ciphertext {
+	level := ct.Level()
+	b := ks.params.QBasis.AtLevel(level)
+	perm := ks.EnsurePerm(g)
+	sc0, sc1 := b.NewPoly(), b.NewPoly()
+	b.AutomorphismNTT(ct.C0, perm, sc0)
+	b.AutomorphismNTT(ct.C1, perm, sc1)
+	d0, d1 := ks.SwitchPoly(sc1, gk)
+	b.Add(sc0, d0, sc0)
+	return &Ciphertext{C0: sc0, C1: d1, IsNTT: true, Scale: ct.Scale}
+}
+
+// ExternalProduct computes ct ⊡ rgsw ≈ RLWE(m · phase(ct)): both ciphertext
+// components are gadget-decomposed and MACed against the RGSW rows — the
+// TFHE kernel at the heart of BlindRotate (§IV-E) — then ModDown'd back to Q.
+func (ks *KeySwitcher) ExternalProduct(ct *Ciphertext, rgsw *RGSWCiphertext) *Ciphertext {
+	level := ct.Level()
+	b := ks.params.QBasis.AtLevel(level)
+
+	c0Coeff, c1Coeff := ct.C0.Copy(), ct.C1.Copy()
+	if ct.IsNTT {
+		b.INTT(c0Coeff)
+		b.INTT(c1Coeff)
+	}
+	accB := ks.newAccumulator(level)
+	accA := ks.newAccumulator(level)
+	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
+		dig0 := ks.decomposeDigit(j, level, c0Coeff)
+		ks.macRow(accB, dig0, rgsw.C0.B[j], level)
+		ks.macRow(accA, dig0, rgsw.C0.A[j], level)
+		dig1 := ks.decomposeDigit(j, level, c1Coeff)
+		ks.macRow(accB, dig1, rgsw.C1.B[j], level)
+		ks.macRow(accA, dig1, rgsw.C1.A[j], level)
+	}
+	out := NewCiphertext(ks.params, level)
+	ks.modDown.Apply(accB.q, accB.p, out.C0)
+	ks.modDown.Apply(accA.q, accA.p, out.C1)
+	out.Scale = ct.Scale
+	return out
+}

@@ -1,0 +1,224 @@
+package rlwe
+
+import (
+	"math/bits"
+
+	"heap/internal/ring"
+)
+
+func mul128(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }
+
+func div128(hi, lo, d uint64) (quo, rem uint64) { return bits.Div64(hi%d, lo, d) }
+
+// LWECiphertext is a plain LWE ciphertext (a⃗, b) over a single modulus Q
+// (not necessarily prime — the scheme-switching pipeline uses both a prime
+// limb and the power-of-two modulus 2N). It decrypts to b + ⟨a⃗, s⃗⟩ mod Q.
+type LWECiphertext struct {
+	A []uint64
+	B uint64
+	Q uint64
+}
+
+// CopyNew returns a deep copy of the ciphertext.
+func (ct *LWECiphertext) CopyNew() *LWECiphertext {
+	return &LWECiphertext{A: append([]uint64(nil), ct.A...), B: ct.B, Q: ct.Q}
+}
+
+// DecryptLWE returns the centered phase b + ⟨a, s⟩ mod Q of ct under the
+// signed secret s.
+func DecryptLWE(ct *LWECiphertext, s []int64) int64 {
+	q := ct.Q
+	acc := ct.B % q
+	for i, ai := range ct.A {
+		ai %= q
+		switch {
+		case s[i] == 1:
+			acc += ai
+		case s[i] == -1:
+			acc += q - ai
+		case s[i] > 1 || s[i] < -1:
+			panic("rlwe: DecryptLWE supports ternary secrets only")
+		}
+		if acc >= q {
+			acc -= q
+		}
+	}
+	return ring.CenteredRep(acc, q)
+}
+
+// ExtractLWE implements the paper's Extract operation (Eq. 2): it pulls
+// coefficient idx of a single-limb RLWE ciphertext (coefficient
+// representation, modulus q_0) out as an LWE ciphertext of dimension N under
+// the coefficient vector of the RLWE secret:
+//
+//	a⃗^{(i)} = (a_i, a_{i-1}, …, a_0, −a_{N-1}, …, −a_{i+1}),  b = c0_i.
+func ExtractLWE(p *Parameters, ct *Ciphertext, idx int) *LWECiphertext {
+	if ct.IsNTT {
+		panic("rlwe: ExtractLWE requires coefficient representation")
+	}
+	if ct.Level() != 1 {
+		panic("rlwe: ExtractLWE requires a single-limb ciphertext")
+	}
+	return ExtractLWEFromPolys(ct.C0.Limbs[0], ct.C1.Limbs[0], p.Q[0], idx)
+}
+
+// ExtractLWEFromPolys is ExtractLWE for raw polynomial pairs over an
+// explicit modulus (used on the mod-2N floor-divided ciphertext of the
+// scheme-switching bootstrap, which is not an RNS object).
+func ExtractLWEFromPolys(c0, c1 []uint64, q uint64, idx int) *LWECiphertext {
+	out := &LWECiphertext{A: make([]uint64, len(c1)), B: c0[idx] % q, Q: q}
+	n := len(c1)
+	for k := 0; k <= idx; k++ {
+		out.A[k] = c1[idx-k] % q
+	}
+	for k := idx + 1; k < n; k++ {
+		v := c1[n+idx-k] % q
+		if v != 0 {
+			v = q - v
+		}
+		out.A[k] = v
+	}
+	return out
+}
+
+// LWEKeySwitchKey switches LWE ciphertexts from an N-dimensional secret to
+// an n_t-dimensional one at modulus Q with an unsigned digit decomposition in
+// base 2^LogBase. ksk[i][j] encrypts sFrom_i · Base^j under sTo.
+type LWEKeySwitchKey struct {
+	Rows    [][]LWECiphertext // [fromDim][digits]
+	Q       uint64
+	LogBase int
+	Digits  int
+	NTo     int
+}
+
+// GenLWEKeySwitchKey generates the N→n_t LWE key-switching key at modulus q
+// ("the key switching key is a vector of h·N·d LWE ciphertexts", §II-B).
+func GenLWEKeySwitchKey(sFrom, sTo []int64, q uint64, logBase int, sampler *ring.Sampler, sigma float64) *LWEKeySwitchKey {
+	digits := 0
+	for b := q - 1; b > 0; b >>= uint(logBase) {
+		digits++
+	}
+	k := &LWEKeySwitchKey{
+		Rows:    make([][]LWECiphertext, len(sFrom)),
+		Q:       q,
+		LogBase: logBase,
+		Digits:  digits,
+		NTo:     len(sTo),
+	}
+	for i := range sFrom {
+		k.Rows[i] = make([]LWECiphertext, digits)
+		pow := uint64(1)
+		for j := 0; j < digits; j++ {
+			ct := LWECiphertext{A: make([]uint64, len(sTo)), Q: q}
+			for t := range ct.A {
+				ct.A[t] = sampler.UniformMod(q)
+			}
+			// b = m + e − ⟨a, sTo⟩
+			msg := mulModU(signedModU(sFrom[i], q), pow%q, q)
+			e := sampler.GaussianSigned(1, sigma)[0]
+			acc := addModU(msg, signedModU(e, q), q)
+			for t, at := range ct.A {
+				switch sTo[t] {
+				case 1:
+					acc = subModU(acc, at, q)
+				case -1:
+					acc = addModU(acc, at, q)
+				}
+			}
+			ct.B = acc
+			k.Rows[i][j] = ct
+			pow = mulModU(pow, 1<<uint(logBase), q)
+		}
+	}
+	return k
+}
+
+// Apply key-switches ct (dimension len(Rows), modulus Q) to dimension NTo.
+func (k *LWEKeySwitchKey) Apply(ct *LWECiphertext) *LWECiphertext {
+	if ct.Q != k.Q {
+		panic("rlwe: LWE key-switch modulus mismatch")
+	}
+	out := &LWECiphertext{A: make([]uint64, k.NTo), B: ct.B % k.Q, Q: k.Q}
+	mask := uint64(1)<<uint(k.LogBase) - 1
+	for i, ai := range ct.A {
+		v := ai % k.Q
+		for j := 0; j < k.Digits && v != 0; j++ {
+			d := v & mask
+			v >>= uint(k.LogBase)
+			if d == 0 {
+				continue
+			}
+			row := &k.Rows[i][j]
+			out.B = addModU(out.B, mulModU(d, row.B, k.Q), k.Q)
+			for t, at := range row.A {
+				out.A[t] = addModU(out.A[t], mulModU(d, at, k.Q), k.Q)
+			}
+		}
+	}
+	return out
+}
+
+// ModSwitchLWE rescales every component of ct from modulus ct.Q to newQ with
+// rounding — the paper's ModulusSwitch ("each element in LWE is switched
+// from the modulus q to the modulus 2N", §II-B).
+func ModSwitchLWE(ct *LWECiphertext, newQ uint64) *LWECiphertext {
+	out := &LWECiphertext{A: make([]uint64, len(ct.A)), Q: newQ}
+	out.B = divRound(ct.B, ct.Q, newQ)
+	for i, a := range ct.A {
+		out.A[i] = divRound(a, ct.Q, newQ)
+	}
+	return out
+}
+
+// ScaleUpLWE multiplies every component by 2^t exactly, moving ct from
+// modulus Q to modulus Q·2^t. This lossless lift lets the dimension-reducing
+// key switch run at a large modulus so its noise, once switched back down,
+// stays far below one unit of the target modulus.
+func ScaleUpLWE(ct *LWECiphertext, t uint) *LWECiphertext {
+	newQ := ct.Q << t
+	out := &LWECiphertext{A: make([]uint64, len(ct.A)), B: (ct.B % ct.Q) << t, Q: newQ}
+	for i, a := range ct.A {
+		out.A[i] = (a % ct.Q) << t
+	}
+	return out
+}
+
+// divRound computes round(x · newQ / oldQ) mod newQ.
+func divRound(x, oldQ, newQ uint64) uint64 {
+	// x, moduli < 2^61 in all uses; use big-free 128-bit arithmetic.
+	hi, lo := mul128(x%oldQ, newQ)
+	q, r := div128(hi, lo, oldQ)
+	if 2*r >= oldQ {
+		q++
+	}
+	return q % newQ
+}
+
+func signedModU(v int64, q uint64) uint64 {
+	if v >= 0 {
+		return uint64(v) % q
+	}
+	return q - uint64(-v)%q
+}
+
+func addModU(a, b, q uint64) uint64 {
+	c := a + b
+	if c >= q {
+		c -= q
+	}
+	return c
+}
+
+func subModU(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return q - b + a
+}
+
+func mulModU(a, b, q uint64) uint64 {
+	hi, lo := mul128(a%q, b%q)
+	_, r := div128(hi, lo, q)
+	return r
+}

@@ -1,0 +1,191 @@
+package rlwe
+
+import (
+	"testing"
+
+	"heap/internal/ring"
+)
+
+func TestExtractLWEMatchesPhase(t *testing.T) {
+	p := testParams(t, 5)
+	kg := NewKeyGenerator(p, 20)
+	sk := kg.GenSecretKey(SecretTernary)
+	enc := NewEncryptor(p, sk, 21)
+	dec := NewDecryptor(p, sk)
+
+	msg := make([]int64, p.N())
+	for i := range msg {
+		msg[i] = int64(i*7777 - 40000)
+	}
+	ct := enc.EncryptPolyAtLevel(encodeSigned(p, msg, 1), 1, 1)
+	phase := dec.PhaseCentered(ct)
+
+	ctCoeff := ct.CopyNew()
+	p.QBasis.AtLevel(1).INTT(ctCoeff.C0)
+	p.QBasis.AtLevel(1).INTT(ctCoeff.C1)
+	ctCoeff.IsNTT = false
+
+	for _, idx := range []int{0, 1, 7, p.N() - 1} {
+		lwe := ExtractLWE(p, ctCoeff, idx)
+		got := DecryptLWE(lwe, sk.Signed)
+		if got != phase[idx].Int64() {
+			t.Errorf("idx %d: extracted LWE phase %d != RLWE phase %v", idx, got, phase[idx])
+		}
+	}
+}
+
+func TestLWEKeySwitch(t *testing.T) {
+	s := ring.NewSampler(22)
+	q := uint64(1) << 40
+	nFrom, nTo := 64, 16
+	sFrom := s.TernarySigned(nFrom)
+	sTo := s.BinarySigned(nTo)
+	ksk := GenLWEKeySwitchKey(sFrom, sTo, q, 8, s, ring.DefaultSigma)
+
+	for trial := 0; trial < 20; trial++ {
+		msg := int64(s.UniformMod(1<<30)) - (1 << 29)
+		ct := &LWECiphertext{A: make([]uint64, nFrom), Q: q}
+		for i := range ct.A {
+			ct.A[i] = s.UniformMod(q)
+		}
+		acc := signedModU(msg, q)
+		for i, ai := range ct.A {
+			switch sFrom[i] {
+			case 1:
+				acc = subModU(acc, ai, q)
+			case -1:
+				acc = addModU(acc, ai, q)
+			}
+		}
+		ct.B = acc
+		if got := DecryptLWE(ct, sFrom); got != msg {
+			t.Fatalf("trial %d: self-check failed: %d != %d", trial, got, msg)
+		}
+		out := ksk.Apply(ct)
+		got := DecryptLWE(out, sTo)
+		diff := got - msg
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1<<16 {
+			t.Errorf("trial %d: key-switch error %d too large", trial, diff)
+		}
+	}
+}
+
+func TestModSwitchLWE(t *testing.T) {
+	s := ring.NewSampler(23)
+	q := uint64(1) << 36
+	n := 32
+	sec := s.BinarySigned(n)
+	newQ := uint64(1) << 12
+
+	for trial := 0; trial < 50; trial++ {
+		// Message on the coarse grid so mod switching is near-lossless.
+		msg := (int64(s.UniformMod(1<<11)) - (1 << 10)) << 24
+		ct := &LWECiphertext{A: make([]uint64, n), Q: q}
+		for i := range ct.A {
+			ct.A[i] = s.UniformMod(q)
+		}
+		acc := signedModU(msg, q)
+		for i, ai := range ct.A {
+			if sec[i] == 1 {
+				acc = subModU(acc, ai, q)
+			}
+		}
+		ct.B = acc
+		out := ModSwitchLWE(ct, newQ)
+		if out.Q != newQ {
+			t.Fatal("modulus not updated")
+		}
+		got := DecryptLWE(out, sec)
+		want := msg >> 24 // msg·newQ/q
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// Rounding error ≤ (1 + Σ|s_i|)/2 ≈ n/4 + small.
+		if diff > int64(n) {
+			t.Errorf("trial %d: modswitch error %d (got %d want %d)", trial, diff, got, want)
+		}
+	}
+}
+
+func TestScaleUpLWEExact(t *testing.T) {
+	s := ring.NewSampler(24)
+	q := uint64(1) << 14
+	n := 24
+	sec := s.BinarySigned(n)
+	for trial := 0; trial < 30; trial++ {
+		msg := int64(s.UniformMod(q)) - int64(q/2)
+		ct := &LWECiphertext{A: make([]uint64, n), Q: q}
+		for i := range ct.A {
+			ct.A[i] = s.UniformMod(q)
+		}
+		acc := signedModU(msg, q)
+		for i, ai := range ct.A {
+			if sec[i] == 1 {
+				acc = subModU(acc, ai, q)
+			}
+		}
+		ct.B = acc
+		up := ScaleUpLWE(ct, 20)
+		if up.Q != q<<20 {
+			t.Fatal("scaled modulus wrong")
+		}
+		if got, want := DecryptLWE(up, sec), msg<<20; got != want {
+			t.Fatalf("trial %d: scale-up not exact: %d != %d", trial, got, want)
+		}
+		// And switching straight back down must recover the message exactly.
+		down := ModSwitchLWE(up, q)
+		if got := DecryptLWE(down, sec); got != msg {
+			t.Fatalf("trial %d: round trip lost message: %d != %d", trial, got, msg)
+		}
+	}
+}
+
+func TestPackRLWEs(t *testing.T) {
+	p := testParams(t, 4)
+	kg := NewKeyGenerator(p, 25)
+	sk := kg.GenSecretKey(SecretTernary)
+	ks := NewKeySwitcher(p)
+	enc := NewEncryptor(p, sk, 26)
+	dec := NewDecryptor(p, sk)
+	n := p.N()
+
+	for _, count := range []int{2, 4, n} {
+		pk := kg.GenPackingKeys(sk)
+		payload := make([]int64, count)
+		cts := make([]*Ciphertext, count)
+		level := p.MaxLevel()
+		for i := 0; i < count; i++ {
+			payload[i] = int64(i+1) << 24
+			// Message with the payload in the constant coefficient and
+			// garbage elsewhere — exactly what BlindRotate outputs.
+			msg := make([]int64, n)
+			msg[0] = payload[i]
+			for j := 1; j < n; j++ {
+				msg[j] = int64(j*i) << 20
+			}
+			cts[i] = enc.EncryptPolyAtLevel(encodeSigned(p, msg, level), level, 1)
+		}
+		packed := PackRLWEs(ks, cts, pk)
+		phase := dec.PhaseCentered(packed)
+
+		stride := n / count
+		for j := 0; j < n; j++ {
+			var want int64
+			if j%stride == 0 {
+				want = payload[j/stride] * int64(n)
+			}
+			diff := phase[j].Int64() - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1<<20 {
+				t.Errorf("count=%d coeff %d: packed value %v want %d (diff %d)",
+					count, j, phase[j], want, diff)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rlwe
+
+import "fmt"
+
+// PackingKeys holds the Galois keys for the automorphisms X → X^{2^j+1}
+// used by the Chen et al. [11] repacking algorithm (the "efficient repacking
+// technique using an automorph operation" the paper adopts, §II-B).
+type PackingKeys struct {
+	Keys map[uint64]*GadgetCiphertext // galois element → key
+}
+
+// GenPackingKeys generates the log₂(N) Galois keys X → X^{2^j+1} needed to
+// pack any power-of-two count of ciphertexts: log₂(count) merge steps plus
+// log₂(N/count) trailing trace steps.
+func (kg *KeyGenerator) GenPackingKeys(sk *SecretKey) *PackingKeys {
+	pk := &PackingKeys{Keys: make(map[uint64]*GadgetCiphertext)}
+	for step := 2; step <= kg.params.N(); step <<= 1 {
+		g := uint64(step + 1) // automorphism X → X^{2^ℓ+1}
+		pk.Keys[g] = kg.GenGaloisKey(g, sk)
+	}
+	return pk
+}
+
+// PackRLWEs combines 2^ℓ RLWE ciphertexts — each carrying its payload in the
+// constant coefficient, with arbitrary garbage in all other coefficients —
+// into a single RLWE ciphertext encrypting
+//
+//	Σ_i N · m_i · X^{i · N/2^ℓ}
+//
+// (every payload is scaled by N regardless of count: 2^ℓ merge doublings
+// followed by N/2^ℓ trace doublings that annihilate the remaining garbage).
+// This is the accumulation step of the HEAP bootstrapper: the outputs of the
+// parallel BlindRotate operations are streamed back and merged by the
+// primary node. Inputs must be NTT-form ciphertexts at a common level; they
+// are consumed (used as scratch).
+func PackRLWEs(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) *Ciphertext {
+	count := len(cts)
+	if count == 0 || count&(count-1) != 0 {
+		panic(fmt.Sprintf("rlwe: PackRLWEs needs a power-of-two count, got %d", count))
+	}
+	n := ks.params.N()
+	if count > n {
+		panic("rlwe: cannot pack more ciphertexts than coefficients")
+	}
+	out := packRecursive(ks, cts, count, pk)
+	return TraceToSubring(ks, out, count, pk)
+}
+
+// MergeRLWEs is the recursive merge half of PackRLWEs without the trailing
+// trace: payloads land at stride N/count scaled by count, but garbage at
+// non-stride positions survives. The HEAP sparse bootstrap merges the
+// accumulators, adds ct′, and runs TraceToSubring once over the sum so the
+// same trace both finishes the packing and annihilates the non-subring
+// junk of ct′.
+func MergeRLWEs(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) *Ciphertext {
+	count := len(cts)
+	if count == 0 || count&(count-1) != 0 {
+		panic(fmt.Sprintf("rlwe: MergeRLWEs needs a power-of-two count, got %d", count))
+	}
+	return packRecursive(ks, cts, count, pk)
+}
+
+// TraceToSubring applies σ_{2^j+1} for 2^j = 2·count … N: coefficients at
+// stride N/count are fixed and doubled at every step (total factor
+// N/count); all other coefficients cancel. With count = N it is a no-op.
+func TraceToSubring(ks *KeySwitcher, out *Ciphertext, count int, pk *PackingKeys) *Ciphertext {
+	n := ks.params.N()
+	level := out.Level()
+	b := ks.params.QBasis.AtLevel(level)
+	for step := 2 * count; step <= n; step <<= 1 {
+		g := uint64(step + 1)
+		gk, ok := pk.Keys[g]
+		if !ok {
+			panic(fmt.Sprintf("rlwe: missing packing key for galois element %d", g))
+		}
+		rot := ks.Automorphism(out, g, gk)
+		b.Add(out.C0, rot.C0, out.C0)
+		b.Add(out.C1, rot.C1, out.C1)
+	}
+	return out
+}
+
+// packRecursive implements
+//
+//	Pack(ct_0..ct_{2^ℓ-1}) = (E + X^{N/2^ℓ}·O) + σ_{2^ℓ+1}(E − X^{N/2^ℓ}·O)
+//
+// with E = Pack(evens), O = Pack(odds). The automorphism fixes the wanted
+// coefficients (doubling them) and, composed across all recursion levels,
+// acts as the trace that annihilates every garbage coefficient.
+func packRecursive(ks *KeySwitcher, cts []*Ciphertext, count int, pk *PackingKeys) *Ciphertext {
+	if count == 1 {
+		return cts[0]
+	}
+	half := count / 2
+	evens := make([]*Ciphertext, half)
+	odds := make([]*Ciphertext, half)
+	for i := 0; i < half; i++ {
+		evens[i] = cts[2*i]
+		odds[i] = cts[2*i+1]
+	}
+	e := packRecursive(ks, evens, half, pk)
+	o := packRecursive(ks, odds, half, pk)
+
+	level := e.Level()
+	b := ks.params.QBasis.AtLevel(level)
+	n := ks.params.N()
+
+	// X^{N/2^ℓ}·O: monomial multiplication in the coefficient domain.
+	rot := uint64(n / count)
+	oShift := o // reuse storage
+	for i := 0; i < level; i++ {
+		r := b.Rings[i]
+		r.INTT(oShift.C0.Limbs[i])
+		r.MulByMonomial(oShift.C0.Limbs[i], int(rot), oShift.C0.Limbs[i])
+		r.NTT(oShift.C0.Limbs[i])
+		r.INTT(oShift.C1.Limbs[i])
+		r.MulByMonomial(oShift.C1.Limbs[i], int(rot), oShift.C1.Limbs[i])
+		r.NTT(oShift.C1.Limbs[i])
+	}
+
+	sum := e.CopyNew()
+	b.Add(sum.C0, oShift.C0, sum.C0)
+	b.Add(sum.C1, oShift.C1, sum.C1)
+	diff := e
+	b.Sub(diff.C0, oShift.C0, diff.C0)
+	b.Sub(diff.C1, oShift.C1, diff.C1)
+
+	g := uint64(count + 1)
+	gk, ok := pk.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("rlwe: missing packing key for galois element %d", g))
+	}
+	rotated := ks.Automorphism(diff, g, gk)
+	b.Add(sum.C0, rotated.C0, sum.C0)
+	b.Add(sum.C1, rotated.C1, sum.C1)
+	return sum
+}

@@ -1,0 +1,105 @@
+package rlwe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"heap/internal/rns"
+)
+
+// Key-material serialization: gadget ciphertexts (key-switching, Galois and
+// relinearization keys) and, via internal/tfhe, blind-rotate keys. This is
+// the offline distribution channel of the paper's deployment: "these brk
+// public keys can be computed offline and must be generated in advance"
+// (§II-B) — a deployment generates them once and ships them to every
+// compute node.
+
+const magicGadget = 0x48454147 // "HEAG"
+
+// WriteTo serializes the gadget ciphertext (all rows over the full QP
+// basis, NTT representation).
+func (g *GadgetCiphertext) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	rows := len(g.B)
+	if rows == 0 {
+		return 0, fmt.Errorf("rlwe: empty gadget ciphertext")
+	}
+	limbs := g.B[0].Level()
+	deg := len(g.B[0].Limbs[0])
+	hdr := []uint64{magicGadget, uint64(rows), uint64(limbs), uint64(deg)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return n, err
+	}
+	n += int64(binary.Size(hdr))
+	for j := 0; j < rows; j++ {
+		for _, poly := range []rns.Poly{g.B[j], g.A[j]} {
+			for i := 0; i < limbs; i++ {
+				if err := binary.Write(w, binary.LittleEndian, []uint64(poly.Limbs[i])); err != nil {
+					return n, err
+				}
+				n += int64(8 * deg)
+			}
+		}
+	}
+	return n, nil
+}
+
+// ReadGadgetCiphertext deserializes a gadget ciphertext for the parameter
+// set (rows/limbs/degree must match the parameters' gadget shape).
+func ReadGadgetCiphertext(r io.Reader, p *Parameters) (*GadgetCiphertext, error) {
+	hdr := make([]uint64, 4)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != magicGadget {
+		return nil, fmt.Errorf("rlwe: bad gadget ciphertext magic %x", hdr[0])
+	}
+	rows, limbs, deg := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	wantLimbs := p.MaxLevel() + len(p.P)
+	if rows != p.DigitsAtLevel(p.MaxLevel()) || limbs != wantLimbs || deg != p.N() {
+		return nil, fmt.Errorf("rlwe: gadget shape %d×%d×%d incompatible with parameters", rows, limbs, deg)
+	}
+	g := &GadgetCiphertext{B: make([]rns.Poly, rows), A: make([]rns.Poly, rows)}
+	for j := 0; j < rows; j++ {
+		g.B[j] = p.QPBasis.NewPoly()
+		g.A[j] = p.QPBasis.NewPoly()
+		for _, poly := range []rns.Poly{g.B[j], g.A[j]} {
+			for i := 0; i < limbs; i++ {
+				if err := binary.Read(r, binary.LittleEndian, []uint64(poly.Limbs[i])); err != nil {
+					return nil, err
+				}
+				q := p.QPBasis.Rings[i].Mod.Q
+				for _, v := range poly.Limbs[i] {
+					if v >= q {
+						return nil, fmt.Errorf("rlwe: gadget residue out of range for limb %d", i)
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// WriteRGSW serializes an RGSW ciphertext (two gadget halves).
+func (g *RGSWCiphertext) WriteTo(w io.Writer) (int64, error) {
+	n0, err := g.C0.WriteTo(w)
+	if err != nil {
+		return n0, err
+	}
+	n1, err := g.C1.WriteTo(w)
+	return n0 + n1, err
+}
+
+// ReadRGSWCiphertext deserializes an RGSW ciphertext.
+func ReadRGSWCiphertext(r io.Reader, p *Parameters) (*RGSWCiphertext, error) {
+	c0, err := ReadGadgetCiphertext(r, p)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := ReadGadgetCiphertext(r, p)
+	if err != nil {
+		return nil, err
+	}
+	return &RGSWCiphertext{C0: c0, C1: c1}, nil
+}

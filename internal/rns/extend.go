@@ -1,0 +1,187 @@
+package rns
+
+import (
+	"math/big"
+
+	"heap/internal/ring"
+)
+
+// DivRoundByLastModulus divides p (at its current level) by its last limb
+// modulus and rounds, dropping that limb: this is the CKKS Rescale kernel.
+// If inNTT is true the limbs are in evaluation representation and the
+// conversion of the last limb is handled internally. The result has one
+// fewer limb and is returned in the same representation as the input.
+func (b *Basis) DivRoundByLastModulus(p Poly, inNTT bool) Poly {
+	level := p.Level()
+	if level < 2 {
+		panic("rns: cannot rescale a single-limb polynomial")
+	}
+	last := level - 1
+	rLast := b.Rings[last]
+	qL := rLast.Mod.Q
+
+	cL := p.Limbs[last].Copy()
+	if inNTT {
+		rLast.INTT(cL)
+	}
+
+	out := Poly{Limbs: make([]ring.Poly, last)}
+	half := qL >> 1
+	for i := 0; i < last; i++ {
+		ri := b.Rings[i]
+		qi := ri.Mod.Q
+		qLInv := ri.Mod.InvMod(qL % qi)
+		t := ri.NewPoly()
+		// Centered remainder of the last limb, re-encoded mod q_i, so the
+		// division rounds to nearest rather than flooring.
+		for j, v := range cL {
+			var r uint64
+			if v > half {
+				r = qi - (qL-v)%qi
+				if r == qi {
+					r = 0
+				}
+			} else {
+				r = v % qi
+			}
+			t[j] = r
+		}
+		if inNTT {
+			ri.NTT(t)
+		}
+		oi := ri.NewPoly()
+		ri.Sub(p.Limbs[i], t, oi)
+		ri.MulScalar(oi, qLInv, oi)
+		out.Limbs[i] = oi
+	}
+	return out
+}
+
+// Extender implements the fast (approximate) RNS basis conversion of
+// Halevi-Polyakov-Shoup: residues of x modulo a source basis Q are converted
+// to residues modulo a disjoint destination basis P, producing x + u·Q for a
+// small u < level. This is the ModUp basis-conversion kernel of the CKKS
+// KeySwitch datapath (§IV-A "basis conversion operation ... during ModUp and
+// ModDown").
+type Extender struct {
+	src, dst *Basis
+
+	// Indexed [level-1][srcLimb]: ((Q_level/q_i)^{-1}) mod q_i.
+	qhatInvModQ [][]uint64
+	// Indexed [level-1][srcLimb][dstLimb]: (Q_level/q_i) mod p_j.
+	qhatModP [][][]uint64
+}
+
+// NewExtender precomputes conversion tables from every level of src into dst.
+func NewExtender(src, dst *Basis) *Extender {
+	e := &Extender{src: src, dst: dst}
+	maxLevel := src.Level()
+	e.qhatInvModQ = make([][]uint64, maxLevel)
+	e.qhatModP = make([][][]uint64, maxLevel)
+	for level := 1; level <= maxLevel; level++ {
+		bigQ := src.AtLevel(level).Modulus()
+		inv := make([]uint64, level)
+		modP := make([][]uint64, level)
+		for i := 0; i < level; i++ {
+			qi := src.Rings[i].Mod.Q
+			qhat := new(big.Int).Div(bigQ, new(big.Int).SetUint64(qi))
+			qhatModQi := new(big.Int).Mod(qhat, new(big.Int).SetUint64(qi)).Uint64()
+			inv[i] = src.Rings[i].Mod.InvMod(qhatModQi)
+			row := make([]uint64, dst.Level())
+			for j := 0; j < dst.Level(); j++ {
+				pj := dst.Rings[j].Mod.Q
+				row[j] = new(big.Int).Mod(qhat, new(big.Int).SetUint64(pj)).Uint64()
+			}
+			modP[i] = row
+		}
+		e.qhatInvModQ[level-1] = inv
+		e.qhatModP[level-1] = modP
+	}
+	return e
+}
+
+// Extend converts p (coefficient representation, any level of src) into the
+// destination basis, writing one limb per destination prime into out.
+// out must have dst.Level() limbs.
+func (e *Extender) Extend(p Poly, out Poly) {
+	idx := make([]int, out.Level())
+	for i := range idx {
+		idx[i] = i
+	}
+	e.ExtendSelected(p, out, idx)
+}
+
+// ExtendSelected converts p into a chosen subset of destination limbs:
+// out.Limbs[k] receives the residue modulo dst prime dstIdx[k]. This supports
+// level-aware key switching, where the target basis is a prefix of Q plus all
+// of P.
+func (e *Extender) ExtendSelected(p Poly, out Poly, dstIdx []int) {
+	level := p.Level()
+	inv := e.qhatInvModQ[level-1]
+	modP := e.qhatModP[level-1]
+	n := e.src.N
+
+	// y_i = [x_i · qhatInv_i]_{q_i}, shared across all destination limbs.
+	ys := make([]ring.Poly, level)
+	for i := 0; i < level; i++ {
+		ri := e.src.Rings[i]
+		y := ri.NewPoly()
+		ri.MulScalar(p.Limbs[i], inv[i], y)
+		ys[i] = y
+	}
+	for jj, j := range dstIdx {
+		rj := e.dst.Rings[j]
+		oj := out.Limbs[jj]
+		oj.Zero()
+		for i := 0; i < level; i++ {
+			w := modP[i][j]
+			wShoup := rj.Mod.ShoupPrecomp(w)
+			for k := 0; k < n; k++ {
+				oj[k] = rj.Mod.AddMod(oj[k], rj.Mod.MulModShoup(ys[i][k], w, wShoup))
+			}
+		}
+	}
+}
+
+// ModDown divides a polynomial represented over the concatenated basis Q‖P
+// by P (the special-modulus product) and rounds approximately, returning the
+// result over Q. This is the ModDown step completing a hybrid key switch.
+type ModDown struct {
+	qBasis, pBasis *Basis
+	ext            *Extender // P → Q
+	pInvModQ       []uint64  // P^{-1} mod q_i
+}
+
+// NewModDown precomputes ModDown tables for dividing by ∏ pBasis.
+func NewModDown(qBasis, pBasis *Basis) *ModDown {
+	md := &ModDown{qBasis: qBasis, pBasis: pBasis, ext: NewExtender(pBasis, qBasis)}
+	bigP := pBasis.Modulus()
+	md.pInvModQ = make([]uint64, qBasis.Level())
+	for i := range md.pInvModQ {
+		qi := qBasis.Rings[i].Mod.Q
+		pModQi := new(big.Int).Mod(bigP, new(big.Int).SetUint64(qi)).Uint64()
+		md.pInvModQ[i] = qBasis.Rings[i].Mod.InvMod(pModQi)
+	}
+	return md
+}
+
+// Apply computes out ≈ round(c / P) mod Q where c is given as cQ (its
+// residues modulo the first level limbs of Q, NTT representation) and cP
+// (its residues modulo P, NTT representation). out must have level limbs.
+func (md *ModDown) Apply(cQ, cP, out Poly) {
+	level := lvl(cQ, out)
+	// Move the P-part to coefficient representation and extend it into Q.
+	cPc := cP.Copy()
+	md.pBasis.INTT(cPc)
+	extended := Poly{Limbs: make([]ring.Poly, level)}
+	for i := range extended.Limbs {
+		extended.Limbs[i] = md.qBasis.Rings[i].NewPoly()
+	}
+	md.ext.Extend(cPc, extended)
+	for i := 0; i < level; i++ {
+		ri := md.qBasis.Rings[i]
+		ri.NTT(extended.Limbs[i])
+		ri.Sub(cQ.Limbs[i], extended.Limbs[i], out.Limbs[i])
+		ri.MulScalar(out.Limbs[i], md.pInvModQ[i], out.Limbs[i])
+	}
+}

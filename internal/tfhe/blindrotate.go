@@ -1,0 +1,128 @@
+package tfhe
+
+import (
+	"heap/internal/rlwe"
+)
+
+// Evaluator performs blind rotations and CMux operations. It wraps the
+// shared rlwe key switcher and is safe for concurrent use — one evaluator
+// can serve every worker of the parallel bootstrapper.
+type Evaluator struct {
+	Params *rlwe.Parameters
+	KS     *rlwe.KeySwitcher
+}
+
+// NewEvaluator builds an evaluator (reusing an existing key switcher if
+// provided, since its precomputed conversion tables are large).
+func NewEvaluator(params *rlwe.Parameters, ks *rlwe.KeySwitcher) *Evaluator {
+	if ks == nil {
+		ks = rlwe.NewKeySwitcher(params)
+	}
+	return &Evaluator{Params: params, KS: ks}
+}
+
+// BlindRotate implements Algorithm 1 of the paper: starting from the trivial
+// accumulator ACC = (f·X^b, 0), it folds in each LWE mask element via
+//
+//	ACC ← ACC ∗ (RGSW(1) + (X^{a_i}−1)·RGSW(s_i⁺) + (X^{−a_i}−1)·RGSW(s_i⁻))
+//
+// realized as two CMux external products per iteration (one for binary
+// keys). The input LWE ciphertext must be at modulus 2N; the output is an
+// RLWE ciphertext at lut.Level whose constant coefficient encrypts g(phase).
+//
+// The accumulator is kept in coefficient representation between iterations:
+// the monomial rotations and gadget decompositions of the BlindRotate
+// datapath (§IV-E) operate on coefficients, with NTTs only inside the
+// external product — exactly the rotate→decompose→NTT→MAC schedule the
+// paper describes.
+func (ev *Evaluator) BlindRotate(lwe *rlwe.LWECiphertext, lut *LookupTable, brk *BlindRotateKey) *rlwe.Ciphertext {
+	n := ev.Params.N()
+	twoN := uint64(2 * n)
+	if lwe.Q != twoN {
+		panic("tfhe: BlindRotate requires an LWE ciphertext at modulus 2N")
+	}
+	if len(lwe.A) != brk.NumKeys() {
+		panic("tfhe: LWE dimension does not match blind-rotate key")
+	}
+	level := lut.Level
+	b := ev.Params.QBasis.AtLevel(level)
+
+	// ACC ← (f·X^b, 0), trivial RLWE in coefficient representation.
+	acc := rlwe.NewCiphertext(ev.Params, level)
+	acc.IsNTT = false
+	for i := 0; i < level; i++ {
+		b.Rings[i].MulByMonomial(lut.Poly.Limbs[i], int(lwe.B%twoN), acc.C0.Limbs[i])
+	}
+
+	rot := rlwe.NewCiphertext(ev.Params, level)
+	rot.IsNTT = false
+	for i, ai := range lwe.A {
+		ai %= twoN
+		if ai == 0 {
+			continue
+		}
+		ev.cmuxStep(acc, rot, int(ai), brk.Plus[i], level)
+		if !brk.Binary {
+			ev.cmuxStep(acc, rot, -int(ai), brk.Minus[i], level)
+		}
+	}
+	return acc
+}
+
+// cmuxStep computes ACC += (X^k·ACC − ACC) ⊡ rgsw in place.
+func (ev *Evaluator) cmuxStep(acc, rot *rlwe.Ciphertext, k int, rgsw *rlwe.RGSWCiphertext, level int) {
+	b := ev.Params.QBasis.AtLevel(level)
+	for i := 0; i < level; i++ {
+		r := b.Rings[i]
+		r.MulByMonomial(acc.C0.Limbs[i], k, rot.C0.Limbs[i])
+		r.MulByMonomial(acc.C1.Limbs[i], k, rot.C1.Limbs[i])
+		r.Sub(rot.C0.Limbs[i], acc.C0.Limbs[i], rot.C0.Limbs[i])
+		r.Sub(rot.C1.Limbs[i], acc.C1.Limbs[i], rot.C1.Limbs[i])
+	}
+	d := ev.KS.ExternalProduct(rot, rgsw) // NTT-form output
+	b.INTT(d.C0)
+	b.INTT(d.C1)
+	b.Add(acc.C0, d.C0, acc.C0)
+	b.Add(acc.C1, d.C1, acc.C1)
+}
+
+// CMux homomorphically selects ct1 (bit=1) or ct0 (bit=0):
+// out = ct0 + (ct1 − ct0) ⊡ RGSW(bit). Inputs must share representation and
+// level.
+func (ev *Evaluator) CMux(bit *rlwe.RGSWCiphertext, ct0, ct1 *rlwe.Ciphertext) *rlwe.Ciphertext {
+	level := ct0.Level()
+	b := ev.Params.QBasis.AtLevel(level)
+	diff := ct1.CopyNew()
+	b.Sub(diff.C0, ct0.C0, diff.C0)
+	b.Sub(diff.C1, ct0.C1, diff.C1)
+	d := ev.KS.ExternalProduct(diff, bit)
+	out := ct0.CopyNew()
+	if !out.IsNTT {
+		b.NTT(out.C0)
+		b.NTT(out.C1)
+		out.IsNTT = true
+	}
+	b.Add(out.C0, d.C0, out.C0)
+	b.Add(out.C1, d.C1, out.C1)
+	return out
+}
+
+// InternalProductRows realizes the §VII-A InternalProduct between GGSW
+// ciphertexts as "a list of independent ExternalProducts": every RLWE row of
+// the gadget ciphertext b (restricted to the ciphertext modulus Q) is
+// externally multiplied by a, yielding RLWE encryptions of m_a·phase(row_b).
+// Reassembling the rows into a full GGSW additionally requires fresh
+// special-modulus components, which the paper's offline key generation
+// provides; the returned rows are the on-line computation.
+func (ev *Evaluator) InternalProductRows(a *rlwe.RGSWCiphertext, b *rlwe.GadgetCiphertext) []*rlwe.Ciphertext {
+	L := ev.Params.MaxLevel()
+	out := make([]*rlwe.Ciphertext, b.Rows())
+	for j := 0; j < b.Rows(); j++ {
+		row := rlwe.NewCiphertext(ev.Params, L)
+		row.C0 = b.B[j].AtLevel(L)
+		row.C1 = b.A[j].AtLevel(L)
+		row.IsNTT = true
+		out[j] = ev.KS.ExternalProduct(row, a)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package tfhe
+
+import (
+	"math/big"
+
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// Boolean gate evaluation by programmable bootstrapping — the classic TFHE
+// usage the paper's §VII-A standalone-TFHE discussion covers. Bits are
+// encoded as ±q/8 (message space t=4, value −1 = false, +1 = true); each
+// gate is one linear combination followed by a sign-extracting PBS, which
+// simultaneously computes the gate and refreshes the noise.
+
+// GateKeySet is a PBSKeySet plus the precomputed sign lookup table.
+type GateKeySet struct {
+	*PBSKeySet
+	signLUT *LookupTable
+	params  *rlwe.Parameters
+}
+
+// NewGateKeySet builds gate-bootstrapping keys. The sign function is
+// anti-periodic (sign(u+N) = −sign(u) matches −sign over the wrap), so the
+// negacyclic lookup table computes it correctly over the whole circle —
+// the property that makes TFHE gates work.
+func NewGateKeySet(params *rlwe.Parameters, kg *rlwe.KeyGenerator, lweSK *rlwe.LWESecretKey,
+	rsk *rlwe.SecretKey, logBase int, sampler *ring.Sampler) *GateKeySet {
+	delta := int64(params.Q[0] / 8)
+	lut := NewLUTFromBig(params, 1, func(u int) *big.Int {
+		if u >= 0 {
+			return big.NewInt(delta)
+		}
+		return big.NewInt(-delta)
+	})
+	return &GateKeySet{
+		PBSKeySet: GenPBSKeySet(params, kg, lweSK, rsk, logBase, sampler),
+		signLUT:   lut,
+		params:    params,
+	}
+}
+
+// EncryptBit encrypts a boolean as ±q/8 under the LWE secret.
+func EncryptBit(bit bool, params *rlwe.Parameters, s []int64, sampler *ring.Sampler) *rlwe.LWECiphertext {
+	m := int64(-1)
+	if bit {
+		m = 1
+	}
+	return EncryptLWE(m, 4, params.Q[0], s, sampler, params.Sigma)
+}
+
+// DecryptBit decodes a boolean.
+func DecryptBit(ct *rlwe.LWECiphertext, s []int64) bool {
+	return rlwe.DecryptLWE(ct, s) > 0
+}
+
+// addLWE returns a+b (componentwise, same modulus).
+func addLWE(a, b *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	q := a.Q
+	out := &rlwe.LWECiphertext{A: make([]uint64, len(a.A)), Q: q}
+	out.B = (a.B + b.B) % q
+	for i := range out.A {
+		out.A[i] = (a.A[i] + b.A[i]) % q
+	}
+	return out
+}
+
+// negLWE returns −a.
+func negLWE(a *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	q := a.Q
+	out := &rlwe.LWECiphertext{A: make([]uint64, len(a.A)), Q: q}
+	if a.B%q != 0 {
+		out.B = q - a.B%q
+	}
+	for i := range out.A {
+		if a.A[i]%q != 0 {
+			out.A[i] = q - a.A[i]%q
+		}
+	}
+	return out
+}
+
+// addConstLWE adds the plaintext constant c·q/8 to the phase.
+func addConstLWE(a *rlwe.LWECiphertext, c int64) *rlwe.LWECiphertext {
+	q := a.Q
+	out := a.CopyNew()
+	delta := q / 8
+	if c >= 0 {
+		out.B = (out.B + uint64(c)*delta) % q
+	} else {
+		out.B = (out.B + q - (uint64(-c)*delta)%q) % q
+	}
+	return out
+}
+
+// signBootstrap runs the sign PBS: ModulusSwitch → BlindRotate(sign LUT) →
+// Extract → LWE KeySwitch, returning a fresh ±q/8 encryption.
+func (gk *GateKeySet) signBootstrap(ev *Evaluator, ct *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	ms := rlwe.ModSwitchLWE(ct, uint64(2*gk.params.N()))
+	acc := ev.BlindRotate(ms, gk.signLUT, gk.BRK)
+	out := rlwe.ExtractLWE(gk.params, acc, 0)
+	return gk.LWEKSK.Apply(out)
+}
+
+// NAND computes ¬(a ∧ b): sign(q/8 − a − b).
+func (gk *GateKeySet) NAND(ev *Evaluator, a, b *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	return gk.signBootstrap(ev, addConstLWE(negLWE(addLWE(a, b)), 1))
+}
+
+// AND computes a ∧ b: sign(a + b − q/8).
+func (gk *GateKeySet) AND(ev *Evaluator, a, b *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	return gk.signBootstrap(ev, addConstLWE(addLWE(a, b), -1))
+}
+
+// OR computes a ∨ b: sign(a + b + q/8).
+func (gk *GateKeySet) OR(ev *Evaluator, a, b *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	return gk.signBootstrap(ev, addConstLWE(addLWE(a, b), 1))
+}
+
+// NOT negates without bootstrapping (noise-free).
+func (gk *GateKeySet) NOT(a *rlwe.LWECiphertext) *rlwe.LWECiphertext { return negLWE(a) }
+
+// XOR computes a ⊕ b with a three-window lookup: the sum a+b lands on
+// −q/4, 0 or +q/4; the middle window is true.
+func (gk *GateKeySet) XOR(ev *Evaluator, a, b *rlwe.LWECiphertext) *rlwe.LWECiphertext {
+	n := gk.params.N()
+	delta := int64(gk.params.Q[0] / 8)
+	window := n / 4 // phase units per q/4 step after the 2N switch
+	lut := NewLUTFromBig(gk.params, 1, func(u int) *big.Int {
+		m := (u + window/2) / window
+		if u < 0 {
+			m = -((-u + window/2) / window)
+		}
+		if m == 0 {
+			return big.NewInt(delta)
+		}
+		return big.NewInt(-delta)
+	})
+	ms := rlwe.ModSwitchLWE(addLWE(a, b), uint64(2*n))
+	acc := ev.BlindRotate(ms, lut, gk.BRK)
+	out := rlwe.ExtractLWE(gk.params, acc, 0)
+	return gk.LWEKSK.Apply(out)
+}

@@ -1,0 +1,94 @@
+package tfhe
+
+import (
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// PBSKeySet bundles everything programmable bootstrapping needs: the
+// blind-rotate key for the LWE secret and the LWE key-switching key mapping
+// the RLWE coefficient secret back down to the LWE secret.
+type PBSKeySet struct {
+	BRK    *BlindRotateKey
+	LWEKSK *rlwe.LWEKeySwitchKey
+}
+
+// GenPBSKeySet generates the standalone-TFHE key material of §VII-A for an
+// n_t-dimensional LWE secret under the RLWE secret rsk, working at the
+// single-limb modulus q_0.
+func GenPBSKeySet(params *rlwe.Parameters, kg *rlwe.KeyGenerator, lweSK *rlwe.LWESecretKey,
+	rsk *rlwe.SecretKey, logBase int, sampler *ring.Sampler) *PBSKeySet {
+	return &PBSKeySet{
+		BRK:    GenBlindRotateKey(kg, lweSK, rsk),
+		LWEKSK: rlwe.GenLWEKeySwitchKey(rsk.Signed, lweSK.Signed, params.Q[0], logBase, sampler, params.Sigma),
+	}
+}
+
+// EncryptLWE encrypts message value m·Δ (Δ = q/(2t) for message space
+// [−t, t)) under the LWE secret at modulus q, for PBS demos and tests.
+func EncryptLWE(m int64, t int, q uint64, s []int64, sampler *ring.Sampler, sigma float64) *rlwe.LWECiphertext {
+	delta := q / uint64(2*t)
+	ct := &rlwe.LWECiphertext{A: make([]uint64, len(s)), Q: q}
+	for i := range ct.A {
+		ct.A[i] = sampler.UniformMod(q)
+	}
+	msg := int64MulDelta(m, delta, q)
+	e := sampler.GaussianSigned(1, sigma)[0]
+	acc := msg
+	if e >= 0 {
+		acc = (acc + uint64(e)) % q
+	} else {
+		acc = (acc + q - uint64(-e)%q) % q
+	}
+	for i, ai := range ct.A {
+		switch s[i] {
+		case 1:
+			acc = (acc + q - ai) % q
+		case -1:
+			acc = (acc + ai) % q
+		}
+	}
+	ct.B = acc
+	return ct
+}
+
+func int64MulDelta(m int64, delta, q uint64) uint64 {
+	if m >= 0 {
+		return (uint64(m) % q * (delta % q)) % q
+	}
+	return q - (uint64(-m)%q*(delta%q))%q
+}
+
+// DecodeLWE decrypts an LWE ciphertext at modulus q with message space
+// [−t, t) and returns the rounded message value.
+func DecodeLWE(ct *rlwe.LWECiphertext, s []int64, t int) int64 {
+	phase := rlwe.DecryptLWE(ct, s)
+	delta := int64(ct.Q / uint64(2*t))
+	if phase >= 0 {
+		return (phase + delta/2) / delta
+	}
+	return -((-phase + delta/2) / delta)
+}
+
+// ProgrammableBootstrap evaluates f over the encrypted message while
+// refreshing its noise: ModulusSwitch to 2N → BlindRotate with the staircase
+// lookup table → Extract → LWE KeySwitch back to the small secret. This is
+// the standalone-TFHE PBS pipeline of §VII-A ("BlindRotate with PBS keys can
+// perform PBS in a straightforward way"). The input must be at modulus q_0
+// with message space [−t, t); so is the output.
+func (ev *Evaluator) ProgrammableBootstrap(ct *rlwe.LWECiphertext, t int, f func(m int) int64, keys *PBSKeySet) *rlwe.LWECiphertext {
+	p := ev.Params
+	q0 := p.Q[0]
+	if ct.Q != q0 {
+		panic("tfhe: PBS input must be at modulus q_0")
+	}
+	// Staircase LUT at level 1 so the blind-rotated accumulator is already
+	// a single-limb RLWE ready for extraction.
+	delta := int64(q0 / uint64(2*t))
+	lut := NewLUTFromFunc(p, 1, t, delta, f)
+
+	ms := rlwe.ModSwitchLWE(ct, uint64(2*p.N()))
+	acc := ev.BlindRotate(ms, lut, keys.BRK)
+	out := rlwe.ExtractLWE(p, acc, 0)
+	return keys.LWEKSK.Apply(out)
+}

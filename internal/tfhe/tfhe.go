@@ -1,0 +1,124 @@
+// Package tfhe implements the TFHE-side operations of the paper: blind-rotate
+// key generation, the BlindRotate operation (Algorithm 1, ternary-secret
+// form), negacyclic lookup-table construction, CMux, and programmable
+// bootstrapping (PBS, §VII-A). It is built directly on the shared
+// rlwe substrate — in particular the ExternalProduct kernel — so the CKKS
+// KeySwitch and TFHE BlindRotate literally share one datapath, as the HEAP
+// microarchitecture does (§IV-A, §IV-E).
+package tfhe
+
+import (
+	"math/big"
+
+	"heap/internal/rlwe"
+	"heap/internal/rns"
+)
+
+// BlindRotateKey is the brk of the paper: for every coefficient of the LWE
+// secret s⃗, RGSW encryptions of s_i⁺ and s_i⁻ under the RLWE secret
+// (brk = {RGSW(s_i⁺), RGSW(s_i⁻)}, §II-B). For binary LWE secrets every
+// s_i⁻ encrypts zero and the minus branch can be skipped.
+type BlindRotateKey struct {
+	Plus  []*rlwe.RGSWCiphertext
+	Minus []*rlwe.RGSWCiphertext
+	// Binary records that the source secret was binary, enabling the
+	// single-branch CMux fast path.
+	Binary bool
+}
+
+// GenBlindRotateKey encrypts the LWE secret coefficientwise as RGSW
+// ciphertexts under the RLWE secret rsk.
+func GenBlindRotateKey(kg *rlwe.KeyGenerator, lweSK *rlwe.LWESecretKey, rsk *rlwe.SecretKey) *BlindRotateKey {
+	n := len(lweSK.Signed)
+	brk := &BlindRotateKey{
+		Plus:   make([]*rlwe.RGSWCiphertext, n),
+		Minus:  make([]*rlwe.RGSWCiphertext, n),
+		Binary: true,
+	}
+	for i, s := range lweSK.Signed {
+		var plus, minus int64
+		switch s {
+		case 1:
+			plus = 1
+		case -1:
+			minus = 1
+			brk.Binary = false
+		case 0:
+		default:
+			panic("tfhe: blind-rotate keys require a ternary LWE secret")
+		}
+		brk.Plus[i] = kg.GenRGSWConstant(plus, rsk)
+		brk.Minus[i] = kg.GenRGSWConstant(minus, rsk)
+	}
+	return brk
+}
+
+// NumKeys returns n_t, the LWE dimension covered by the key.
+func (k *BlindRotateKey) NumKeys() int { return len(k.Plus) }
+
+// SizeBytes returns the total in-memory key size, for the §III-C key-traffic
+// accounting.
+func (k *BlindRotateKey) SizeBytes() int {
+	total := 0
+	for i := range k.Plus {
+		total += k.Plus[i].C0.SizeBytes() + k.Plus[i].C1.SizeBytes()
+		total += k.Minus[i].C0.SizeBytes() + k.Minus[i].C1.SizeBytes()
+	}
+	return total
+}
+
+// LookupTable is a negacyclic test polynomial f over the full Q basis
+// (coefficient representation) together with the level it lives at. The
+// blind rotation of an LWE ciphertext with phase u produces an RLWE
+// ciphertext whose constant coefficient encrypts the programmed g(u).
+type LookupTable struct {
+	Poly  rns.Poly
+	Level int
+}
+
+// NewLUTFromBig programs g: the blind rotation of an LWE ciphertext (mod 2N)
+// with signed phase u ∈ [−N/2, N/2) yields g(u) mod Q in the constant
+// coefficient. Values outside that range alias negacyclically (g(u±N) =
+// −g(u)); callers must guarantee |u| < N/2, which the scheme-switching
+// bootstrapper does via its n_t-dimensional binary LWE secret.
+func NewLUTFromBig(p *rlwe.Parameters, level int, g func(u int) *big.Int) *LookupTable {
+	n := p.N()
+	b := p.QBasis.AtLevel(level)
+	f := b.NewPoly()
+	// Mapping derived from (f·X^u)_0 in Z[X]/(X^N+1):
+	//   f_0 = g(0);  f_j = g(−j) for 1 ≤ j ≤ N/2;  f_j = −g(N−j) for j > N/2.
+	for i := 0; i < level; i++ {
+		q := new(big.Int).SetUint64(b.Rings[i].Mod.Q)
+		set := func(j int, v *big.Int) {
+			r := new(big.Int).Mod(v, q)
+			f.Limbs[i][j] = r.Uint64()
+		}
+		set(0, g(0))
+		for j := 1; j <= n/2; j++ {
+			set(j, g(-j))
+		}
+		neg := new(big.Int)
+		for j := n/2 + 1; j < n; j++ {
+			set(j, neg.Neg(g(n-j)))
+		}
+	}
+	return &LookupTable{Poly: f, Level: level}
+}
+
+// NewLUTFromFunc programs a small signed integer function, scaled by scale —
+// the staircase form used by classic TFHE programmable bootstrapping over a
+// message space of size 2·t: g(u) = scale · f(round(u·t/N)).
+func NewLUTFromFunc(p *rlwe.Parameters, level int, t int, scale int64, f func(m int) int64) *LookupTable {
+	n := p.N()
+	// One message unit Δ = q/(2t) maps to Δ·2N/q = N/t phase units after
+	// the switch to modulus 2N.
+	window := n / t
+	return NewLUTFromBig(p, level, func(u int) *big.Int {
+		// Map phase to the nearest message value, rounding half up.
+		m := (u + window/2) / window
+		if u < 0 {
+			m = -((-u + window/2) / window)
+		}
+		return new(big.Int).Mul(big.NewInt(f(m)), big.NewInt(scale))
+	})
+}
