@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test check vet race fuzz fmt
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The merge gate: everything must build, vet clean, and pass under the race
+# detector (the cluster chaos tests are the main concurrency exercise).
+check: build vet race
+
+# Short fuzz smoke over the wire-facing decoders; the committed corpora in
+# testdata/fuzz/ always run as part of plain `go test`.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzReadCiphertext -fuzztime=10s ./internal/rlwe/
+	$(GO) test -run=^$$ -fuzz=FuzzReadLWECiphertext -fuzztime=10s ./internal/rlwe/
+
+fmt:
+	gofmt -l .

@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/cmplx"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heap/internal/ckks"
+	"heap/internal/core"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// The chaos tests all run against one shared miniature node (N=64): every
+// node in a real deployment generates identical key material offline from
+// the shared seed, so a single bootstrapper can play primary and every
+// secondary (BlindRotateOne is concurrency-safe), and bit-exactness against
+// the local reference bootstrap stays meaningful.
+var fx struct {
+	once   sync.Once
+	params *ckks.Parameters
+	cl     *ckks.Client
+	bt     *core.Bootstrapper
+	ct     *rlwe.Ciphertext // level-1 input
+	want   []complex128     // plaintext
+	local  *rlwe.Ciphertext // reference: purely local bootstrap
+}
+
+func fixture(t *testing.T) {
+	t.Helper()
+	fx.once.Do(func() {
+		logN := 6
+		q := ring.GenerateNTTPrimes(30, logN, 3)
+		p := ring.GenerateNTTPrimesUp(31, logN, 2)
+		params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<28), 1<<(logN-1))
+		kg := rlwe.NewKeyGenerator(params.Parameters, 90)
+		sk := kg.GenSecretKey(rlwe.SecretTernary)
+		cl := ckks.NewClient(params, sk, 91)
+		cfg := core.DefaultConfig()
+		cfg.NT = 0
+		cfg.Workers = 2
+		bt, err := core.NewBootstrapper(params, kg, sk, cfg)
+		if err != nil {
+			panic(err)
+		}
+		v := make([]complex128, params.Slots)
+		for i := range v {
+			v[i] = complex(0.35*float64(i%5)/5, -0.2*float64(i%3)/3)
+		}
+		ct := cl.EncryptAtLevel(v, 1)
+		fx.params, fx.cl, fx.bt = params, cl, bt
+		fx.ct, fx.want = ct, v
+		fx.local = bt.Bootstrap(ct.CopyNew())
+	})
+}
+
+// assertBitExact checks the distributed result against the local reference
+// bit for bit and confirms it still decrypts to the plaintext.
+func assertBitExact(t *testing.T, out *rlwe.Ciphertext) {
+	t.Helper()
+	for i := range fx.local.C0.Limbs {
+		for j := range fx.local.C0.Limbs[i] {
+			if fx.local.C0.Limbs[i][j] != out.C0.Limbs[i][j] || fx.local.C1.Limbs[i][j] != out.C1.Limbs[i][j] {
+				t.Fatalf("result differs from local bootstrap at limb %d coeff %d", i, j)
+			}
+		}
+	}
+	got := fx.cl.Decrypt(out)
+	for i := range fx.want {
+		if e := cmplx.Abs(got[i] - fx.want[i]); e > 1e-2 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], fx.want[i])
+		}
+	}
+}
+
+// startSecondary serves a Secondary over one side of a pipe, optionally
+// wrapped in a FaultConn on the secondary side, and returns the primary
+// side. All conns are closed at test cleanup, which also unblocks any
+// stalled fault injection.
+func startSecondary(t *testing.T, plan *FaultPlan) io.ReadWriter {
+	t.Helper()
+	cp, cs := net.Pipe()
+	var sconn io.ReadWriter = cs
+	if plan != nil {
+		fc := NewFaultConn(cs, *plan)
+		t.Cleanup(func() { _ = fc.Close() })
+		sconn = fc
+	}
+	go func() { _ = (&Secondary{Boot: fx.bt}).Serve(sconn) }()
+	t.Cleanup(func() { cp.Close(); cs.Close() })
+	return cp
+}
+
+func testOptions() Options {
+	o := DefaultOptions()
+	// Generous: the deadline covers a full batch round-trip including the
+	// secondary's compute, which is slow under -race. Only the dedicated
+	// timeout test tightens it.
+	o.BatchTimeout = 2 * time.Minute
+	o.BackoffBase = time.Millisecond
+	o.BackoffMax = 4 * time.Millisecond
+	return o
+}
+
+// TestKillSecondaryMidStream cuts one secondary's link partway through its
+// accumulator stream (a node dying mid-bootstrap). The primary must detect
+// the partial stream, reassign the unfinished LWE indices, and still
+// produce the bit-exact result — the issue's headline failure mode.
+func TestKillSecondaryMidStream(t *testing.T) {
+	fixture(t)
+	// The hello reply is one 48-byte frame; each accumulator frame is
+	// ~3.1 KB at these parameters. Cut the primary's read side mid-shard,
+	// after roughly two accumulators.
+	flaky := NewFaultConn(startSecondary(t, nil), FaultPlan{Seed: 7, CutReadAfter: 6800})
+	t.Cleanup(func() { _ = flaky.Close() })
+	healthy := startSecondary(t, nil)
+
+	nodes := []*Node{
+		{Conn: flaky, Name: "flaky"},
+		{Conn: healthy, Name: "healthy"},
+	}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Nodes[0].Failed {
+		t.Fatalf("flaky node not marked failed: %+v", stats.Nodes[0])
+	}
+	if stats.Reassigned == 0 {
+		t.Fatal("no indices were reassigned — the failure path was not exercised")
+	}
+	if stats.Nodes[0].Completed >= stats.Nodes[0].Dispatched {
+		t.Fatalf("expected a partial shard on the flaky node: %+v", stats.Nodes[0])
+	}
+	if got := stats.Nodes[0].Completed + stats.Nodes[1].Completed + stats.Local; got != stats.Total {
+		t.Fatalf("rotations accounted %d, want %d\n%s", got, stats.Total, stats)
+	}
+	if stats.NodeErrors() == nil {
+		t.Fatal("expected a node error for the killed secondary")
+	}
+	assertBitExact(t, out)
+}
+
+// TestAllSecondariesDeadFallsBackLocal: with every peer dead on arrival the
+// bootstrap must degrade gracefully to pure local execution.
+func TestAllSecondariesDeadFallsBackLocal(t *testing.T) {
+	fixture(t)
+	dead := func() io.ReadWriter {
+		cp, cs := net.Pipe()
+		cp.Close()
+		cs.Close()
+		return cp
+	}
+	nodes := []*Node{
+		{Conn: dead(), Name: "dead-0"},
+		{Conn: dead(), Name: "dead-1"},
+	}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Local != stats.Total {
+		t.Fatalf("expected all %d rotations local, got %d\n%s", stats.Total, stats.Local, stats)
+	}
+	if stats.Reassigned == 0 {
+		t.Fatal("dead shards were never reassigned")
+	}
+	for i := range stats.Nodes {
+		if !stats.Nodes[i].Failed {
+			t.Fatalf("node %d should be failed", i)
+		}
+	}
+	assertBitExact(t, out)
+}
+
+// TestDelayedPeerTimeout wedges a secondary after its handshake (it accepts
+// the batch but never streams accumulators); the per-batch deadline must
+// fire and the shard must complete elsewhere.
+func TestDelayedPeerTimeout(t *testing.T) {
+	fixture(t)
+	// The hello reply is one 48-byte write; stall every write after it.
+	stalled := startSecondary(t, &FaultPlan{Seed: 3, StallWriteAfter: 48})
+	nodes := []*Node{{Conn: stalled, Name: "wedged"}}
+	opts := testOptions()
+	opts.BatchTimeout = 250 * time.Millisecond
+
+	start := time.Now()
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Nodes[0].Failed {
+		t.Fatal("wedged node not marked failed")
+	}
+	if stats.Reassigned == 0 || stats.Local != stats.Total {
+		t.Fatalf("wedged shard not reassigned to local compute\n%s", stats)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("timeout did not bound the wedged peer (took %v)", time.Since(start))
+	}
+	assertBitExact(t, out)
+}
+
+// TestRetryBackoffReconnect: transient dial failures followed by a healthy
+// connection must be absorbed by the exponential-backoff retry path without
+// losing the shard to reassignment.
+func TestRetryBackoffReconnect(t *testing.T) {
+	fixture(t)
+	var mu sync.Mutex
+	dials := 0
+	node := &Node{
+		Name: "flapping",
+		Dial: func() (io.ReadWriter, error) {
+			mu.Lock()
+			dials++
+			d := dials
+			mu.Unlock()
+			if d <= 2 {
+				return nil, errors.New("connection refused")
+			}
+			return startSecondary(t, nil), nil
+		},
+	}
+	opts := testOptions()
+	opts.MaxRetries = 3
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), []*Node{node}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := stats.Nodes[0]
+	if ns.Failed {
+		t.Fatalf("node should have recovered: %+v", ns)
+	}
+	if ns.Retries < 2 {
+		t.Fatalf("expected ≥2 retries, got %d", ns.Retries)
+	}
+	if ns.Completed == 0 {
+		t.Fatal("recovered node completed no work")
+	}
+	if stats.Reassigned != 0 {
+		t.Fatalf("retry path should not reassign, got %d", stats.Reassigned)
+	}
+	assertBitExact(t, out)
+}
+
+// TestReconnectResumesPending: a connection cut mid-stream with a Dial
+// function must resume on a fresh connection with only the pending indices
+// (the completed prefix of the shard is not recomputed).
+func TestReconnectResumesPending(t *testing.T) {
+	fixture(t)
+	first := NewFaultConn(startSecondary(t, nil), FaultPlan{Seed: 11, CutReadAfter: 6800})
+	t.Cleanup(func() { _ = first.Close() })
+	node := &Node{
+		Conn: first,
+		Name: "resuming",
+		Dial: func() (io.ReadWriter, error) { return startSecondary(t, nil), nil },
+	}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), []*Node{node}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := stats.Nodes[0]
+	if ns.Failed || ns.Retries == 0 {
+		t.Fatalf("expected a successful retry: %+v", ns)
+	}
+	// Dispatched counts the resend of the pending suffix, so it exceeds the
+	// node's completed total, which in turn covers the whole shard exactly
+	// once: completed + local == total.
+	if ns.Dispatched <= ns.Completed {
+		t.Fatalf("expected a partial first stream then a resend: %+v", ns)
+	}
+	if ns.Completed+stats.Local != stats.Total {
+		t.Fatalf("indices recomputed or lost: %+v local=%d total=%d", ns, stats.Local, stats.Total)
+	}
+	assertBitExact(t, out)
+}
+
+// TestCorruptLinkDetected: flipped bits on the wire must be caught by the
+// frame CRC (never a panic, never silent corruption) and the shard must be
+// recomputed elsewhere, keeping the result bit-exact.
+func TestCorruptLinkDetected(t *testing.T) {
+	fixture(t)
+	lying := NewFaultConn(startSecondary(t, nil), FaultPlan{Seed: 5, CorruptEvery: 701})
+	t.Cleanup(func() { _ = lying.Close() })
+	nodes := []*Node{{Conn: lying, Name: "lying"}}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Nodes[0].Failed {
+		t.Fatal("corrupting link was not detected")
+	}
+	if stats.Local != stats.Total {
+		t.Fatalf("corrupted shard must be fully recomputed locally\n%s", stats)
+	}
+	assertBitExact(t, out)
+}
+
+// TestShortReadsAndDelays: a slow, fragmenting (but honest) link must not
+// trip any failure path — io.ReadFull framing absorbs short reads.
+func TestShortReadsAndDelays(t *testing.T) {
+	fixture(t)
+	slow := NewFaultConn(startSecondary(t, nil), FaultPlan{Seed: 9, MaxReadChunk: 7})
+	t.Cleanup(func() { _ = slow.Close() })
+	nodes := []*Node{{Conn: slow, Name: "slow"}}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes[0].Failed || stats.Reassigned != 0 {
+		t.Fatalf("short reads should be harmless: %s", stats)
+	}
+	if stats.Nodes[0].Completed == 0 {
+		t.Fatal("slow node did no work")
+	}
+	assertBitExact(t, out)
+}
+
+// TestHandshakeRejectsMismatchedParams: a secondary built from a different
+// parameter set must be refused at connection setup, and the bootstrap must
+// complete without it.
+func TestHandshakeRejectsMismatchedParams(t *testing.T) {
+	fixture(t)
+	logN := 5
+	q := ring.GenerateNTTPrimes(30, logN, 3)
+	p := ring.GenerateNTTPrimesUp(31, logN, 2)
+	params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<28), 1<<(logN-1))
+	kg := rlwe.NewKeyGenerator(params.Parameters, 90)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cfg := core.DefaultConfig()
+	cfg.NT = 0
+	cfg.Workers = 1
+	alien, err := core.NewBootstrapper(params, kg, sk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, cs := net.Pipe()
+	t.Cleanup(func() { cp.Close(); cs.Close() })
+	go func() { _ = (&Secondary{Boot: alien}).Serve(cs) }()
+
+	nodes := []*Node{{Conn: cp, Name: "alien"}}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := stats.Nodes[0]
+	if !ns.Failed || ns.Err == nil {
+		t.Fatalf("mismatched node accepted: %+v", ns)
+	}
+	if !strings.Contains(ns.Err.Error(), "mismatch") {
+		t.Fatalf("error does not name the mismatch: %v", ns.Err)
+	}
+	if ns.Completed != 0 {
+		t.Fatal("mismatched node must not receive work")
+	}
+	assertBitExact(t, out)
+}
+
+// TestSecondaryRejectsOversizedBatch drives Serve directly with crafted
+// frames: a batch count above the parameter-derived maximum (n ≤ ring
+// degree) must be rejected before any allocation.
+func TestSecondaryRejectsOversizedBatch(t *testing.T) {
+	fixture(t)
+	cp, cs := net.Pipe()
+	t.Cleanup(func() { cp.Close(); cs.Close() })
+	done := make(chan error, 1)
+	go func() { done <- (&Secondary{Boot: fx.bt}).Serve(cs) }()
+
+	local := helloFor(fx.bt)
+	if err := writeFrame(cp, &frame{Kind: frameHello, Payload: local.encode()}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := readFrame(cp, helloPayloadSize); err != nil || f.Kind != frameHello {
+		t.Fatalf("handshake reply: %v %+v", err, f)
+	}
+	// count = 2^32−1 with an otherwise empty payload: must fail on the
+	// bound check, not by attempting a 4-billion-element make.
+	payload := make([]byte, 4)
+	putU32(payload, 0xFFFF_FFFF)
+	if err := writeFrame(cp, &frame{Kind: frameBatch, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(cp, maxErrorPayload)
+	if err != nil {
+		t.Fatalf("expected an error frame, got %v", err)
+	}
+	if f.Kind != frameError || !strings.Contains(string(f.Payload), "batch count") {
+		t.Fatalf("expected a batch-count rejection, got kind %#x payload %q", f.Kind, f.Payload)
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "batch count") {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not terminate")
+	}
+}
+
+// TestContextCancellation: a cancelled context aborts the bootstrap with an
+// error instead of hanging or returning a partial result.
+func TestContextCancellation(t *testing.T) {
+	fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := (&Primary{Boot: fx.bt}).BootstrapCluster(ctx, fx.ct.CopyNew(), nil, testOptions())
+	if err == nil {
+		t.Fatal("cancelled bootstrap reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry the cancellation: %v", err)
+	}
+}
+
+// TestChaosMatrix sweeps seeds over the cut-mid-stream fault with two
+// secondaries, proving the bootstrap is bit-exact under every deterministic
+// replay of the failure.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is slow")
+	}
+	fixture(t)
+	for _, seed := range []uint64{1, 2, 3} {
+		cut := 4000 + int(seed)*2500
+		flaky := NewFaultConn(startSecondary(t, nil), FaultPlan{Seed: seed, CutReadAfter: cut})
+		healthy := startSecondary(t, nil)
+		nodes := []*Node{
+			{Conn: flaky, Name: "flaky"},
+			{Conn: healthy, Name: "healthy"},
+		}
+		out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, testOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !stats.Nodes[0].Failed {
+			t.Fatalf("seed %d: cut link not detected", seed)
+		}
+		assertBitExact(t, out)
+		_ = flaky.Close()
+	}
+}

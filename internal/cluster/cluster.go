@@ -6,26 +6,34 @@
 // and stream their accumulator ciphertexts back as soon as each completes,
 // and the primary repacks and finishes the bootstrap.
 //
+// The layer is fault-tolerant: because the n extracted LWE ciphertexts are
+// mutually independent (the property §V exploits for parallelism), a lost
+// node costs only its unfinished shard. The wire protocol is framed and
+// CRC32-checksummed with a version/params handshake (frame.go), batches
+// carry per-shard sequence numbers so partial accumulator streams are
+// detected, failed or wedged secondaries are retried with exponential
+// backoff and their pending LWE indices reassigned to healthy nodes or the
+// primary's own BlindRotateOne (scheduler.go), and the whole failure matrix
+// is exercised deterministically by the FaultConn chaos wrapper (chaos.go).
+// A bootstrap therefore always completes — bit-identical to local execution
+// — as long as the primary itself survives, degrading gracefully to pure
+// local compute with zero live peers.
+//
 // Key material is generated offline on every node from the shared seed,
 // matching the paper's "brk public keys can be computed offline and must be
 // generated in advance" — no secret ever crosses a connection.
 package cluster
 
 import (
-	"encoding/binary"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"heap/internal/core"
 	"heap/internal/rlwe"
-)
-
-// message kinds on the wire.
-const (
-	msgBatch    = uint32(0xB007_0001) // primary → secondary: LWE batch
-	msgAccs     = uint32(0xB007_0002) // secondary → primary: accumulators
-	msgShutdown = uint32(0xB007_00FF)
 )
 
 // Secondary serves blind-rotation work over a connection. It owns a full
@@ -35,135 +43,572 @@ type Secondary struct {
 	Boot *core.Bootstrapper
 }
 
-// Serve processes batches until shutdown or connection close. Every
-// accumulator is streamed back immediately after its rotation completes,
-// mirroring the paper's "a secondary FPGA starts sending the resultant
-// ciphertext ... as soon as the BlindRotate operation is completed".
+// Serve processes batches until shutdown or connection close. The first
+// frame must be the hello handshake (version + parameter digest); batch
+// counts, LWE indices, dimensions, and moduli are all validated against the
+// secondary's own parameters before any allocation, so a lying primary can
+// neither crash the node nor make it allocate unboundedly. Every
+// accumulator is streamed back immediately after its rotation completes —
+// with its LWE index and a per-shard sequence number — mirroring the
+// paper's "a secondary FPGA starts sending the resultant ciphertext ... as
+// soon as the BlindRotate operation is completed".
 func (s *Secondary) Serve(conn io.ReadWriter) error {
+	p := s.Boot.Params.Parameters
+	local := helloFor(s.Boot)
+	maxBatch := p.N()
+	dim := lweDim(s.Boot)
+	maxPayload := maxInt(helloPayloadSize, batchPayloadBound(maxBatch, dim))
+
+	fail := func(err error) error {
+		// Best-effort structured error so the primary fails fast instead of
+		// waiting out its deadline; the connection is dead either way.
+		msg := err.Error()
+		if len(msg) > maxErrorPayload {
+			msg = msg[:maxErrorPayload]
+		}
+		_ = writeFrame(conn, &frame{Kind: frameError, Payload: []byte(msg)})
+		return err
+	}
+
+	// Handshake: hello in, hello out. A bare shutdown of a never-used
+	// connection is also accepted.
+	f, err := readFrame(conn, maxPayload)
+	if err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return err
+	}
+	switch f.Kind {
+	case frameShutdown:
+		return nil
+	case frameHello:
+		peer, err := decodeHello(f.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := local.check(peer); err != nil {
+			return fail(err)
+		}
+		if err := writeFrame(conn, &frame{Kind: frameHello, Payload: local.encode()}); err != nil {
+			return err
+		}
+	default:
+		return fail(fmt.Errorf("cluster: expected hello, got frame kind %#x", f.Kind))
+	}
+
 	for {
-		var kind uint32
-		if err := binary.Read(conn, binary.LittleEndian, &kind); err != nil {
+		f, err := readFrame(conn, maxPayload)
+		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
-		switch kind {
-		case msgShutdown:
+		switch f.Kind {
+		case frameShutdown:
 			return nil
-		case msgBatch:
-			var count uint32
-			if err := binary.Read(conn, binary.LittleEndian, &count); err != nil {
-				return err
+		case frameBatch:
+			if f.Seq != 0 {
+				return fail(fmt.Errorf("cluster: batch frame with seq %d", f.Seq))
 			}
-			lwes := make([]*rlwe.LWECiphertext, count)
-			for i := range lwes {
-				lwe, err := rlwe.ReadLWECiphertext(conn)
+			idxs, lwes, err := decodeBatch(f.Payload, maxBatch, dim, uint64(2*p.N()))
+			if err != nil {
+				return fail(err)
+			}
+			for j, lwe := range lwes {
+				acc, err := safeRotate(s.Boot, lwe)
+				if err != nil {
+					return fail(fmt.Errorf("cluster: blind rotation of index %d: %w", idxs[j], err))
+				}
+				payload, err := encodeAcc(idxs[j], acc)
 				if err != nil {
 					return err
 				}
-				lwes[i] = lwe
-			}
-			if err := binary.Write(conn, binary.LittleEndian, msgAccs); err != nil {
-				return err
-			}
-			for _, lwe := range lwes {
-				acc := s.Boot.BlindRotateOne(lwe)
-				if _, err := acc.WriteTo(conn); err != nil {
+				if err := writeFrame(conn, &frame{Kind: frameAcc, Shard: f.Shard, Seq: uint32(j), Payload: payload}); err != nil {
 					return err
 				}
 			}
+			endPayload := make([]byte, 4)
+			putU32(endPayload, uint32(len(lwes)))
+			if err := writeFrame(conn, &frame{Kind: frameBatchEnd, Shard: f.Shard, Seq: uint32(len(lwes)), Payload: endPayload}); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("cluster: unknown message kind %#x", kind)
+			return fail(fmt.Errorf("cluster: unknown message kind %#x", f.Kind))
 		}
 	}
 }
 
 // Primary drives a distributed bootstrap over a set of connections to
-// secondaries. With zero connections it degrades to local execution.
+// secondaries. With zero connections (or zero healthy ones) it degrades to
+// local execution.
 type Primary struct {
 	Boot *core.Bootstrapper
 }
 
-// Bootstrap distributes the blind rotations round-robin across the
-// secondaries (plus the primary itself working its own share locally) and
-// finishes the repacking.
+// Bootstrap distributes the blind rotations across the secondaries (plus
+// the primary itself working its own share locally) and finishes the
+// repacking. It is the strict entry point kept for single-shot callers: the
+// bootstrap itself is fault-tolerant, but if any node failed along the way
+// the (still correct) result is accompanied by a joined error naming each
+// failed shard. Use BootstrapCluster for graceful-degradation semantics
+// with per-shard stats.
 func (p *Primary) Bootstrap(ct *rlwe.Ciphertext, conns []io.ReadWriter) (*rlwe.Ciphertext, error) {
-	prep := p.Boot.Prepare(ct)
+	nodes := make([]*Node, len(conns))
+	for i, c := range conns {
+		nodes[i] = &Node{Conn: c, Name: fmt.Sprintf("secondary-%d", i)}
+	}
+	// Seed-compatible semantics: no per-batch deadline (a wedged peer blocks,
+	// as it always did here). Callers who want timeouts use BootstrapCluster.
+	opts := DefaultOptions()
+	opts.BatchTimeout = 0
+	out, stats, err := p.BootstrapCluster(context.Background(), ct, nodes, opts)
+	if err != nil {
+		return nil, err
+	}
+	if nerr := stats.NodeErrors(); nerr != nil {
+		return out, nerr
+	}
+	return out, nil
+}
+
+// BootstrapCluster is the fault-tolerant distributed bootstrap. The LWE
+// indices start as contiguous shards, one per node plus one for the
+// primary; any shard a secondary cannot finish — connection error, frame
+// corruption, timeout, death mid-stream — is retried (with exponential
+// backoff and reconnect when the node has a Dial function) and then
+// reassigned to the remaining healthy nodes or the primary's local
+// BlindRotateOne. The returned Stats say where every rotation actually ran.
+// The error is non-nil only when the bootstrap itself could not complete
+// (context cancelled, local compute panicked, bad input); per-node failures
+// are reported via Stats.NodeErrors.
+func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nodes []*Node, opts Options) (*rlwe.Ciphertext, *Stats, error) {
+	opts = opts.withDefaults()
+	prep, err := p.prepare(ct)
+	if err != nil {
+		return nil, nil, err
+	}
 	n := len(prep.LWEs)
-	nodes := len(conns) + 1 // secondaries + the primary's own compute
 	accs := make([]*rlwe.Ciphertext, n)
+	stats := &Stats{Nodes: make([]NodeStats, len(nodes)), Total: n}
+	for k := range nodes {
+		stats.Nodes[k].Name = nodes[k].Name
+		if stats.Nodes[k].Name == "" {
+			stats.Nodes[k].Name = fmt.Sprintf("secondary-%d", k)
+		}
+	}
 
-	// Contiguous shards: node k gets indices [k·chunk, (k+1)·chunk).
-	chunk := (n + nodes - 1) / nodes
-	var wg sync.WaitGroup
-	errs := make([]error, nodes)
-
-	for k := 0; k < len(conns); k++ {
+	// Contiguous shards as in the paper's Figure 4: node k is pinned to
+	// shard k, the primary's own share goes on the queue. The queue also
+	// receives every reassigned index; all workers (secondaries included)
+	// drain it once their pinned shard is done, so a fast healthy node
+	// picks up a dead node's work.
+	q := newWorkQueue(n)
+	parts := len(nodes) + 1
+	chunk := (n + parts - 1) / parts
+	shard := func(k int) []int {
 		lo, hi := k*chunk, (k+1)*chunk
 		if hi > n {
 			hi = n
 		}
 		if lo >= hi {
-			continue
+			return nil
 		}
-		wg.Add(1)
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			errs[k] = p.dispatch(conns[k], prep.LWEs[lo:hi], accs[lo:hi])
-		}(k, lo, hi)
+		idxs := make([]int, hi-lo)
+		for i := range idxs {
+			idxs[i] = lo + i
+		}
+		return idxs
 	}
-	// The primary's own share is the last shard.
-	lo := len(conns) * chunk
-	if lo < n {
-		wg.Add(1)
+	q.push(shard(len(nodes)))
+
+	// Propagate cancellation into the queue.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
 		go func() {
-			defer wg.Done()
-			for i := lo; i < n; i++ {
-				accs[i] = p.Boot.BlindRotateOne(prep.LWEs[i])
+			select {
+			case <-ctx.Done():
+				q.abort()
+			case <-stop:
 			}
 		}()
 	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards stats
+	for k := range nodes {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			p.runNode(ctx, nodes[k], &stats.Nodes[k], shard(k), prep, accs, q, stats, &mu, opts)
+		}(k)
+	}
+
+	lw := opts.LocalWorkers
+	if lw <= 0 {
+		lw = p.Boot.Cfg.Workers
+	}
+	if lw < 1 {
+		lw = 1
+	}
+	localErrs := make([]error, lw)
+	for w := 0; w < lw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			localErrs[w] = p.runLocal(prep, accs, q, stats, &mu)
+		}(w)
+	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	if missing := prep.Missing(accs); len(missing) != 0 {
+		errs := []error{fmt.Errorf("cluster: bootstrap incomplete: %d of %d rotations missing", len(missing), n)}
+		if cerr := ctx.Err(); cerr != nil {
+			errs = append(errs, cerr)
+		}
+		errs = append(errs, localErrs...)
+		if nerr := stats.NodeErrors(); nerr != nil {
+			errs = append(errs, nerr)
+		}
+		return nil, stats, errors.Join(errs...)
+	}
+	out, err := p.finish(prep, accs)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// runNode feeds one secondary until the queue drains or the node
+// permanently fails, reassigning whatever it could not finish.
+func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initial []int, prep *core.PreparedBootstrap,
+	accs []*rlwe.Ciphertext, q *workQueue, stats *Stats, mu *sync.Mutex, opts Options) {
+
+	conn := node.Conn
+	handshaken := false
+	rng := &splitmix{s: opts.JitterSeed ^ hashName(ns.Name)}
+	var batch uint32
+	attempts := 0
+
+	giveUp := func(task []int, err error) {
+		pending := pendingOf(task, accs)
+		mu.Lock()
+		ns.Failed = true
+		ns.Err = fmt.Errorf("cluster: shard %q: %w", ns.Name, err)
+		stats.Reassigned += len(pending)
+		mu.Unlock()
+		if conn != nil {
+			closeConn(conn)
+		}
+		q.push(pending)
+	}
+
+	task := initial
+	if len(task) == 0 {
+		task = q.pop()
+	}
+	for task != nil {
+		// Ensure a live, handshaken connection, dialing if needed.
+		if conn == nil {
+			if node.Dial == nil {
+				giveUp(task, errors.New("no connection and no dial function"))
+				return
+			}
+			c, err := node.Dial()
+			if err != nil {
+				attempts++
+				mu.Lock()
+				ns.Retries++
+				mu.Unlock()
+				if attempts > opts.MaxRetries {
+					giveUp(task, fmt.Errorf("dial failed after %d attempts: %w", attempts, err))
+					return
+				}
+				if !sleepBackoff(ctx, q, backoff(opts, attempts, rng)) {
+					giveUp(task, ctx.Err())
+					return
+				}
+				continue
+			}
+			conn = c
+			handshaken = false
+		}
+		if !handshaken {
+			if err := p.handshake(conn, opts); err != nil {
+				// Could be a flaky link (retryable via redial) or a genuine
+				// version/params mismatch (the redial will fail identically
+				// and exhaust the retry budget).
+				closeConn(conn)
+				conn = nil
+				attempts++
+				if node.Dial == nil || attempts > opts.MaxRetries {
+					giveUp(task, err)
+					return
+				}
+				mu.Lock()
+				ns.Retries++
+				mu.Unlock()
+				if !sleepBackoff(ctx, q, backoff(opts, attempts, rng)) {
+					giveUp(task, ctx.Err())
+					return
+				}
+				continue
+			}
+			handshaken = true
+		}
+
+		err := p.dispatchBatch(conn, batch, task, prep, accs, q, ns, mu, opts)
+		batch++
+		if err == nil {
+			attempts = 0
+			task = q.pop()
+			continue
+		}
+
+		// The stream is unrecoverable mid-batch: drop the conn, keep the
+		// indices that did complete, and retry or reassign the rest.
+		closeConn(conn)
+		conn = nil
+		handshaken = false
+		task = pendingOf(task, accs)
+		if len(task) == 0 {
+			// Every accumulator arrived before the stream broke (e.g. a
+			// corrupted batch-end frame) — nothing to retry.
+			task = q.pop()
+			continue
+		}
+		attempts++
+		if node.Dial == nil || attempts > opts.MaxRetries {
+			giveUp(task, err)
+			return
+		}
+		mu.Lock()
+		ns.Retries++
+		mu.Unlock()
+		if !sleepBackoff(ctx, q, backoff(opts, attempts, rng)) {
+			giveUp(task, ctx.Err())
+			return
 		}
 	}
+}
+
+// runLocal is the primary's own compute: it drains queue tasks through
+// BlindRotateOne — both its initial shard and anything reassigned after a
+// secondary failure. A panic here is recovered, surfaced, and aborts the
+// bootstrap (the primary cannot fall back to anyone else).
+func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
+	q *workQueue, stats *Stats, mu *sync.Mutex) error {
+
+	for {
+		task := q.pop()
+		if task == nil {
+			return nil
+		}
+		for _, idx := range task {
+			if q.isAborted() {
+				return nil
+			}
+			acc, err := safeRotate(p.Boot, prep.LWEs[idx])
+			if err != nil {
+				q.abort()
+				return fmt.Errorf("cluster: local blind rotation of index %d: %w", idx, err)
+			}
+			accs[idx] = acc
+			q.done(1)
+			mu.Lock()
+			stats.Local++
+			mu.Unlock()
+		}
+	}
+}
+
+// handshake performs the hello exchange on a fresh connection.
+func (p *Primary) handshake(conn io.ReadWriter, opts Options) error {
+	disarm := armTimeout(conn, opts.BatchTimeout)
+	defer disarm()
+	local := helloFor(p.Boot)
+	if err := writeFrame(conn, &frame{Kind: frameHello, Payload: local.encode()}); err != nil {
+		return fmt.Errorf("cluster: hello send: %w", err)
+	}
+	f, err := readFrame(conn, maxInt(helloPayloadSize, maxErrorPayload))
+	if err != nil {
+		return fmt.Errorf("cluster: hello receive: %w", err)
+	}
+	switch f.Kind {
+	case frameHello:
+	case frameError:
+		return fmt.Errorf("cluster: peer rejected handshake: %s", f.Payload)
+	default:
+		return fmt.Errorf("cluster: expected hello reply, got frame kind %#x", f.Kind)
+	}
+	peer, err := decodeHello(f.Payload)
+	if err != nil {
+		return err
+	}
+	return local.check(peer)
+}
+
+// dispatchBatch sends one LWE batch and collects the accumulator stream,
+// marking every index complete as its accumulator arrives, so that a
+// failure mid-stream loses only the not-yet-received indices.
+func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, prep *core.PreparedBootstrap,
+	accs []*rlwe.Ciphertext, q *workQueue, ns *NodeStats, mu *sync.Mutex, opts Options) error {
+
+	disarm := armTimeout(conn, opts.BatchTimeout)
+	timedOut := false
+	defer func() {
+		if disarm() {
+			timedOut = true
+		}
+	}()
+	wrap := func(err error) error {
+		if timedOut {
+			return fmt.Errorf("cluster: batch %d timed out after %v: %w", shard, opts.BatchTimeout, err)
+		}
+		return err
+	}
+
+	payload, err := encodeBatch(idxs, prep.LWEs)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, &frame{Kind: frameBatch, Shard: shard, Seq: 0, Payload: payload}); err != nil {
+		return wrap(fmt.Errorf("cluster: batch send: %w", err))
+	}
+	mu.Lock()
+	ns.Dispatched += len(idxs)
+	mu.Unlock()
+
+	params := p.Boot.Params.Parameters
+	maxPayload := maxInt(accPayloadBound(params), maxErrorPayload)
+	want := make(map[int]bool, len(idxs))
+	for _, idx := range idxs {
+		want[idx] = true
+	}
+	for seq := 0; ; seq++ {
+		f, err := readFrame(conn, maxPayload)
+		if err != nil {
+			return wrap(err)
+		}
+		if f.Shard != shard {
+			return fmt.Errorf("cluster: frame for shard %d while awaiting shard %d", f.Shard, shard)
+		}
+		switch f.Kind {
+		case frameError:
+			return fmt.Errorf("cluster: remote failure: %s", f.Payload)
+		case frameAcc:
+			if int(f.Seq) != seq {
+				return fmt.Errorf("cluster: partial accumulator stream: seq %d, want %d", f.Seq, seq)
+			}
+			if len(want) == 0 {
+				return errors.New("cluster: accumulator after batch complete")
+			}
+			idx, acc, err := decodeAcc(f.Payload, params, len(prep.LWEs))
+			if err != nil {
+				return err
+			}
+			if !want[idx] {
+				return fmt.Errorf("cluster: accumulator for unrequested index %d", idx)
+			}
+			delete(want, idx)
+			accs[idx] = acc
+			q.done(1)
+			mu.Lock()
+			ns.Completed++
+			mu.Unlock()
+		case frameBatchEnd:
+			if int(f.Seq) != seq {
+				return fmt.Errorf("cluster: partial accumulator stream: end at seq %d, want %d", f.Seq, seq)
+			}
+			if len(f.Payload) != 4 || int(u32(f.Payload)) != len(idxs) {
+				return fmt.Errorf("cluster: batch-end count mismatch")
+			}
+			if len(want) != 0 {
+				return fmt.Errorf("cluster: batch ended with %d accumulators missing", len(want))
+			}
+			return nil
+		default:
+			return fmt.Errorf("cluster: unexpected frame kind %#x in accumulator stream", f.Kind)
+		}
+	}
+}
+
+// prepare wraps core.Prepare, converting its input-validation panics into
+// errors.
+func (p *Primary) prepare(ct *rlwe.Ciphertext) (prep *core.PreparedBootstrap, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: prepare: %v", r)
+		}
+	}()
+	return p.Boot.Prepare(ct), nil
+}
+
+// finish wraps core.Finish the same way.
+func (p *Primary) finish(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext) (out *rlwe.Ciphertext, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: finish: %v", r)
+		}
+	}()
 	return p.Boot.Finish(prep, accs), nil
 }
 
-// dispatch sends one LWE batch and collects the accumulators.
-func (p *Primary) dispatch(conn io.ReadWriter, lwes []*rlwe.LWECiphertext, out []*rlwe.Ciphertext) error {
-	if err := binary.Write(conn, binary.LittleEndian, msgBatch); err != nil {
-		return err
-	}
-	if err := binary.Write(conn, binary.LittleEndian, uint32(len(lwes))); err != nil {
-		return err
-	}
-	for _, lwe := range lwes {
-		if _, err := lwe.WriteTo(conn); err != nil {
-			return err
+// safeRotate runs BlindRotateOne with panic recovery, so one malformed LWE
+// ciphertext cannot take down a node.
+func safeRotate(bt *core.Bootstrapper, lwe *rlwe.LWECiphertext) (acc *rlwe.Ciphertext, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return bt.BlindRotateOne(lwe), nil
+}
+
+// pendingOf returns the indices of task whose accumulators are still
+// missing (only this node worked these indices, so the read is race-free).
+func pendingOf(task []int, accs []*rlwe.Ciphertext) []int {
+	pending := make([]int, 0, len(task))
+	for _, idx := range task {
+		if accs[idx] == nil {
+			pending = append(pending, idx)
 		}
 	}
-	var kind uint32
-	if err := binary.Read(conn, binary.LittleEndian, &kind); err != nil {
-		return err
+	return pending
+}
+
+// sleepBackoff waits d, returning false if the context aborts first.
+func sleepBackoff(ctx context.Context, q *workQueue, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return !q.isAborted()
+	case <-ctx.Done():
+		return false
 	}
-	if kind != msgAccs {
-		return fmt.Errorf("cluster: expected accumulator stream, got %#x", kind)
-	}
-	for i := range out {
-		acc, err := rlwe.ReadCiphertext(conn, p.Boot.Params.Parameters)
-		if err != nil {
-			return err
-		}
-		out[i] = acc
-	}
-	return nil
 }
 
 // Shutdown tells a secondary to stop serving.
 func Shutdown(conn io.Writer) error {
-	return binary.Write(conn, binary.LittleEndian, msgShutdown)
+	return writeFrame(conn, &frame{Kind: frameShutdown})
+}
+
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func u32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }

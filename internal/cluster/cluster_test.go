@@ -16,7 +16,7 @@ import (
 // offline key generation, as the paper prescribes.
 func buildNode(t *testing.T) (*ckks.Parameters, *ckks.Client, *core.Bootstrapper) {
 	t.Helper()
-	logN := 7
+	logN := 6
 	q := ring.GenerateNTTPrimes(30, logN, 3)
 	p := ring.GenerateNTTPrimesUp(31, logN, 2)
 	params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<28), 1<<(logN-1))

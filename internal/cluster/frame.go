@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"heap/internal/core"
+	"heap/internal/rlwe"
+)
+
+// Wire protocol v2 — the hardened replacement for the seed's bare
+// binary.Write streams. Every message is a self-delimiting frame:
+//
+//	magic(4) kind(4) shard(4) seq(4) payloadLen(4) payload(len) crc32(4)
+//
+// all little-endian, with the IEEE CRC32 computed over header+payload so a
+// single flipped bit anywhere in the frame is detected before any of the
+// payload is interpreted. The shard field names the batch the frame belongs
+// to and seq numbers the frames within that batch's response stream, so a
+// partial accumulator stream (a secondary dying mid-batch, the paper's lost
+// CMAC link) is detectable by the primary: it knows exactly which LWE
+// indices completed and which must be reassigned.
+//
+// A connection starts with a hello exchange (version + parameter digest +
+// LWE dimension + batch bound); everything after a digest mismatch would be
+// garbage, so mismatches fail the connection at setup instead of corrupting
+// a bootstrap midway.
+const (
+	frameMagic = uint32(0x4846_524D) // "HFRM"
+
+	// ProtocolVersion is the cluster wire-protocol version exchanged in the
+	// hello handshake. Version 2 is the framed, checksummed protocol; the
+	// seed's unframed protocol is retroactively version 1 and is rejected.
+	ProtocolVersion = uint32(2)
+
+	frameHeaderSize  = 20
+	frameTrailerSize = 4
+
+	// maxErrorPayload bounds remote error strings.
+	maxErrorPayload = 1 << 10
+)
+
+// Frame kinds.
+const (
+	frameHello    = uint32(0x4845_4C4F) // "HELO"
+	frameBatch    = uint32(0xB007_0001) // primary → secondary: LWE batch
+	frameAcc      = uint32(0xB007_0002) // secondary → primary: one accumulator
+	frameBatchEnd = uint32(0xB007_0003) // secondary → primary: batch complete
+	frameError    = uint32(0xB007_000E) // secondary → primary: structured failure
+	frameShutdown = uint32(0xB007_00FF)
+)
+
+// frame is one protocol message.
+type frame struct {
+	Kind    uint32
+	Shard   uint32 // batch identifier
+	Seq     uint32 // position within the batch's response stream
+	Payload []byte
+}
+
+// writeFrame serializes f as a single Write so frames are never interleaved
+// on a shared writer.
+func writeFrame(w io.Writer, f *frame) error {
+	buf := make([]byte, frameHeaderSize+len(f.Payload)+frameTrailerSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], frameMagic)
+	le.PutUint32(buf[4:], f.Kind)
+	le.PutUint32(buf[8:], f.Shard)
+	le.PutUint32(buf[12:], f.Seq)
+	le.PutUint32(buf[16:], uint32(len(f.Payload)))
+	copy(buf[frameHeaderSize:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[:frameHeaderSize+len(f.Payload)])
+	le.PutUint32(buf[frameHeaderSize+len(f.Payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame. The payload length is checked
+// against maxPayload before any allocation, so a lying peer can never force
+// an unbounded make. io.EOF is returned verbatim only for a clean close at
+// a frame boundary; every other failure is wrapped.
+func readFrame(r io.Reader, maxPayload int) (*frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("cluster: short frame header: %w", err)
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(hdr[0:]); m != frameMagic {
+		return nil, fmt.Errorf("cluster: bad frame magic %#x", m)
+	}
+	plen := int(le.Uint32(hdr[16:]))
+	if plen > maxPayload {
+		return nil, fmt.Errorf("cluster: frame payload %d exceeds bound %d", plen, maxPayload)
+	}
+	body := make([]byte, plen+frameTrailerSize)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("cluster: short frame body: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:plen])
+	if got := le.Uint32(body[plen:]); got != crc {
+		return nil, fmt.Errorf("cluster: frame checksum mismatch (got %#x want %#x)", got, crc)
+	}
+	return &frame{
+		Kind:    le.Uint32(hdr[4:]),
+		Shard:   le.Uint32(hdr[8:]),
+		Seq:     le.Uint32(hdr[12:]),
+		Payload: body[:plen:plen],
+	}, nil
+}
+
+// hello is the connection-setup handshake: both ends must agree on the
+// protocol version and on the parameter set (the digest covers every Q and
+// P limb), the LWE dimension the batches will carry, and the batch bound.
+type hello struct {
+	Version  uint32
+	LogN     uint32
+	MaxLevel uint32
+	LWEDim   uint32
+	MaxBatch uint32
+	Digest   uint32
+}
+
+const helloPayloadSize = 24
+
+func helloFor(bt *core.Bootstrapper) hello {
+	p := bt.Params.Parameters
+	return hello{
+		Version:  ProtocolVersion,
+		LogN:     uint32(p.LogN),
+		MaxLevel: uint32(p.MaxLevel()),
+		LWEDim:   uint32(lweDim(bt)),
+		MaxBatch: uint32(p.N()),
+		Digest:   paramsDigest(p),
+	}
+}
+
+// lweDim is the dimension of the LWE ciphertexts Prepare emits: N in exact
+// mode (NT = 0), n_t after the dimension-reducing key switch otherwise.
+func lweDim(bt *core.Bootstrapper) int {
+	if bt.Cfg.NT == 0 {
+		return bt.Params.N()
+	}
+	return bt.Cfg.NT
+}
+
+// paramsDigest fingerprints the modulus chains so two nodes built from
+// different parameter sets refuse each other at handshake instead of
+// exchanging undecryptable ciphertexts.
+func paramsDigest(p *rlwe.Parameters) uint32 {
+	h := crc32.NewIEEE()
+	var b [8]byte
+	for _, q := range p.Q {
+		binary.LittleEndian.PutUint64(b[:], q)
+		h.Write(b[:])
+	}
+	for _, q := range p.P {
+		binary.LittleEndian.PutUint64(b[:], q)
+		h.Write(b[:])
+	}
+	return h.Sum32()
+}
+
+func (h hello) encode() []byte {
+	buf := make([]byte, helloPayloadSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], h.Version)
+	le.PutUint32(buf[4:], h.LogN)
+	le.PutUint32(buf[8:], h.MaxLevel)
+	le.PutUint32(buf[12:], h.LWEDim)
+	le.PutUint32(buf[16:], h.MaxBatch)
+	le.PutUint32(buf[20:], h.Digest)
+	return buf
+}
+
+func decodeHello(payload []byte) (hello, error) {
+	if len(payload) != helloPayloadSize {
+		return hello{}, fmt.Errorf("cluster: hello payload is %d bytes, want %d", len(payload), helloPayloadSize)
+	}
+	le := binary.LittleEndian
+	return hello{
+		Version:  le.Uint32(payload[0:]),
+		LogN:     le.Uint32(payload[4:]),
+		MaxLevel: le.Uint32(payload[8:]),
+		LWEDim:   le.Uint32(payload[12:]),
+		MaxBatch: le.Uint32(payload[16:]),
+		Digest:   le.Uint32(payload[20:]),
+	}, nil
+}
+
+// check verifies a peer hello against the local one.
+func (h hello) check(peer hello) error {
+	if peer.Version != h.Version {
+		return fmt.Errorf("cluster: protocol version mismatch: local v%d, peer v%d", h.Version, peer.Version)
+	}
+	if peer != h {
+		return fmt.Errorf("cluster: parameter mismatch: local %+v, peer %+v", h, peer)
+	}
+	return nil
+}
+
+// encodeBatch serializes count followed by (index, LWE ciphertext) pairs.
+func encodeBatch(idxs []int, lwes []*rlwe.LWECiphertext) ([]byte, error) {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(idxs)))
+	buf.Write(u32[:])
+	for _, idx := range idxs {
+		binary.LittleEndian.PutUint32(u32[:], uint32(idx))
+		buf.Write(u32[:])
+		if _, err := lwes[idx].WriteTo(&buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBatch parses and fully validates a batch payload: the count is
+// bounded by maxBatch (n ≤ ring degree) before anything is allocated, every
+// index is bounded, and every LWE ciphertext must have exactly the
+// handshaken dimension and modulus with in-range components.
+func decodeBatch(payload []byte, maxBatch, dim int, q uint64) (idxs []int, lwes []*rlwe.LWECiphertext, err error) {
+	r := bytes.NewReader(payload)
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, nil, fmt.Errorf("cluster: batch header: %w", err)
+	}
+	if count == 0 || int(count) > maxBatch {
+		return nil, nil, fmt.Errorf("cluster: batch count %d outside (0, %d]", count, maxBatch)
+	}
+	idxs = make([]int, count)
+	lwes = make([]*rlwe.LWECiphertext, count)
+	for i := range lwes {
+		var idx uint32
+		if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+			return nil, nil, fmt.Errorf("cluster: batch index %d: %w", i, err)
+		}
+		if int(idx) >= maxBatch {
+			return nil, nil, fmt.Errorf("cluster: LWE index %d exceeds bound %d", idx, maxBatch)
+		}
+		lwe, err := rlwe.ReadLWECiphertext(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: batch ciphertext %d: %w", i, err)
+		}
+		if err := lwe.Validate(dim, q); err != nil {
+			return nil, nil, fmt.Errorf("cluster: batch ciphertext %d: %w", i, err)
+		}
+		idxs[i] = int(idx)
+		lwes[i] = lwe
+	}
+	if r.Len() != 0 {
+		return nil, nil, fmt.Errorf("cluster: %d trailing bytes after batch", r.Len())
+	}
+	return idxs, lwes, nil
+}
+
+// encodeAcc serializes (index, accumulator ciphertext).
+func encodeAcc(idx int, acc *rlwe.Ciphertext) ([]byte, error) {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(idx))
+	buf.Write(u32[:])
+	if _, err := acc.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAcc parses an accumulator payload, rejecting wrong levels, trailing
+// bytes, and out-of-range residues (via ReadCiphertext).
+func decodeAcc(payload []byte, p *rlwe.Parameters, maxIndex int) (int, *rlwe.Ciphertext, error) {
+	r := bytes.NewReader(payload)
+	var idx uint32
+	if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+		return 0, nil, fmt.Errorf("cluster: accumulator index: %w", err)
+	}
+	if int(idx) >= maxIndex {
+		return 0, nil, fmt.Errorf("cluster: accumulator index %d exceeds bound %d", idx, maxIndex)
+	}
+	acc, err := rlwe.ReadCiphertext(r, p)
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: accumulator ciphertext: %w", err)
+	}
+	if acc.Level() != p.MaxLevel() {
+		return 0, nil, fmt.Errorf("cluster: accumulator at level %d, want %d", acc.Level(), p.MaxLevel())
+	}
+	if r.Len() != 0 {
+		return 0, nil, fmt.Errorf("cluster: %d trailing bytes after accumulator", r.Len())
+	}
+	return int(idx), acc, nil
+}
+
+// batchPayloadBound is the largest batch payload a secondary accepts.
+func batchPayloadBound(maxBatch, dim int) int {
+	return 4 + maxBatch*(4+rlwe.LWEWireSize(dim))
+}
+
+// accPayloadBound is the largest accumulator payload a primary accepts.
+func accPayloadBound(p *rlwe.Parameters) int {
+	return 4 + rlwe.CiphertextWireSize(p, p.MaxLevel())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Node describes one secondary the primary can dispatch to.
+type Node struct {
+	// Conn is the current connection (nil to dial lazily).
+	Conn io.ReadWriter
+	// Dial, when non-nil, reconnects after a transient failure; without it
+	// the first connection error permanently fails the node and its
+	// unfinished work is reassigned.
+	Dial func() (io.ReadWriter, error)
+	// Name labels the node in stats and errors.
+	Name string
+}
+
+// Options tunes the fault-tolerant dispatch.
+type Options struct {
+	// BatchTimeout bounds one batch round-trip (handshake, send, receive
+	// all accumulators). It is enforced via SetDeadline when the conn
+	// supports it, else via a watchdog that closes the conn. 0 disables.
+	BatchTimeout time.Duration
+	// MaxRetries is how many reconnect attempts a node with a Dial
+	// function gets before its work is reassigned.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// reconnect attempts; the actual sleep is jittered in [d/2, d].
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed makes the backoff jitter deterministic for tests.
+	JitterSeed uint64
+	// LocalWorkers is the number of primary-side goroutines that drain the
+	// queue alongside the secondaries (fallback compute). 0 selects the
+	// bootstrapper's Cfg.Workers.
+	LocalWorkers int
+}
+
+// DefaultOptions returns production-leaning defaults.
+func DefaultOptions() Options {
+	return Options{
+		BatchTimeout: 30 * time.Second,
+		MaxRetries:   2,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   250 * time.Millisecond,
+		JitterSeed:   0xC1A05,
+		LocalWorkers: 0,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = d.BackoffBase
+	}
+	if o.BackoffMax < o.BackoffBase {
+		o.BackoffMax = o.BackoffBase
+	}
+	return o
+}
+
+// NodeStats records one node's share of a bootstrap.
+type NodeStats struct {
+	Name       string
+	Dispatched int   // LWE indices sent to the node
+	Completed  int   // accumulators received back
+	Retries    int   // reconnect attempts
+	Failed     bool  // node permanently failed during this bootstrap
+	Err        error // the failure, wrapped with the node name
+}
+
+// Stats aggregates one distributed bootstrap: where every blind rotation
+// ran and how much work moved because of failures.
+type Stats struct {
+	Nodes      []NodeStats
+	Local      int // indices blind-rotated on the primary
+	Reassigned int // indices requeued after a failure or timeout
+	Total      int // total LWE indices
+}
+
+// NodeErrors joins the per-node failures (nil when every node stayed
+// healthy), naming each failed shard owner.
+func (s *Stats) NodeErrors() error {
+	var errs []error
+	for i := range s.Nodes {
+		if s.Nodes[i].Err != nil {
+			errs = append(errs, s.Nodes[i].Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// String renders a per-shard summary table.
+func (s *Stats) String() string {
+	out := fmt.Sprintf("bootstrap: %d rotations, %d local, %d reassigned\n", s.Total, s.Local, s.Reassigned)
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		state := "ok"
+		if ns.Failed {
+			state = "failed"
+		}
+		out += fmt.Sprintf("  %-14s sent=%-5d done=%-5d retries=%-2d %s\n",
+			ns.Name, ns.Dispatched, ns.Completed, ns.Retries, state)
+	}
+	return out
+}
+
+// workQueue hands out index batches to node and local workers. remaining
+// counts indices not yet completed (they may be queued or in flight);
+// pop blocks until a task is available, everything is complete, or the
+// bootstrap aborts.
+type workQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tasks     [][]int
+	remaining int
+	aborted   bool
+}
+
+func newWorkQueue(total int) *workQueue {
+	q := &workQueue{remaining: total}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a (possibly reassigned) task.
+func (q *workQueue) push(idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.tasks = append(q.tasks, idxs)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop returns the next task, or nil once all work is complete or aborted.
+func (q *workQueue) pop() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.aborted || q.remaining == 0 {
+			return nil
+		}
+		if len(q.tasks) > 0 {
+			t := q.tasks[0]
+			q.tasks = q.tasks[1:]
+			return t
+		}
+		q.cond.Wait()
+	}
+}
+
+// done marks k indices complete.
+func (q *workQueue) done(k int) {
+	q.mu.Lock()
+	q.remaining -= k
+	fin := q.remaining <= 0
+	q.mu.Unlock()
+	if fin {
+		q.cond.Broadcast()
+	}
+}
+
+// abort wakes every waiter and stops new work from being handed out.
+func (q *workQueue) abort() {
+	q.mu.Lock()
+	q.aborted = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *workQueue) isAborted() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.aborted
+}
+
+// splitmix is the deterministic jitter PRNG.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// backoff returns the jittered exponential delay for the given attempt
+// (1-based): base·2^(attempt−1) capped at max, jittered into [d/2, d].
+func backoff(o Options, attempt int, rng *splitmix) time.Duration {
+	d := o.BackoffBase
+	for i := 1; i < attempt && d < o.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > o.BackoffMax {
+		d = o.BackoffMax
+	}
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(rng.next()%uint64(half))
+	}
+	return d
+}
+
+// armTimeout bounds one batch round-trip. It prefers SetDeadline (net.Conn,
+// net.Pipe, FaultConn); for plain ReadWriters that can at least be closed it
+// falls back to a watchdog that closes the conn when the timer fires. The
+// returned disarm func reports whether the watchdog fired.
+func armTimeout(conn io.ReadWriter, d time.Duration) (disarm func() bool) {
+	if d <= 0 {
+		return func() bool { return false }
+	}
+	if dl, ok := conn.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = dl.SetDeadline(time.Now().Add(d))
+		return func() bool {
+			_ = dl.SetDeadline(time.Time{})
+			return false
+		}
+	}
+	c, ok := conn.(io.Closer)
+	if !ok {
+		return func() bool { return false }
+	}
+	fired := make(chan struct{})
+	t := time.AfterFunc(d, func() {
+		close(fired)
+		_ = c.Close()
+	})
+	return func() bool {
+		if !t.Stop() {
+			select {
+			case <-fired:
+				return true
+			default:
+			}
+		}
+		return false
+	}
+}
+
+// closeConn closes conn when possible (abandoning a broken or timed-out
+// stream, and unblocking a peer wedged on it).
+func closeConn(conn io.ReadWriter) {
+	if c, ok := conn.(io.Closer); ok {
+		_ = c.Close()
+	}
+}

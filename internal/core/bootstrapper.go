@@ -226,6 +226,58 @@ func (bt *Bootstrapper) BlindRotateOne(lwe *rlwe.LWECiphertext) *rlwe.Ciphertext
 	return bt.tfheEv.BlindRotate(lwe, bt.lut, bt.brk)
 }
 
+// Missing returns the LWE indices whose accumulators have not been computed
+// yet (nil entries of accs). A prepared bootstrap is resumable: the blind
+// rotations are mutually independent, so after a partial distributed run —
+// some shards lost to node failures — only the returned indices still need
+// work before Finish can run.
+func (prep *PreparedBootstrap) Missing(accs []*rlwe.Ciphertext) []int {
+	if len(accs) != len(prep.LWEs) {
+		panic("core: accumulator slice does not match the prepared bootstrap")
+	}
+	var missing []int
+	for i, acc := range accs {
+		if acc == nil {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// CompleteMissing blind-rotates every missing accumulator locally, fanning
+// the remaining indices out over Cfg.Workers goroutines. It is the
+// fall-back compute of a degraded cluster (all peers dead → the primary
+// completes the shards itself) and the local half of BootstrapSparse.
+func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ciphertext) {
+	missing := prep.Missing(accs)
+	if len(missing) == 0 {
+		return
+	}
+	workers := bt.Cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(missing) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(missing) {
+			hi = len(missing)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				accs[i] = bt.BlindRotateOne(prep.LWEs[i])
+			}
+		}(missing[lo:hi])
+	}
+	wg.Wait()
+}
+
 // Finish executes steps 4–5 of Algorithm 2 on the collected accumulators:
 // repack, add ct', multiply by round(p/2N) and rescale by p. Accumulators
 // may be in coefficient or NTT representation.
@@ -300,27 +352,8 @@ func (bt *Bootstrapper) Bootstrap(ct *rlwe.Ciphertext) *rlwe.Ciphertext {
 // means less LWE ciphertexts and BlindRotate operations").
 func (bt *Bootstrapper) BootstrapSparse(ct *rlwe.Ciphertext, count int) *rlwe.Ciphertext {
 	prep := bt.PrepareSparse(ct, count)
-	n := len(prep.LWEs)
-	accs := make([]*rlwe.Ciphertext, n)
-	var wg sync.WaitGroup
-	chunk := (n + bt.Cfg.Workers - 1) / bt.Cfg.Workers
-	for w := 0; w < bt.Cfg.Workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				accs[i] = bt.BlindRotateOne(prep.LWEs[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	accs := make([]*rlwe.Ciphertext, len(prep.LWEs))
+	bt.CompleteMissing(prep, accs)
 	return bt.Finish(prep, accs)
 }
 

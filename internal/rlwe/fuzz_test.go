@@ -1,0 +1,122 @@
+package rlwe
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"heap/internal/ring"
+)
+
+// Corrupt wire bytes must never panic the deserializers (they feed directly
+// from cluster connections), and anything they accept must round-trip
+// stably — the contract the hardened cluster protocol builds on.
+
+var fuzzP struct {
+	once sync.Once
+	p    *Parameters
+}
+
+func fuzzParams() *Parameters {
+	fuzzP.once.Do(func() {
+		q := ring.GenerateNTTPrimes(30, 4, 3)
+		p := ring.GenerateNTTPrimesUp(31, 4, 2)
+		params, err := NewParameters(4, q, p, ring.DefaultSigma, 2)
+		if err != nil {
+			panic(err)
+		}
+		fuzzP.p = params
+	})
+	return fuzzP.p
+}
+
+func FuzzReadCiphertext(f *testing.F) {
+	p := fuzzParams()
+	kg := NewKeyGenerator(p, 200)
+	sk := kg.GenSecretKey(SecretTernary)
+	enc := NewEncryptor(p, sk, 201)
+	for _, level := range []int{1, p.MaxLevel()} {
+		var buf bytes.Buffer
+		ct := enc.EncryptZeroAtLevel(level)
+		ct.Scale = 3.25e12
+		if _, err := ct.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// A corrupted header variant.
+		raw := append([]byte(nil), buf.Bytes()...)
+		raw[8] ^= 0x7F
+		f.Add(raw)
+	}
+	f.Add([]byte("not a ciphertext"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct, err := ReadCiphertext(bytes.NewReader(data), p)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := ct.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serialize of accepted ciphertext: %v", err)
+		}
+		ct2, err := ReadCiphertext(&buf, p)
+		if err != nil {
+			t.Fatalf("re-read of accepted ciphertext: %v", err)
+		}
+		if ct2.Level() != ct.Level() || ct2.IsNTT != ct.IsNTT || ct2.Scale != ct.Scale {
+			t.Fatal("accepted ciphertext metadata not stable")
+		}
+		for i := 0; i < ct.Level(); i++ {
+			if !equalU64(ct.C0.Limbs[i], ct2.C0.Limbs[i]) || !equalU64(ct.C1.Limbs[i], ct2.C1.Limbs[i]) {
+				t.Fatalf("accepted ciphertext limb %d not stable", i)
+			}
+		}
+	})
+}
+
+func FuzzReadLWECiphertext(f *testing.F) {
+	s := ring.NewSampler(202)
+	ct := &LWECiphertext{A: make([]uint64, 32), Q: 1 << 20, B: 77}
+	for i := range ct.A {
+		ct.A[i] = s.UniformMod(ct.Q)
+	}
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[9] ^= 0xFF // dimension field
+	f.Add(raw)
+	f.Add([]byte{0x4C, 0x41, 0x45, 0x48})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lwe, err := ReadLWECiphertext(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := lwe.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize of accepted LWE ciphertext: %v", err)
+		}
+		lwe2, err := ReadLWECiphertext(&out)
+		if err != nil {
+			t.Fatalf("re-read of accepted LWE ciphertext: %v", err)
+		}
+		if lwe2.B != lwe.B || lwe2.Q != lwe.Q || !equalU64(lwe2.A, lwe.A) {
+			t.Fatal("accepted LWE ciphertext not stable")
+		}
+	})
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

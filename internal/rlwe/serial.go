@@ -122,6 +122,38 @@ func (ct *Ciphertext) SerializedSize() int {
 // SerializedSize returns the exact wire size of the LWE ciphertext.
 func (ct *LWECiphertext) SerializedSize() int { return 4*8 + 8*len(ct.A) }
 
+// CiphertextWireSize is the wire size of an RLWE ciphertext at the given
+// level under p — the framing hook transport layers use to bound payload
+// allocations before decoding.
+func CiphertextWireSize(p *Parameters, level int) int {
+	return 5*8 + 2*level*p.N()*8
+}
+
+// LWEWireSize is the wire size of an LWE ciphertext of the given dimension.
+func LWEWireSize(dim int) int { return 4*8 + 8*dim }
+
+// Validate checks a (typically freshly deserialized) LWE ciphertext against
+// the dimension and modulus a consumer expects: transport layers call this
+// before handing the ciphertext to BlindRotate, whose preconditions are
+// panics rather than errors.
+func (ct *LWECiphertext) Validate(dim int, q uint64) error {
+	if len(ct.A) != dim {
+		return fmt.Errorf("rlwe: LWE dimension %d, want %d", len(ct.A), dim)
+	}
+	if ct.Q != q {
+		return fmt.Errorf("rlwe: LWE modulus %d, want %d", ct.Q, q)
+	}
+	if ct.B >= q {
+		return fmt.Errorf("rlwe: LWE body %d out of range for modulus %d", ct.B, q)
+	}
+	for i, a := range ct.A {
+		if a >= q {
+			return fmt.Errorf("rlwe: LWE component %d = %d out of range for modulus %d", i, a, q)
+		}
+	}
+	return nil
+}
+
 func boolU64(b bool) uint64 {
 	if b {
 		return 1
