@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz fmt
+.PHONY: build test check vet race fuzz fmt bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The merge gate: everything must build, vet clean, and pass under the race
-# detector (the cluster chaos tests are the main concurrency exercise).
-check: build vet race
+# Allocation smoke: a short -benchmem pass over the hot kernels. The hard
+# 0 allocs/op locks live in the AllocsPerRun tests (TestExternalProductInto
+# ZeroAllocs, TestBlindRotateIntoZeroAllocs, TestNTTZeroAllocs); this tier
+# surfaces ns/op and B/op drift on the same kernels so allocation or
+# throughput regressions fail fast in review.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkKernel' -benchmem -benchtime=1x .
+	$(GO) test -run='TestExternalProductIntoZeroAllocs' ./internal/rlwe/
+	$(GO) test -run='TestBlindRotateIntoZeroAllocs' ./internal/tfhe/
+	$(GO) test -run='TestNTTZeroAllocs' ./internal/ring/
+
+# The merge gate: everything must build, vet clean, pass under the race
+# detector (the cluster chaos tests plus the concurrent-automorphism and
+# shared-key-switcher tests are the concurrency exercise), and keep the hot
+# kernels allocation-free.
+check: build vet race bench-smoke
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.

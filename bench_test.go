@@ -355,3 +355,75 @@ func BenchmarkAblationBRScheduling(b *testing.B) {
 		})
 	}
 }
+
+// --- hot-kernel benchmarks (the zero-allocation steady-state datapath) ---
+//
+// These run the scratch-arena variants of the BlindRotate kernels at the
+// paper's §III-C parameter set and report allocations, so `make bench-smoke`
+// catches both throughput and allocation drift. The hard 0 allocs/op locks
+// live in the AllocsPerRun tests next to each kernel.
+
+var kernelOnce sync.Once
+var kernelCtx struct {
+	ks   *rlwe.KeySwitcher
+	ev   *tfhe.Evaluator
+	ct   *rlwe.Ciphertext
+	rgsw *rlwe.RGSWCiphertext
+	lut  *tfhe.LookupTable
+	brk  *tfhe.BlindRotateKey
+	lwe  *rlwe.LWECiphertext
+}
+
+func kernelOps(b *testing.B) {
+	paperOps(b)
+	kernelOnce.Do(func() {
+		params := paperCtx.params
+		kg := rlwe.NewKeyGenerator(params.Parameters, 3)
+		rsk := kg.GenSecretKey(rlwe.SecretTernary)
+		lweSK := kg.GenLWESecretKey(8, rlwe.SecretBinary)
+		kernelCtx.ks = rlwe.NewKeySwitcher(params.Parameters)
+		kernelCtx.ev = tfhe.NewEvaluator(params.Parameters, kernelCtx.ks)
+		kernelCtx.rgsw = kg.GenRGSWConstant(1, rsk)
+		kernelCtx.brk = tfhe.GenBlindRotateKey(kg, lweSK, rsk)
+		kernelCtx.lut = tfhe.NewLUTFromBig(params.Parameters, params.MaxLevel(), func(u int) *big.Int {
+			return big.NewInt(int64(u))
+		})
+		enc := rlwe.NewEncryptor(params.Parameters, rsk, 5)
+		kernelCtx.ct = enc.EncryptZeroAtLevel(params.MaxLevel())
+		s := ring.NewSampler(4)
+		lwe := &rlwe.LWECiphertext{A: make([]uint64, 8), B: 3, Q: uint64(2 * params.N())}
+		for i := range lwe.A {
+			lwe.A[i] = s.UniformMod(lwe.Q)
+		}
+		kernelCtx.lwe = lwe
+	})
+}
+
+// BenchmarkKernelExternalProduct times one steady-state external product —
+// the §IV-E MAC kernel — through the scratch arena.
+func BenchmarkKernelExternalProduct(b *testing.B) {
+	kernelOps(b)
+	sc := kernelCtx.ks.NewScratch()
+	out := rlwe.NewCiphertext(paperCtx.params.Parameters, kernelCtx.ct.Level())
+	kernelCtx.ks.ExternalProductInto(out, kernelCtx.ct, kernelCtx.rgsw, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernelCtx.ks.ExternalProductInto(out, kernelCtx.ct, kernelCtx.rgsw, sc)
+	}
+}
+
+// BenchmarkKernelBlindRotate times one steady-state blind rotation (n_t=8
+// iterations; the per-iteration cost scales linearly to the paper's n_t)
+// with a reused accumulator and a per-worker scratch arena.
+func BenchmarkKernelBlindRotate(b *testing.B) {
+	kernelOps(b)
+	sc := kernelCtx.ev.NewScratch()
+	acc := rlwe.NewCiphertext(paperCtx.params.Parameters, kernelCtx.lut.Level)
+	kernelCtx.ev.BlindRotateInto(acc, kernelCtx.lwe, kernelCtx.lut, kernelCtx.brk, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernelCtx.ev.BlindRotateInto(acc, kernelCtx.lwe, kernelCtx.lut, kernelCtx.brk, sc)
+	}
+}

@@ -7,6 +7,10 @@
 //	heapbench -keys      # §III-C key-traffic accounting
 //	heapbench -sweep     # FPGA-count scaling sweep for the bootstrap
 //	heapbench -cluster   # fault-tolerant distributed bootstrap demo
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of whichever
+// mode runs — the intended use is profiling the blind-rotation hot path via
+// -cluster (e.g. heapbench -cluster -cpuprofile cpu.out -memprofile mem.out).
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"heap"
@@ -29,7 +35,37 @@ func main() {
 	area := flag.Bool("area", false, "print the §VI-B area/power comparison")
 	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the selected mode to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	switch {
 	case *chaos:

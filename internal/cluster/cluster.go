@@ -34,6 +34,7 @@ import (
 
 	"heap/internal/core"
 	"heap/internal/rlwe"
+	"heap/internal/tfhe"
 )
 
 // Secondary serves blind-rotation work over a connection. It owns a full
@@ -97,6 +98,11 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 		return fail(fmt.Errorf("cluster: expected hello, got frame kind %#x", f.Kind))
 	}
 
+	// Lazily built on the first batch and reused for the connection's life.
+	var (
+		acc *rlwe.Ciphertext
+		sc  *tfhe.Scratch
+	)
 	for {
 		f, err := readFrame(conn, maxPayload)
 		if err != nil {
@@ -117,8 +123,14 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 				return fail(err)
 			}
 			for j, lwe := range lwes {
-				acc, err := safeRotate(s.Boot, lwe)
-				if err != nil {
+				// The accumulator is serialized before the next rotation, so
+				// one ciphertext and one scratch arena serve the whole
+				// connection — the secondary's steady state allocates only
+				// frames.
+				if acc == nil {
+					acc, sc = s.Boot.NewAccumulator(), s.Boot.NewRotateScratch()
+				}
+				if err := safeRotateInto(s.Boot, acc, lwe, sc); err != nil {
 					return fail(fmt.Errorf("cluster: blind rotation of index %d: %w", idxs[j], err))
 				}
 				payload, err := encodeAcc(idxs[j], acc)
@@ -401,6 +413,9 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
 	q *workQueue, stats *Stats, mu *sync.Mutex) error {
 
+	// The retained accumulators must be fresh per index, but the kernel
+	// scratch is this worker's alone and lives for the whole drain.
+	sc := p.Boot.NewRotateScratch()
 	for {
 		task := q.pop()
 		if task == nil {
@@ -410,8 +425,8 @@ func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext
 			if q.isAborted() {
 				return nil
 			}
-			acc, err := safeRotate(p.Boot, prep.LWEs[idx])
-			if err != nil {
+			acc := p.Boot.NewAccumulator()
+			if err := safeRotateInto(p.Boot, acc, prep.LWEs[idx], sc); err != nil {
 				q.abort()
 				return fmt.Errorf("cluster: local blind rotation of index %d: %w", idx, err)
 			}
@@ -556,15 +571,17 @@ func (p *Primary) finish(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext) 
 	return p.Boot.Finish(prep, accs), nil
 }
 
-// safeRotate runs BlindRotateOne with panic recovery, so one malformed LWE
-// ciphertext cannot take down a node.
-func safeRotate(bt *core.Bootstrapper, lwe *rlwe.LWECiphertext) (acc *rlwe.Ciphertext, err error) {
+// safeRotateInto runs BlindRotateOneInto with panic recovery, so one
+// malformed LWE ciphertext cannot take down a node. The caller owns out and
+// sc; on error out's contents are unspecified.
+func safeRotateInto(bt *core.Bootstrapper, out *rlwe.Ciphertext, lwe *rlwe.LWECiphertext, sc *tfhe.Scratch) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return bt.BlindRotateOne(lwe), nil
+	bt.BlindRotateOneInto(out, lwe, sc)
+	return nil
 }
 
 // pendingOf returns the indices of task whose accumulators are still

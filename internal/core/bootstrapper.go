@@ -89,6 +89,13 @@ func NewBootstrapper(params *ckks.Parameters, kg *rlwe.KeyGenerator, sk *rlwe.Se
 	if cfg.NT >= n/2 {
 		return nil, fmt.Errorf("core: n_t=%d must stay well below N/2 to bound the wrap-around value", cfg.NT)
 	}
+	// modSwitchExact computes 2N·(x mod q0) and recenters it through int64:
+	// 2N·q0 must stay below 2^63 or the floor division silently corrupts
+	// every extracted coefficient. Reject such parameter sets up front.
+	if params.Q[0] > math.MaxInt64/twoN {
+		return nil, fmt.Errorf("core: 2N·q0 = %d·%d overflows int64; pick a smaller q0 or ring degree",
+			twoN, params.Q[0])
+	}
 
 	bt := &Bootstrapper{Params: params, Cfg: cfg}
 	bt.ks = rlwe.NewKeySwitcher(params.Parameters)
@@ -149,7 +156,7 @@ func (bt *Bootstrapper) modSwitchExact(c0, c1 []uint64) msResult {
 		rC0: make([]int64, n), rC1: make([]int64, n),
 	}
 	split := func(x uint64) (alpha uint64, r int64) {
-		y := twoN * (x % q0) // ≤ 2N·q0 < 2^63 for the supported parameters
+		y := twoN * (x % q0) // ≤ 2N·q0 < 2^63, validated by NewBootstrapper
 		alpha = (y + q0/2) / q0
 		r = int64(y) - int64(alpha*q0)
 		return alpha % twoN, r
@@ -226,6 +233,26 @@ func (bt *Bootstrapper) BlindRotateOne(lwe *rlwe.LWECiphertext) *rlwe.Ciphertext
 	return bt.tfheEv.BlindRotate(lwe, bt.lut, bt.brk)
 }
 
+// NewRotateScratch allocates a per-worker blind-rotation scratch arena.
+// A worker loop that holds one and calls BlindRotateOneInto runs the whole
+// rotate→decompose→NTT→MAC kernel without allocating.
+func (bt *Bootstrapper) NewRotateScratch() *tfhe.Scratch {
+	return bt.tfheEv.NewScratch()
+}
+
+// NewAccumulator allocates an RLWE ciphertext at the accumulator level, for
+// use as the out parameter of BlindRotateOneInto.
+func (bt *Bootstrapper) NewAccumulator() *rlwe.Ciphertext {
+	return rlwe.NewCiphertext(bt.Params.Parameters, bt.lut.Level)
+}
+
+// BlindRotateOneInto is BlindRotateOne writing into a caller-owned
+// accumulator with a per-worker scratch arena; allocation-free in steady
+// state.
+func (bt *Bootstrapper) BlindRotateOneInto(out *rlwe.Ciphertext, lwe *rlwe.LWECiphertext, sc *tfhe.Scratch) {
+	bt.tfheEv.BlindRotateInto(out, lwe, bt.lut, bt.brk, sc)
+}
+
 // Missing returns the LWE indices whose accumulators have not been computed
 // yet (nil entries of accs). A prepared bootstrap is resumable: the blind
 // rotations are mutually independent, so after a partial distributed run —
@@ -270,8 +297,14 @@ func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ci
 		wg.Add(1)
 		go func(idxs []int) {
 			defer wg.Done()
+			// One scratch arena per worker: only the retained accumulators
+			// are allocated; every kernel intermediate is reused across the
+			// worker's whole shard.
+			sc := bt.NewRotateScratch()
 			for _, i := range idxs {
-				accs[i] = bt.BlindRotateOne(prep.LWEs[i])
+				acc := bt.NewAccumulator()
+				bt.BlindRotateOneInto(acc, prep.LWEs[i], sc)
+				accs[i] = acc
 			}
 		}(missing[lo:hi])
 	}

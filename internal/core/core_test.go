@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/cmplx"
+	"sync"
 	"testing"
 
 	"heap/internal/ckks"
@@ -253,6 +254,58 @@ func TestConfigValidation(t *testing.T) {
 	bad.Workers = 0
 	if _, err := NewBootstrapper(params, kg, sk, bad); err == nil {
 		t.Error("expected error for zero workers")
+	}
+}
+
+// TestModSwitchOverflowRejected: modSwitchExact computes 2N·(x mod q0)
+// through int64 and silently corrupts every coefficient when 2N·q0 ≥ 2^63.
+// Such parameter sets must be rejected at construction, not at bootstrap.
+func TestModSwitchOverflowRejected(t *testing.T) {
+	logN := 8 // 2N = 2^9, so any q0 ≥ 2^54 overflows 2N·q0 past 2^63
+	q := ring.GenerateNTTPrimes(56, logN, 2)
+	p := ring.GenerateNTTPrimesUp(57, logN, 2)
+	params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<40), 1<<(logN-1))
+	kg := rlwe.NewKeyGenerator(params.Parameters, 62)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+
+	cfg := DefaultConfig()
+	cfg.NT = 24
+	if _, err := NewBootstrapper(params, kg, sk, cfg); err == nil {
+		t.Fatal("expected error for 2N·q0 ≥ 2^63, got nil")
+	}
+}
+
+// TestCompleteMissingConcurrentSharedKeySwitcher runs the blind-rotation
+// fan-out with Workers > 1 against one shared KeySwitcher — end to end
+// through Finish — twice concurrently. Under -race this exercises the
+// per-worker scratch arenas and the permCache lock; the results must also
+// stay deterministic and identical across the concurrent runs.
+func TestCompleteMissingConcurrentSharedKeySwitcher(t *testing.T) {
+	params, cl, _, bt := testSetup(t, 8)
+	v := testVector(params.Slots)
+	ct := cl.EncryptAtLevel(v, 1)
+	prep := bt.PrepareSparse(ct, 16)
+
+	outs := make([]*rlwe.Ciphertext, 2)
+	var wg sync.WaitGroup
+	for k := range outs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			accs := make([]*rlwe.Ciphertext, len(prep.LWEs))
+			bt.CompleteMissing(prep, accs)
+			outs[k] = bt.Finish(prep, accs)
+		}(k)
+	}
+	wg.Wait()
+
+	for i := range outs[0].C0.Limbs {
+		for j := range outs[0].C0.Limbs[i] {
+			if outs[0].C0.Limbs[i][j] != outs[1].C0.Limbs[i][j] ||
+				outs[0].C1.Limbs[i][j] != outs[1].C1.Limbs[i][j] {
+				t.Fatalf("concurrent bootstraps diverged at limb %d coeff %d", i, j)
+			}
+		}
 	}
 }
 

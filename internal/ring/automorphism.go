@@ -70,6 +70,16 @@ func (r *Ring) GaloisElementConjugate() uint64 { return uint64(2*r.N) - 1 }
 // §IV-A: coefficients shift by k positions and flip sign when wrapping,
 // since X^N = -1.
 func (r *Ring) MulByMonomial(p Poly, k int, out Poly) {
+	tmp := make(Poly, r.N)
+	r.MulByMonomialInto(p, k, tmp)
+	copy(out, tmp)
+}
+
+// MulByMonomialInto is MulByMonomial writing directly into out, which must
+// not alias p. Every output position is written exactly once, so no
+// temporary is needed — this is the allocation-free rotation of the
+// BlindRotate hot path.
+func (r *Ring) MulByMonomialInto(p Poly, k int, out Poly) {
 	n := r.N
 	k = ((k % (2 * n)) + 2*n) % (2 * n)
 	q := r.Mod.Q
@@ -78,7 +88,6 @@ func (r *Ring) MulByMonomial(p Poly, k int, out Poly) {
 		k -= n
 		neg = true
 	}
-	tmp := make(Poly, n)
 	for i := 0; i < n; i++ {
 		v := p[i]
 		flip := neg
@@ -90,7 +99,6 @@ func (r *Ring) MulByMonomial(p Poly, k int, out Poly) {
 		if flip && v != 0 {
 			v = q - v
 		}
-		tmp[j] = v
+		out[j] = v
 	}
-	copy(out, tmp)
 }

@@ -151,14 +151,23 @@ func (m Modulus) MulModMontgomery(a, b uint64) uint64 {
 }
 
 // ShoupPrecomp returns floor(w·2^64 / q), the Shoup constant for repeated
-// multiplication by the fixed operand w (used for NTT twiddles).
+// multiplication by the fixed operand w (used for NTT twiddles). The operand
+// is reduced modulo q first: bits.Div64 panics when its high word reaches the
+// divisor, so w ≥ q would otherwise crash — and MulModShoup requires the
+// reduced operand anyway (its quotient estimate is off for w ≥ q).
 func (m Modulus) ShoupPrecomp(w uint64) uint64 {
+	if w >= m.Q {
+		w %= m.Q
+	}
 	hi, _ := bits.Div64(w, 0, m.Q)
 	return hi
 }
 
-// MulModShoup returns a·w mod q given wShoup = ShoupPrecomp(w).
-// This is the fixed-operand fast path used inside the NTT butterflies.
+// MulModShoup returns a·w mod q given wShoup = ShoupPrecomp(w). It requires
+// w < q (callers with a possibly unreduced operand must reduce it with the
+// same Reduce that ShoupPrecomp applies internally, or the quotient estimate
+// no longer matches). This is the fixed-operand fast path used inside the
+// NTT butterflies.
 func (m Modulus) MulModShoup(a, w, wShoup uint64) uint64 {
 	qest, _ := bits.Mul64(a, wShoup)
 	r := a*w - qest*m.Q

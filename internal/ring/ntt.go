@@ -1,18 +1,27 @@
 package ring
 
+import "math/bits"
+
 // NTT transforms p in place from coefficient to evaluation (NTT)
 // representation using the negacyclic Cooley-Tukey decimation-in-time pass
 // with precomputed, bit-reversed twiddle tables and Shoup fixed-operand
 // multiplication — the "read twiddles from memory" mode of the paper's NTT
 // datapath (§IV-D).
+//
+// The butterflies use Harvey's lazy reduction: coefficients ride in [0, 4q)
+// through the passes (q < 2^61, so 4q fits a word) and are canonically
+// reduced only in a final sweep. The output is bit-identical to an eagerly
+// reduced transform — the lazy interval only changes intermediate
+// representatives, never the residue.
 func (r *Ring) NTT(p Poly) {
 	r.nttWithTables(p, r.psiTable, r.psiTableShoup)
 }
 
 func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
-	mod := r.Mod
-	q := mod.Q
+	q := r.Mod.Q
+	twoQ := 2 * q
 	n := r.N
+	p = p[:n]
 	t := n
 	for m := 1; m < n; m <<= 1 {
 		t >>= 1
@@ -20,32 +29,45 @@ func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
 			w := psi[m+i]
 			wS := psiShoup[m+i]
 			j1 := 2 * i * t
-			j2 := j1 + t
-			for j := j1; j < j2; j++ {
-				u := p[j]
-				v := mod.MulModShoup(p[j+t], w, wS)
-				c := u + v
-				if c >= q {
-					c -= q
+			a := p[j1 : j1+t]
+			b := p[j1+t : j1+2*t]
+			b = b[:len(a)] // bounds-check elimination for b[j]
+			for j := range a {
+				// u ∈ [0, 4q) → [0, 2q); v ← lazy Shoup ∈ [0, 2q).
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
 				}
-				p[j] = c
-				c = u - v
-				if c > u {
-					c += q
-				}
-				p[j+t] = c
+				v := b[j]
+				hi, _ := bits.Mul64(v, wS)
+				v = v*w - hi*q
+				a[j] = u + v        // < 4q
+				b[j] = u + twoQ - v // < 4q
 			}
 		}
+	}
+	for i := range p {
+		c := p[i]
+		if c >= twoQ {
+			c -= twoQ
+		}
+		if c >= q {
+			c -= q
+		}
+		p[i] = c
 	}
 }
 
 // INTT transforms p in place from evaluation back to coefficient
-// representation (Gentleman-Sande decimation-in-frequency pass), including
-// the final multiplication by N^{-1}.
+// representation (Gentleman-Sande decimation-in-frequency pass with the same
+// lazy-reduction discipline as NTT, coefficients in [0, 2q) between passes),
+// including the final multiplication by N^{-1} which also performs the
+// canonical reduction.
 func (r *Ring) INTT(p Poly) {
-	mod := r.Mod
-	q := mod.Q
+	q := r.Mod.Q
+	twoQ := 2 * q
 	n := r.N
+	p = p[:n]
 	t := 1
 	for m := n; m > 1; m >>= 1 {
 		h := m >> 1
@@ -53,27 +75,34 @@ func (r *Ring) INTT(p Poly) {
 		for i := 0; i < h; i++ {
 			w := r.psiInvTable[h+i]
 			wS := r.psiInvTableShoup[h+i]
-			j2 := j1 + t
-			for j := j1; j < j2; j++ {
-				u := p[j]
-				v := p[j+t]
-				c := u + v
-				if c >= q {
-					c -= q
+			a := p[j1 : j1+t]
+			b := p[j1+t : j1+2*t]
+			b = b[:len(a)]
+			for j := range a {
+				u := a[j]
+				v := b[j]
+				c := u + v // < 4q
+				if c >= twoQ {
+					c -= twoQ
 				}
-				p[j] = c
-				c = u - v
-				if c > u {
-					c += q
-				}
-				p[j+t] = mod.MulModShoup(c, w, wS)
+				a[j] = c
+				d := u + twoQ - v // < 4q
+				hi, _ := bits.Mul64(d, wS)
+				b[j] = d*w - hi*q // lazy Shoup ∈ [0, 2q)
 			}
 			j1 += 2 * t
 		}
 		t <<= 1
 	}
+	nInv, nInvS := r.nInv, r.nInvShoup
 	for i := range p {
-		p[i] = mod.MulModShoup(p[i], r.nInv, r.nInvShoup)
+		x := p[i]
+		hi, _ := bits.Mul64(x, nInvS)
+		x = x*nInv - hi*q
+		if x >= q {
+			x -= q
+		}
+		p[i] = x
 	}
 }
 
@@ -84,10 +113,32 @@ func (r *Ring) INTT(p Poly) {
 // twiddles are derived per call into scratch storage, trading multiplications
 // for table reads. Exposed so the design choice can be benchmarked.
 func (r *Ring) NTTOnTheFly(p Poly) {
+	r.NTTOnTheFlyWith(p, NewTwiddleScratch(r.N))
+}
+
+// TwiddleScratch holds the per-call twiddle buffers of the on-the-fly NTT
+// mode, so a worker that keeps one around pays no allocation per transform —
+// the software analog of the datapath reusing one on-chip twiddle buffer.
+type TwiddleScratch struct {
+	psi, psiShoup []uint64
+}
+
+// NewTwiddleScratch allocates twiddle buffers for ring degree n.
+func NewTwiddleScratch(n int) *TwiddleScratch {
+	return &TwiddleScratch{psi: make([]uint64, n), psiShoup: make([]uint64, n)}
+}
+
+// NTTOnTheFlyWith is NTTOnTheFly with caller-owned twiddle scratch; it is
+// allocation-free when sc is large enough for the ring degree.
+func (r *Ring) NTTOnTheFlyWith(p Poly, sc *TwiddleScratch) {
 	n := r.N
-	psi := make([]uint64, n)
+	if len(sc.psi) < n {
+		sc.psi = make([]uint64, n)
+		sc.psiShoup = make([]uint64, n)
+	}
+	psi := sc.psi[:n]
+	psiShoup := sc.psiShoup[:n]
 	fillTwiddles(r.Mod, r.psi, r.LogN, psi)
-	psiShoup := make([]uint64, n)
 	for i := range psi {
 		psiShoup[i] = r.Mod.ShoupPrecomp(psi[i])
 	}

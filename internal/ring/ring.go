@@ -1,5 +1,7 @@
 package ring
 
+import "math/bits"
+
 // Poly is a dense degree-(N-1) polynomial over Z_q, stored as N coefficients.
 // Whether a Poly is in coefficient or NTT (evaluation) representation is
 // tracked by its owner; the ring operations themselves are representation
@@ -137,8 +139,32 @@ func (r *Ring) MulCoeffs(a, b, out Poly) {
 // MulCoeffsAndAdd sets out += a ⊙ b, the fused multiply-accumulate that the
 // paper's external-product MAC units implement (§IV-A).
 func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
+	// Open-coded Barrett MAC: this is the inner loop of the key-switch digit
+	// accumulation, so the modulus constants are hoisted and the operand
+	// slices pinned to len(out) for bounds-check elimination. The arithmetic
+	// is exactly Modulus.MulModBarrett + AddMod.
+	q := r.Mod.Q
+	bredHi, bredLo := r.Mod.BRedHi, r.Mod.BRedLo
+	a = a[:len(out)]
+	b = b[:len(out)]
 	for i := range out {
-		out[i] = r.Mod.AddMod(out[i], r.Mod.MulMod(a[i], b[i]))
+		hi, lo := bits.Mul64(a[i], b[i])
+		ahiuhi := hi * bredHi
+		h1, l1 := bits.Mul64(hi, bredLo)
+		h2, l2 := bits.Mul64(lo, bredHi)
+		h3, _ := bits.Mul64(lo, bredLo)
+		mid, carry1 := bits.Add64(l1, l2, 0)
+		_, carry2 := bits.Add64(mid, h3, 0)
+		qest := ahiuhi + h1 + h2 + carry1 + carry2
+		p := lo - qest*q
+		for p >= q {
+			p -= q
+		}
+		s := out[i] + p
+		if s >= q {
+			s -= q
+		}
+		out[i] = s
 	}
 }
 

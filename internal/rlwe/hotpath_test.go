@@ -1,0 +1,152 @@
+package rlwe
+
+import (
+	"sync"
+	"testing"
+)
+
+// hotpathFixture builds a key switcher plus the ciphertext/RGSW operands of
+// an external product at the full level.
+func hotpathFixture(t *testing.T) (*Parameters, *KeySwitcher, *Ciphertext, *RGSWCiphertext) {
+	t.Helper()
+	p := testParams(t, 5)
+	kg := NewKeyGenerator(p, 7)
+	sk := kg.GenSecretKey(SecretTernary)
+	enc := NewEncryptor(p, sk, 8)
+	rgsw := kg.GenRGSWConstant(1, sk)
+
+	msg := make([]int64, p.N())
+	for i := range msg {
+		msg[i] = int64(i%17) - 8
+	}
+	level := p.MaxLevel()
+	ct := enc.EncryptPolyAtLevel(encodeSigned(p, msg, level), level, 1)
+	return p, NewKeySwitcher(p), ct, rgsw
+}
+
+// TestExternalProductIntoMatchesAllocating locks in bit-identical outputs
+// between the allocating convenience API and the scratch-arena hot path,
+// including on scratch reuse (a stale buffer that leaked state across calls
+// would show up on the second Into call).
+func TestExternalProductIntoMatchesAllocating(t *testing.T) {
+	p, ks, ct, rgsw := hotpathFixture(t)
+	want := ks.ExternalProduct(ct, rgsw)
+
+	sc := ks.NewScratch()
+	got := NewCiphertext(p, ct.Level())
+	for rep := 0; rep < 2; rep++ {
+		ks.ExternalProductInto(got, ct, rgsw, sc)
+		if !p.QBasis.Equal(want.C0, got.C0) || !p.QBasis.Equal(want.C1, got.C1) {
+			t.Fatalf("rep %d: ExternalProductInto differs from ExternalProduct", rep)
+		}
+		if got.IsNTT != want.IsNTT || got.Scale != want.Scale {
+			t.Fatalf("rep %d: metadata mismatch", rep)
+		}
+	}
+}
+
+// TestSwitchPolyIntoMatchesSwitchPoly does the same for the CKKS-side kernel.
+func TestSwitchPolyIntoMatchesSwitchPoly(t *testing.T) {
+	p := testParams(t, 5)
+	kg := NewKeyGenerator(p, 9)
+	sk := kg.GenSecretKey(SecretTernary)
+	rlk := kg.GenRelinearizationKey(sk)
+	ks := NewKeySwitcher(p)
+
+	msg := make([]int64, p.N())
+	for i := range msg {
+		msg[i] = int64(i%23) - 11
+	}
+	c := encodeSigned(p, msg, p.MaxLevel())
+	wd0, wd1 := ks.SwitchPoly(c, rlk)
+
+	b := p.QBasis.AtLevel(c.Level())
+	d0, d1 := b.NewPoly(), b.NewPoly()
+	sc := ks.NewScratch()
+	for rep := 0; rep < 2; rep++ {
+		ks.SwitchPolyInto(c, rlk, d0, d1, sc)
+		if !p.QBasis.Equal(wd0, d0) || !p.QBasis.Equal(wd1, d1) {
+			t.Fatalf("rep %d: SwitchPolyInto differs from SwitchPoly", rep)
+		}
+	}
+}
+
+// TestExternalProductIntoZeroAllocs is the allocation-regression lock for
+// the BlindRotate hot kernel: once the scratch arena is warm, an external
+// product must not touch the heap at all.
+func TestExternalProductIntoZeroAllocs(t *testing.T) {
+	p, ks, ct, rgsw := hotpathFixture(t)
+	sc := ks.NewScratch()
+	out := NewCiphertext(p, ct.Level())
+	ks.ExternalProductInto(out, ct, rgsw, sc) // warm the arena
+
+	if avg := testing.AllocsPerRun(10, func() {
+		ks.ExternalProductInto(out, ct, rgsw, sc)
+	}); avg != 0 {
+		t.Fatalf("ExternalProductInto allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestConcurrentAutomorphismsColdCache drives Automorphism from many
+// goroutines against a cold permutation cache — the exact lazy-fill pattern
+// pack.go and the CKKS evaluator trigger. Before EnsurePerm was guarded,
+// this was a concurrent map write crash under -race (and in production).
+func TestConcurrentAutomorphismsColdCache(t *testing.T) {
+	p := testParams(t, 5)
+	kg := NewKeyGenerator(p, 11)
+	sk := kg.GenSecretKey(SecretTernary)
+	enc := NewEncryptor(p, sk, 12)
+
+	gs := []uint64{3, 5, 9, 17, 33}
+	keys := make(map[uint64]*GadgetCiphertext, len(gs))
+	for _, g := range gs {
+		keys[g] = kg.GenGaloisKey(g, sk)
+	}
+	msg := make([]int64, p.N())
+	for i := range msg {
+		msg[i] = int64(i % 7)
+	}
+	ct := enc.EncryptPolyAtLevel(encodeSigned(p, msg, p.MaxLevel()), p.MaxLevel(), 1)
+
+	ks := NewKeySwitcher(p) // cold permCache
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				for _, g := range gs {
+					_ = ks.Automorphism(ct, g, keys[g])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The cache must now serve every element without recomputation.
+	for _, g := range gs {
+		if got := ks.EnsurePerm(g); len(got) != p.N() {
+			t.Fatalf("perm for g=%d has length %d, want %d", g, len(got), p.N())
+		}
+	}
+}
+
+// TestShoupPrecompViaMulScalar exercises the ring hot-path contract from
+// the consumer side: a scalar ≥ q must round-trip through the internal
+// reduce + precompute without panicking.
+func TestShoupPrecompViaMulScalar(t *testing.T) {
+	p := testParams(t, 4)
+	r := p.QBasis.Rings[0]
+	q := r.Mod.Q
+	a := r.NewPoly()
+	for i := range a {
+		a[i] = uint64(i) % q
+	}
+	out := r.NewPoly()
+	r.MulScalar(a, q+3, out) // would panic in bits.Div64 before the fix
+	want := r.NewPoly()
+	r.MulScalar(a, 3, want)
+	if !r.Equal(out, want) {
+		t.Fatal("MulScalar with unreduced scalar disagrees with reduced scalar")
+	}
+}

@@ -1,14 +1,18 @@
 package rlwe
 
 import (
+	"sync"
+
 	"heap/internal/ring"
 	"heap/internal/rns"
 )
 
 // KeySwitcher implements the gadget-decomposition + MAC + ModDown kernel
 // shared by CKKS KeySwitch and the TFHE ExternalProduct. It is safe for
-// concurrent use after construction (all state is read-only precomputation;
-// scratch space is allocated per call).
+// concurrent use after construction: all precomputation is read-only, the
+// permutation cache is lock-guarded, and per-call scratch comes from either
+// a caller-owned Scratch arena (the allocation-free hot path) or an internal
+// pool (the convenience API).
 type KeySwitcher struct {
 	params *Parameters
 	// extenders[(start<<16)|end] extends the digit window Q[start:end]
@@ -16,8 +20,12 @@ type KeySwitcher struct {
 	extenders map[int]*rns.Extender
 	modDown   *rns.ModDown
 	// permCache caches NTT-domain automorphism permutations per Galois
-	// element (read-only after first use; built eagerly via EnsurePerm).
+	// element. permMu guards it: Automorphism fills it lazily, so concurrent
+	// rotations with a cold cache would otherwise race on the map.
+	permMu    sync.RWMutex
 	permCache map[uint64][]uint64
+
+	scratchPool sync.Pool
 }
 
 // NewKeySwitcher precomputes all basis-conversion tables for the parameter
@@ -42,16 +50,26 @@ func NewKeySwitcher(params *Parameters) *KeySwitcher {
 			ks.extenders[start<<16|end] = rns.NewExtender(src, params.QPBasis)
 		}
 	}
+	ks.scratchPool.New = func() any { return ks.NewScratch() }
 	return ks
 }
 
 // EnsurePerm precomputes and caches the NTT-domain permutation for Galois
-// element g. Call once per Galois element before concurrent use.
+// element g. Safe for concurrent use (double-checked under an RWMutex), so
+// lazy callers like Automorphism may hit a cold cache from many goroutines.
 func (ks *KeySwitcher) EnsurePerm(g uint64) []uint64 {
+	ks.permMu.RLock()
+	p, ok := ks.permCache[g]
+	ks.permMu.RUnlock()
+	if ok {
+		return p
+	}
+	ks.permMu.Lock()
+	defer ks.permMu.Unlock()
 	if p, ok := ks.permCache[g]; ok {
 		return p
 	}
-	p := ks.params.QBasis.Rings[0].AutomorphismNTTIndex(g)
+	p = ks.params.QBasis.Rings[0].AutomorphismNTTIndex(g)
 	ks.permCache[g] = p
 	return p
 }
@@ -63,17 +81,59 @@ type qpAccumulator struct {
 	p rns.Poly
 }
 
-func (ks *KeySwitcher) newAccumulator(level int) qpAccumulator {
-	return qpAccumulator{
-		q: ks.params.QBasis.AtLevel(level).NewPoly(),
-		p: ks.params.PBasis.NewPoly(),
+// atLevel returns a view of the accumulator truncated to level Q limbs.
+func (a qpAccumulator) atLevel(level int) qpAccumulator {
+	return qpAccumulator{q: a.q.AtLevel(level), p: a.p}
+}
+
+// Scratch is a per-worker arena holding every intermediate of the
+// key-switch/external-product kernel: accumulators, the digit buffer, the
+// combined limb table and destination indices of the gadget decomposition,
+// INTT copies of the input, and the basis-conversion/ModDown scratch. It is
+// the software analog of the paper's §VI-B plan of keeping all BlindRotate
+// operands resident in on-chip URAM/BRAM: one arena per worker, reused for
+// every external product, so the steady-state datapath never allocates.
+// A Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	accB, accA qpAccumulator
+	dig        qpAccumulator
+	combined   []ring.Poly
+	dstIdx     []int
+	c0, c1     rns.Poly
+	conv       *rns.ExtendScratch
+	md         *rns.ModDownScratch
+}
+
+// NewScratch allocates a scratch arena sized for this key switcher's
+// parameter set (all buffers at the maximum level; lower levels use views).
+func (ks *KeySwitcher) NewScratch() *Scratch {
+	p := ks.params
+	nP := len(p.P)
+	L := p.MaxLevel()
+	newAcc := func() qpAccumulator {
+		return qpAccumulator{q: p.QBasis.NewPoly(), p: p.PBasis.NewPoly()}
+	}
+	return &Scratch{
+		accB:     newAcc(),
+		accA:     newAcc(),
+		dig:      newAcc(),
+		combined: make([]ring.Poly, L+nP),
+		dstIdx:   make([]int, 0, L+nP),
+		c0:       p.QBasis.NewPoly(),
+		c1:       p.QBasis.NewPoly(),
+		conv:     rns.NewExtendScratch(p.Alpha(), p.N()),
+		md:       ks.modDown.NewScratch(),
 	}
 }
 
+func (ks *KeySwitcher) getScratch() *Scratch   { return ks.scratchPool.Get().(*Scratch) }
+func (ks *KeySwitcher) putScratch(sc *Scratch) { ks.scratchPool.Put(sc) }
+
 // decomposeDigit extracts gadget digit j of cCoeff (coefficient
 // representation, level limbs) and extends it over the level Q limbs plus
-// all P limbs, returning the result in NTT representation.
-func (ks *KeySwitcher) decomposeDigit(j, level int, cCoeff rns.Poly) qpAccumulator {
+// all P limbs, writing the result into dig in NTT representation. dig must
+// be a level view; every limb is fully overwritten.
+func (ks *KeySwitcher) decomposeDigit(j, level int, cCoeff rns.Poly, dig qpAccumulator, sc *Scratch) {
 	p := ks.params
 	alpha := p.Alpha()
 	start := j * alpha
@@ -85,28 +145,23 @@ func (ks *KeySwitcher) decomposeDigit(j, level int, cCoeff rns.Poly) qpAccumulat
 
 	nP := len(p.P)
 	L := p.MaxLevel()
-	out := qpAccumulator{
-		q: p.QBasis.AtLevel(level).NewPoly(),
-		p: p.PBasis.NewPoly(),
-	}
-	combined := rns.Poly{Limbs: make([]ring.Poly, level+nP)}
-	copy(combined.Limbs, out.q.Limbs)
-	copy(combined.Limbs[level:], out.p.Limbs)
-	dstIdx := make([]int, 0, level+nP)
+	combined := rns.Poly{Limbs: sc.combined[:level+nP]}
+	copy(combined.Limbs, dig.q.Limbs)
+	copy(combined.Limbs[level:], dig.p.Limbs)
+	dstIdx := sc.dstIdx[:0]
 	for i := 0; i < level; i++ {
 		dstIdx = append(dstIdx, i)
 	}
 	for i := 0; i < nP; i++ {
 		dstIdx = append(dstIdx, L+i)
 	}
-	ks.extenders[start<<16|end].ExtendSelected(src, combined, dstIdx)
+	ks.extenders[start<<16|end].ExtendSelectedWith(src, combined, dstIdx, sc.conv)
 	for i := 0; i < level; i++ {
 		p.QBasis.Rings[i].NTT(combined.Limbs[i])
 	}
 	for i := 0; i < nP; i++ {
 		p.PBasis.Rings[i].NTT(combined.Limbs[level+i])
 	}
-	return out
 }
 
 // macRow accumulates acc += dig ⊙ row, where row is a full-QP polynomial and
@@ -128,25 +183,44 @@ func (ks *KeySwitcher) macRow(acc, dig qpAccumulator, row rns.Poly, level int) {
 // encrypting s_from under s_to, feeding c = c1 yields d0 + d1·s_to ≈ c1·s_from.
 func (ks *KeySwitcher) SwitchPoly(c rns.Poly, gct *GadgetCiphertext) (d0, d1 rns.Poly) {
 	level := c.Level()
-	cCoeff := c.Copy()
-	ks.params.QBasis.AtLevel(level).INTT(cCoeff)
-	return ks.switchPolyCoeff(cCoeff, gct)
+	b := ks.params.QBasis.AtLevel(level)
+	d0, d1 = b.NewPoly(), b.NewPoly()
+	sc := ks.getScratch()
+	ks.SwitchPolyInto(c, gct, d0, d1, sc)
+	ks.putScratch(sc)
+	return d0, d1
 }
 
-func (ks *KeySwitcher) switchPolyCoeff(cCoeff rns.Poly, gct *GadgetCiphertext) (d0, d1 rns.Poly) {
+// SwitchPolyInto is SwitchPoly writing into caller-owned d0, d1 (level
+// limbs each) using the scratch arena; steady-state it allocates nothing.
+func (ks *KeySwitcher) SwitchPolyInto(c rns.Poly, gct *GadgetCiphertext, d0, d1 rns.Poly, sc *Scratch) {
+	level := c.Level()
+	cCoeff := sc.c0.AtLevel(level)
+	for i := range cCoeff.Limbs {
+		copy(cCoeff.Limbs[i], c.Limbs[i])
+	}
+	ks.params.QBasis.AtLevel(level).INTT(cCoeff)
+	ks.switchPolyCoeff(cCoeff, gct, d0, d1, sc)
+}
+
+// switchPolyCoeff runs the decompose→MAC→ModDown pipeline on a
+// coefficient-representation input. cCoeff may alias sc.c0.
+func (ks *KeySwitcher) switchPolyCoeff(cCoeff rns.Poly, gct *GadgetCiphertext, d0, d1 rns.Poly, sc *Scratch) {
 	level := cCoeff.Level()
-	accB := ks.newAccumulator(level)
-	accA := ks.newAccumulator(level)
+	accB := sc.accB.atLevel(level)
+	accA := sc.accA.atLevel(level)
+	accB.q.Zero()
+	accB.p.Zero()
+	accA.q.Zero()
+	accA.p.Zero()
+	dig := sc.dig.atLevel(level)
 	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
-		dig := ks.decomposeDigit(j, level, cCoeff)
+		ks.decomposeDigit(j, level, cCoeff, dig, sc)
 		ks.macRow(accB, dig, gct.B[j], level)
 		ks.macRow(accA, dig, gct.A[j], level)
 	}
-	d0 = ks.params.QBasis.AtLevel(level).NewPoly()
-	d1 = ks.params.QBasis.AtLevel(level).NewPoly()
-	ks.modDown.Apply(accB.q, accB.p, d0)
-	ks.modDown.Apply(accA.q, accA.p, d1)
-	return d0, d1
+	ks.modDown.ApplyWith(accB.q, accB.p, d0, sc.md)
+	ks.modDown.ApplyWith(accA.q, accA.p, d1, sc.md)
 }
 
 // Relinearize reduces a degree-2 ciphertext (c0, c1, c2) to degree 1 using
@@ -179,27 +253,49 @@ func (ks *KeySwitcher) Automorphism(ct *Ciphertext, g uint64, gk *GadgetCipherte
 // components are gadget-decomposed and MACed against the RGSW rows — the
 // TFHE kernel at the heart of BlindRotate (§IV-E) — then ModDown'd back to Q.
 func (ks *KeySwitcher) ExternalProduct(ct *Ciphertext, rgsw *RGSWCiphertext) *Ciphertext {
+	out := NewCiphertext(ks.params, ct.Level())
+	sc := ks.getScratch()
+	ks.ExternalProductInto(out, ct, rgsw, sc)
+	ks.putScratch(sc)
+	return out
+}
+
+// ExternalProductInto is ExternalProduct writing into the caller-owned out
+// ciphertext (same level as ct, must not alias it) using the scratch arena.
+// This is the zero-allocation form the blind-rotation hot loop runs: all
+// digit decompositions, NTTs, and MAC accumulators live in sc, mirroring the
+// paper's on-chip operand residency for the rotate→decompose→NTT→MAC
+// schedule. The output is in NTT representation.
+func (ks *KeySwitcher) ExternalProductInto(out, ct *Ciphertext, rgsw *RGSWCiphertext, sc *Scratch) {
 	level := ct.Level()
 	b := ks.params.QBasis.AtLevel(level)
 
-	c0Coeff, c1Coeff := ct.C0.Copy(), ct.C1.Copy()
+	c0Coeff, c1Coeff := sc.c0.AtLevel(level), sc.c1.AtLevel(level)
+	for i := 0; i < level; i++ {
+		copy(c0Coeff.Limbs[i], ct.C0.Limbs[i])
+		copy(c1Coeff.Limbs[i], ct.C1.Limbs[i])
+	}
 	if ct.IsNTT {
 		b.INTT(c0Coeff)
 		b.INTT(c1Coeff)
 	}
-	accB := ks.newAccumulator(level)
-	accA := ks.newAccumulator(level)
+	accB := sc.accB.atLevel(level)
+	accA := sc.accA.atLevel(level)
+	accB.q.Zero()
+	accB.p.Zero()
+	accA.q.Zero()
+	accA.p.Zero()
+	dig := sc.dig.atLevel(level)
 	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
-		dig0 := ks.decomposeDigit(j, level, c0Coeff)
-		ks.macRow(accB, dig0, rgsw.C0.B[j], level)
-		ks.macRow(accA, dig0, rgsw.C0.A[j], level)
-		dig1 := ks.decomposeDigit(j, level, c1Coeff)
-		ks.macRow(accB, dig1, rgsw.C1.B[j], level)
-		ks.macRow(accA, dig1, rgsw.C1.A[j], level)
+		ks.decomposeDigit(j, level, c0Coeff, dig, sc)
+		ks.macRow(accB, dig, rgsw.C0.B[j], level)
+		ks.macRow(accA, dig, rgsw.C0.A[j], level)
+		ks.decomposeDigit(j, level, c1Coeff, dig, sc)
+		ks.macRow(accB, dig, rgsw.C1.B[j], level)
+		ks.macRow(accA, dig, rgsw.C1.A[j], level)
 	}
-	out := NewCiphertext(ks.params, level)
-	ks.modDown.Apply(accB.q, accB.p, out.C0)
-	ks.modDown.Apply(accA.q, accA.p, out.C1)
+	ks.modDown.ApplyWith(accB.q, accB.p, out.C0, sc.md)
+	ks.modDown.ApplyWith(accA.q, accA.p, out.C1, sc.md)
+	out.IsNTT = true
 	out.Scale = ct.Scale
-	return out
 }

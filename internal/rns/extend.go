@@ -2,6 +2,7 @@ package rns
 
 import (
 	"math/big"
+	"math/bits"
 
 	"heap/internal/ring"
 )
@@ -68,8 +69,15 @@ type Extender struct {
 
 	// Indexed [level-1][srcLimb]: ((Q_level/q_i)^{-1}) mod q_i.
 	qhatInvModQ [][]uint64
-	// Indexed [level-1][srcLimb][dstLimb]: (Q_level/q_i) mod p_j.
-	qhatModP [][][]uint64
+	// Indexed [level-1][srcLimb][dstLimb]: (Q_level/q_i) mod p_j, with the
+	// Shoup companions precomputed once so the per-call inner loop is pure
+	// fixed-operand MACs (the §IV-A datapath keeps these constants resident
+	// on chip for the same reason).
+	qhatModP      [][][]uint64
+	qhatModPShoup [][][]uint64
+	// identIdx is the identity destination-limb selection 0..dst.Level()-1,
+	// shared by every Extend call so the full conversion allocates nothing.
+	identIdx []int
 }
 
 // NewExtender precomputes conversion tables from every level of src into dst.
@@ -78,37 +86,74 @@ func NewExtender(src, dst *Basis) *Extender {
 	maxLevel := src.Level()
 	e.qhatInvModQ = make([][]uint64, maxLevel)
 	e.qhatModP = make([][][]uint64, maxLevel)
+	e.qhatModPShoup = make([][][]uint64, maxLevel)
 	for level := 1; level <= maxLevel; level++ {
 		bigQ := src.AtLevel(level).Modulus()
 		inv := make([]uint64, level)
 		modP := make([][]uint64, level)
+		modPShoup := make([][]uint64, level)
 		for i := 0; i < level; i++ {
 			qi := src.Rings[i].Mod.Q
 			qhat := new(big.Int).Div(bigQ, new(big.Int).SetUint64(qi))
 			qhatModQi := new(big.Int).Mod(qhat, new(big.Int).SetUint64(qi)).Uint64()
 			inv[i] = src.Rings[i].Mod.InvMod(qhatModQi)
 			row := make([]uint64, dst.Level())
+			rowShoup := make([]uint64, dst.Level())
 			for j := 0; j < dst.Level(); j++ {
 				pj := dst.Rings[j].Mod.Q
 				row[j] = new(big.Int).Mod(qhat, new(big.Int).SetUint64(pj)).Uint64()
+				rowShoup[j] = dst.Rings[j].Mod.ShoupPrecomp(row[j])
 			}
 			modP[i] = row
+			modPShoup[i] = rowShoup
 		}
 		e.qhatInvModQ[level-1] = inv
 		e.qhatModP[level-1] = modP
+		e.qhatModPShoup[level-1] = modPShoup
+	}
+	e.identIdx = make([]int, dst.Level())
+	for i := range e.identIdx {
+		e.identIdx[i] = i
 	}
 	return e
+}
+
+// ExtendScratch holds the shared intermediate y_i polynomials of the basis
+// conversion, so a worker reusing one across calls allocates nothing. One
+// scratch serves extenders of any source level up to its capacity (it grows
+// lazily on first use at a larger level).
+type ExtendScratch struct {
+	ys []ring.Poly
+	n  int
+}
+
+// NewExtendScratch allocates conversion scratch for up to maxLevel source
+// limbs of degree-n polynomials.
+func NewExtendScratch(maxLevel, n int) *ExtendScratch {
+	sc := &ExtendScratch{ys: make([]ring.Poly, maxLevel), n: n}
+	for i := range sc.ys {
+		sc.ys[i] = make(ring.Poly, n)
+	}
+	return sc
+}
+
+func (sc *ExtendScratch) grow(level, n int) []ring.Poly {
+	for len(sc.ys) < level {
+		sc.ys = append(sc.ys, make(ring.Poly, n))
+	}
+	return sc.ys[:level]
 }
 
 // Extend converts p (coefficient representation, any level of src) into the
 // destination basis, writing one limb per destination prime into out.
 // out must have dst.Level() limbs.
 func (e *Extender) Extend(p Poly, out Poly) {
-	idx := make([]int, out.Level())
-	for i := range idx {
-		idx[i] = i
-	}
-	e.ExtendSelected(p, out, idx)
+	e.ExtendSelected(p, out, e.identIdx[:out.Level()])
+}
+
+// ExtendWith is Extend with caller-owned scratch (see ExtendSelectedWith).
+func (e *Extender) ExtendWith(p Poly, out Poly, sc *ExtendScratch) {
+	e.ExtendSelectedWith(p, out, e.identIdx[:out.Level()], sc)
 }
 
 // ExtendSelected converts p into a chosen subset of destination limbs:
@@ -116,28 +161,45 @@ func (e *Extender) Extend(p Poly, out Poly) {
 // level-aware key switching, where the target basis is a prefix of Q plus all
 // of P.
 func (e *Extender) ExtendSelected(p Poly, out Poly, dstIdx []int) {
+	e.ExtendSelectedWith(p, out, dstIdx, NewExtendScratch(p.Level(), e.src.N))
+}
+
+// ExtendSelectedWith is ExtendSelected with caller-owned scratch; it is
+// allocation-free once sc has reached the source level, which is how the
+// key-switch hot path keeps the ModUp kernel off the garbage collector.
+func (e *Extender) ExtendSelectedWith(p Poly, out Poly, dstIdx []int, sc *ExtendScratch) {
 	level := p.Level()
 	inv := e.qhatInvModQ[level-1]
 	modP := e.qhatModP[level-1]
+	modPShoup := e.qhatModPShoup[level-1]
 	n := e.src.N
 
 	// y_i = [x_i · qhatInv_i]_{q_i}, shared across all destination limbs.
-	ys := make([]ring.Poly, level)
+	ys := sc.grow(level, n)
 	for i := 0; i < level; i++ {
-		ri := e.src.Rings[i]
-		y := ri.NewPoly()
-		ri.MulScalar(p.Limbs[i], inv[i], y)
-		ys[i] = y
+		e.src.Rings[i].MulScalar(p.Limbs[i], inv[i], ys[i])
 	}
 	for jj, j := range dstIdx {
-		rj := e.dst.Rings[j]
-		oj := out.Limbs[jj]
+		q := e.dst.Rings[j].Mod.Q
+		oj := out.Limbs[jj][:n]
 		oj.Zero()
 		for i := 0; i < level; i++ {
 			w := modP[i][j]
-			wShoup := rj.Mod.ShoupPrecomp(w)
-			for k := 0; k < n; k++ {
-				oj[k] = rj.Mod.AddMod(oj[k], rj.Mod.MulModShoup(ys[i][k], w, wShoup))
+			wShoup := modPShoup[i][j]
+			yi := ys[i][:n]
+			yi = yi[:len(oj)] // bounds-check elimination for yi[k]
+			for k := range oj {
+				y := yi[k]
+				hi, _ := bits.Mul64(y, wShoup)
+				r := y*w - hi*q // lazy Shoup ∈ [0, 2q)
+				if r >= q {
+					r -= q
+				}
+				s := oj[k] + r
+				if s >= q {
+					s -= q
+				}
+				oj[k] = s
 			}
 		}
 	}
@@ -165,19 +227,41 @@ func NewModDown(qBasis, pBasis *Basis) *ModDown {
 	return md
 }
 
+// ModDownScratch holds the per-call intermediates of ModDown.Apply: the
+// coefficient-domain copy of the P part, the P→Q extension, and the inner
+// conversion scratch. One per worker keeps the ModDown kernel allocation-free.
+type ModDownScratch struct {
+	cPc, ext Poly
+	conv     *ExtendScratch
+}
+
+// NewScratch allocates ModDown scratch sized for this converter's bases.
+func (md *ModDown) NewScratch() *ModDownScratch {
+	return &ModDownScratch{
+		cPc:  md.pBasis.NewPoly(),
+		ext:  md.qBasis.NewPoly(),
+		conv: NewExtendScratch(md.pBasis.Level(), md.pBasis.N),
+	}
+}
+
 // Apply computes out ≈ round(c / P) mod Q where c is given as cQ (its
 // residues modulo the first level limbs of Q, NTT representation) and cP
 // (its residues modulo P, NTT representation). out must have level limbs.
 func (md *ModDown) Apply(cQ, cP, out Poly) {
+	md.ApplyWith(cQ, cP, out, md.NewScratch())
+}
+
+// ApplyWith is Apply with caller-owned scratch; allocation-free.
+func (md *ModDown) ApplyWith(cQ, cP, out Poly, sc *ModDownScratch) {
 	level := lvl(cQ, out)
 	// Move the P-part to coefficient representation and extend it into Q.
-	cPc := cP.Copy()
-	md.pBasis.INTT(cPc)
-	extended := Poly{Limbs: make([]ring.Poly, level)}
-	for i := range extended.Limbs {
-		extended.Limbs[i] = md.qBasis.Rings[i].NewPoly()
+	cPc := sc.cPc
+	for i := range cPc.Limbs {
+		copy(cPc.Limbs[i], cP.Limbs[i])
 	}
-	md.ext.Extend(cPc, extended)
+	md.pBasis.INTT(cPc)
+	extended := sc.ext.AtLevel(level)
+	md.ext.ExtendWith(cPc, extended, sc.conv)
 	for i := 0; i < level; i++ {
 		ri := md.qBasis.Rings[i]
 		ri.NTT(extended.Limbs[i])

@@ -1,6 +1,8 @@
 package tfhe
 
 import (
+	"sync"
+
 	"heap/internal/rlwe"
 )
 
@@ -10,6 +12,8 @@ import (
 type Evaluator struct {
 	Params *rlwe.Parameters
 	KS     *rlwe.KeySwitcher
+
+	scratchPool sync.Pool
 }
 
 // NewEvaluator builds an evaluator (reusing an existing key switcher if
@@ -18,8 +22,37 @@ func NewEvaluator(params *rlwe.Parameters, ks *rlwe.KeySwitcher) *Evaluator {
 	if ks == nil {
 		ks = rlwe.NewKeySwitcher(params)
 	}
-	return &Evaluator{Params: params, KS: ks}
+	ev := &Evaluator{Params: params, KS: ks}
+	ev.scratchPool.New = func() any { return ev.NewScratch() }
+	return ev
 }
+
+// Scratch is the per-worker arena of the blind-rotation datapath: the
+// rotated-difference ciphertext, the external-product output, and the
+// underlying key-switch scratch. One arena per worker makes the whole
+// rotate→decompose→NTT→MAC schedule (§IV-E) allocation-free in steady
+// state, the software mirror of the paper's on-chip accumulator residency.
+// A Scratch must not be shared between concurrent rotations.
+type Scratch struct {
+	rot, d *rlwe.Ciphertext
+	KS     *rlwe.Scratch
+}
+
+// NewScratch allocates a blind-rotation scratch arena (ciphertext buffers
+// are sized lazily to the lookup-table level of the first rotation).
+func (ev *Evaluator) NewScratch() *Scratch {
+	return &Scratch{KS: ev.KS.NewScratch()}
+}
+
+func (sc *Scratch) ensure(params *rlwe.Parameters, level int) {
+	if sc.rot == nil || sc.rot.Level() != level {
+		sc.rot = rlwe.NewCiphertext(params, level)
+		sc.d = rlwe.NewCiphertext(params, level)
+	}
+}
+
+func (ev *Evaluator) getScratch() *Scratch   { return ev.scratchPool.Get().(*Scratch) }
+func (ev *Evaluator) putScratch(sc *Scratch) { ev.scratchPool.Put(sc) }
 
 // BlindRotate implements Algorithm 1 of the paper: starting from the trivial
 // accumulator ACC = (f·X^b, 0), it folds in each LWE mask element via
@@ -36,6 +69,18 @@ func NewEvaluator(params *rlwe.Parameters, ks *rlwe.KeySwitcher) *Evaluator {
 // external product — exactly the rotate→decompose→NTT→MAC schedule the
 // paper describes.
 func (ev *Evaluator) BlindRotate(lwe *rlwe.LWECiphertext, lut *LookupTable, brk *BlindRotateKey) *rlwe.Ciphertext {
+	acc := rlwe.NewCiphertext(ev.Params, lut.Level)
+	sc := ev.getScratch()
+	ev.BlindRotateInto(acc, lwe, lut, brk, sc)
+	ev.putScratch(sc)
+	return acc
+}
+
+// BlindRotateInto is BlindRotate writing into the caller-owned accumulator
+// acc (at lut.Level) using the per-worker scratch arena sc. The rotation
+// itself allocates nothing in steady state; a worker loop that also reuses
+// its accumulators runs the full kernel with zero garbage per rotation.
+func (ev *Evaluator) BlindRotateInto(acc *rlwe.Ciphertext, lwe *rlwe.LWECiphertext, lut *LookupTable, brk *BlindRotateKey, sc *Scratch) {
 	n := ev.Params.N()
 	twoN := uint64(2 * n)
 	if lwe.Q != twoN {
@@ -45,41 +90,46 @@ func (ev *Evaluator) BlindRotate(lwe *rlwe.LWECiphertext, lut *LookupTable, brk 
 		panic("tfhe: LWE dimension does not match blind-rotate key")
 	}
 	level := lut.Level
+	if acc.Level() != level {
+		panic("tfhe: accumulator level does not match lookup table")
+	}
+	sc.ensure(ev.Params, level)
 	b := ev.Params.QBasis.AtLevel(level)
 
 	// ACC ← (f·X^b, 0), trivial RLWE in coefficient representation.
-	acc := rlwe.NewCiphertext(ev.Params, level)
 	acc.IsNTT = false
+	acc.Scale = 1
 	for i := 0; i < level; i++ {
-		b.Rings[i].MulByMonomial(lut.Poly.Limbs[i], int(lwe.B%twoN), acc.C0.Limbs[i])
+		b.Rings[i].MulByMonomialInto(lut.Poly.Limbs[i], int(lwe.B%twoN), acc.C0.Limbs[i])
 	}
+	acc.C1.Zero()
 
-	rot := rlwe.NewCiphertext(ev.Params, level)
-	rot.IsNTT = false
 	for i, ai := range lwe.A {
 		ai %= twoN
 		if ai == 0 {
 			continue
 		}
-		ev.cmuxStep(acc, rot, int(ai), brk.Plus[i], level)
+		ev.cmuxStep(acc, int(ai), brk.Plus[i], level, sc)
 		if !brk.Binary {
-			ev.cmuxStep(acc, rot, -int(ai), brk.Minus[i], level)
+			ev.cmuxStep(acc, -int(ai), brk.Minus[i], level, sc)
 		}
 	}
-	return acc
 }
 
-// cmuxStep computes ACC += (X^k·ACC − ACC) ⊡ rgsw in place.
-func (ev *Evaluator) cmuxStep(acc, rot *rlwe.Ciphertext, k int, rgsw *rlwe.RGSWCiphertext, level int) {
+// cmuxStep computes ACC += (X^k·ACC − ACC) ⊡ rgsw in place, with the rotated
+// difference and the external-product output living in the scratch arena.
+func (ev *Evaluator) cmuxStep(acc *rlwe.Ciphertext, k int, rgsw *rlwe.RGSWCiphertext, level int, sc *Scratch) {
 	b := ev.Params.QBasis.AtLevel(level)
+	rot, d := sc.rot, sc.d
+	rot.IsNTT = false
 	for i := 0; i < level; i++ {
 		r := b.Rings[i]
-		r.MulByMonomial(acc.C0.Limbs[i], k, rot.C0.Limbs[i])
-		r.MulByMonomial(acc.C1.Limbs[i], k, rot.C1.Limbs[i])
+		r.MulByMonomialInto(acc.C0.Limbs[i], k, rot.C0.Limbs[i])
+		r.MulByMonomialInto(acc.C1.Limbs[i], k, rot.C1.Limbs[i])
 		r.Sub(rot.C0.Limbs[i], acc.C0.Limbs[i], rot.C0.Limbs[i])
 		r.Sub(rot.C1.Limbs[i], acc.C1.Limbs[i], rot.C1.Limbs[i])
 	}
-	d := ev.KS.ExternalProduct(rot, rgsw) // NTT-form output
+	ev.KS.ExternalProductInto(d, rot, rgsw, sc.KS) // NTT-form output
 	b.INTT(d.C0)
 	b.INTT(d.C1)
 	b.Add(acc.C0, d.C0, acc.C0)
