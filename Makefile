@@ -21,9 +21,11 @@ race:
 # throughput regressions fail fast in review.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkKernel' -benchmem -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkRepack|BenchmarkFinish|BenchmarkBootstrapEndToEnd' -benchmem -benchtime=1x .
 	$(GO) test -run='TestExternalProductIntoZeroAllocs' ./internal/rlwe/
 	$(GO) test -run='TestBlindRotateIntoZeroAllocs' ./internal/tfhe/
 	$(GO) test -run='TestNTTZeroAllocs' ./internal/ring/
+	$(GO) test -run='TestAutomorphismIntoZeroAllocs|TestMergeLevelZeroAllocs' ./internal/rlwe/
 
 # The merge gate: everything must build, vet clean, pass under the race
 # detector (the cluster chaos tests plus the concurrent-automorphism and

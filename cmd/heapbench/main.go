@@ -7,6 +7,9 @@
 //	heapbench -keys      # §III-C key-traffic accounting
 //	heapbench -sweep     # FPGA-count scaling sweep for the bootstrap
 //	heapbench -cluster   # fault-tolerant distributed bootstrap demo
+//	heapbench -benchjson BENCH_repack.json
+//	                     # time the repack/Finish tail serial vs parallel
+//	                     # at the paper ring and write the numbers as JSON
 //
 // The -cpuprofile and -memprofile flags write pprof profiles of whichever
 // mode runs — the intended use is profiling the blind-rotation hot path via
@@ -15,8 +18,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"runtime"
@@ -24,9 +29,13 @@ import (
 	"time"
 
 	"heap"
+	"heap/internal/ckks"
 	"heap/internal/cluster"
+	"heap/internal/core"
 	"heap/internal/experiments"
 	"heap/internal/hwsim"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
 )
 
 func main() {
@@ -35,6 +44,7 @@ func main() {
 	area := flag.Bool("area", false, "print the §VI-B area/power comparison")
 	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
+	benchJSON := flag.String("benchjson", "", "benchmark the repack/Finish tail at the paper ring and write JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the selected mode to this file")
 	flag.Parse()
@@ -68,6 +78,11 @@ func main() {
 	}
 
 	switch {
+	case *benchJSON != "":
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *chaos:
 		if err := runCluster(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -110,6 +125,102 @@ func main() {
 	default:
 		fmt.Print(experiments.All())
 	}
+}
+
+// benchResult is the JSON record runBenchJSON writes: the parameter set,
+// the measured serial and parallel wall times of the Finish tail (steps 4–5
+// of Algorithm 2: accumulator NTTs, merge tree, shared trace, rescale), and
+// the resulting speedup. Cores is recorded because the speedup is only
+// meaningful when the host actually has parallel hardware.
+type benchResult struct {
+	LogN       int     `json:"logN"`
+	Limbs      int     `json:"q_limbs"`
+	Count      int     `json:"n_br"`
+	Cores      int     `json:"cores"`
+	Workers    int     `json:"parallel_workers"`
+	Runs       int     `json:"runs_per_point"`
+	SerialMs   float64 `json:"finish_serial_ms"`
+	ParallelMs float64 `json:"finish_parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// runBenchJSON times the repacking tail of the bootstrap at the paper's ring
+// (N=2^13, seven 36-bit limbs, n_br=256) with one worker and with one worker
+// per core (minimum four, the ISSUE's target), and writes the best-of-N
+// timings as JSON. The two configurations compute bit-identical outputs —
+// locked by the repack equivalence tests — so this is a pure scheduling
+// comparison.
+func runBenchJSON(path string) error {
+	q := ring.GenerateNTTPrimes(36, 13, 7)
+	p := ring.GenerateNTTPrimesUp(37, 13, 4)
+	params := ckks.MustParameters(13, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<35), 1<<12)
+	kg := rlwe.NewKeyGenerator(params.Parameters, 41)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := ckks.NewClient(params, sk, 42)
+	cfg := core.DefaultConfig()
+	cfg.NT = 8 // the Finish tail never touches n_t; small n_t keeps keygen quick
+	cfg.Workers = 1
+	bt, err := core.NewBootstrapper(params, kg, sk, cfg)
+	if err != nil {
+		return err
+	}
+	const count = 256
+	const runs = 3
+	v := make([]complex128, params.Slots)
+	prep := bt.PrepareSparse(cl.EncryptAtLevel(v, 1), count)
+	s := ring.NewSampler(43)
+	accs := make([]*rlwe.Ciphertext, count)
+	for i := range accs {
+		acc := bt.NewAccumulator()
+		for l := 0; l < acc.Level(); l++ {
+			s.UniformPoly(params.QBasis.Rings[l], acc.C0.Limbs[l])
+			s.UniformPoly(params.QBasis.Rings[l], acc.C1.Limbs[l])
+		}
+		accs[i] = acc
+	}
+	timeFinish := func(workers int) (float64, error) {
+		bt.Cfg.Workers = workers
+		best := math.MaxFloat64
+		for r := 0; r < runs; r++ {
+			// Finish consumes the accumulators but preserves their level;
+			// resetting IsNTT restores the real workload each run.
+			for _, acc := range accs {
+				acc.IsNTT = false
+			}
+			t0 := time.Now()
+			if _, err := bt.Finish(prep, accs); err != nil {
+				return 0, err
+			}
+			if d := float64(time.Since(t0).Microseconds()) / 1e3; d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	res := benchResult{LogN: 13, Limbs: 7, Count: count, Cores: runtime.NumCPU(), Runs: runs}
+	res.Workers = res.Cores
+	if res.Workers < 4 {
+		res.Workers = 4
+	}
+	fmt.Printf("timing Finish (N=2^13, 7 limbs, n_br=%d) serial vs %d workers on %d core(s)...\n",
+		count, res.Workers, res.Cores)
+	if res.SerialMs, err = timeFinish(1); err != nil {
+		return err
+	}
+	if res.ParallelMs, err = timeFinish(res.Workers); err != nil {
+		return err
+	}
+	res.Speedup = res.SerialMs / res.ParallelMs
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serial %.1f ms, parallel %.1f ms, speedup %.2fx -> %s\n",
+		res.SerialMs, res.ParallelMs, res.Speedup, path)
+	return nil
 }
 
 // runCluster runs the parallelized bootstrap (§V) across three in-process

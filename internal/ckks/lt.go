@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"fmt"
 	"math"
 
 	"heap/internal/rlwe"
@@ -90,13 +91,26 @@ func (ev *Evaluator) EvalLinearTransform(ct *rlwe.Ciphertext, lt *LinearTransfor
 		in = ev.DropLevels(in, in.Level()-level)
 	}
 
-	// Baby rotations (computed lazily).
+	// Baby rotations (computed lazily), hoisted: all baby steps rotate the
+	// same input, so its c1 component is gadget-decomposed once and every
+	// rotation reuses the digits — G−1 permute+MAC tails for the price of a
+	// single decomposition (ARK's decompose-once/apply-many key reuse). The
+	// giant steps below rotate distinct partial sums and keep the plain path.
+	var hoisted *rlwe.Hoisted
 	babies := map[int]*rlwe.Ciphertext{0: in}
 	baby := func(b int) *rlwe.Ciphertext {
 		if c, ok := babies[b]; ok {
 			return c
 		}
-		c := ev.Rotate(in, b)
+		g := ev.Params.QBasis.Rings[0].GaloisElementForRotation(b)
+		gk, ok := ev.Keys.GaloisKeys[g]
+		if !ok {
+			panic(fmt.Sprintf("ckks: missing rotation key for k=%d (galois %d)", b, g))
+		}
+		if hoisted == nil {
+			hoisted = ev.KS.Decompose(in.C1)
+		}
+		c := ev.KS.ApplyGaloisHoisted(in, hoisted, g, gk)
 		babies[b] = c
 		return c
 	}

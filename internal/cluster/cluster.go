@@ -217,6 +217,15 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 	// drain it once their pinned shard is done, so a fast healthy node
 	// picks up a dead node's work.
 	q := newWorkQueue(n)
+	// Streaming repack (§V): every accumulator is fed to the merge collector
+	// the moment it arrives — from the network read loops and the local
+	// workers alike — so the merge tree runs concurrently with the
+	// blind-rotate/network tail and Finish only has the trace left to do.
+	mc, err := p.Boot.NewMergeCollector(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := &accSink{mc: mc, q: q}
 	parts := len(nodes) + 1
 	chunk := (n + parts - 1) / parts
 	shard := func(k int) []int {
@@ -254,7 +263,7 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			p.runNode(ctx, nodes[k], &stats.Nodes[k], shard(k), prep, accs, q, stats, &mu, opts)
+			p.runNode(ctx, nodes[k], &stats.Nodes[k], shard(k), prep, accs, q, sink, stats, &mu, opts)
 		}(k)
 	}
 
@@ -270,7 +279,7 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			localErrs[w] = p.runLocal(prep, accs, q, stats, &mu)
+			localErrs[w] = p.runLocal(prep, accs, q, sink, stats, &mu)
 		}(w)
 	}
 	wg.Wait()
@@ -281,22 +290,69 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 			errs = append(errs, cerr)
 		}
 		errs = append(errs, localErrs...)
+		if serr := sink.takeErr(); serr != nil {
+			errs = append(errs, serr)
+		}
 		if nerr := stats.NodeErrors(); nerr != nil {
 			errs = append(errs, nerr)
 		}
 		return nil, stats, errors.Join(errs...)
 	}
-	out, err := p.finish(prep, accs)
+	if serr := sink.takeErr(); serr != nil {
+		return nil, stats, serr
+	}
+	merged, err := mc.Merged()
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := p.finishMerged(prep, merged)
 	if err != nil {
 		return nil, stats, err
 	}
 	return out, stats, nil
 }
 
+// accSink feeds arriving accumulators into the merge collector from the
+// goroutine that received them. A merge failure (or panic) is latched and
+// aborts the work queue: the bootstrap cannot complete without its tree.
+type accSink struct {
+	mc  *core.MergeCollector
+	q   *workQueue
+	mu  sync.Mutex
+	err error
+}
+
+// deliver hands accumulator idx to the collector, performing whatever merges
+// it completes right here in the delivering goroutine.
+func (s *accSink) deliver(idx int, acc *rlwe.Ciphertext) {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("cluster: merge of accumulator %d: %v", idx, r)
+			}
+		}()
+		return s.mc.Add(idx, acc)
+	}()
+	if err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		s.q.abort()
+	}
+}
+
+func (s *accSink) takeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // runNode feeds one secondary until the queue drains or the node
 // permanently fails, reassigning whatever it could not finish.
 func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initial []int, prep *core.PreparedBootstrap,
-	accs []*rlwe.Ciphertext, q *workQueue, stats *Stats, mu *sync.Mutex, opts Options) {
+	accs []*rlwe.Ciphertext, q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex, opts Options) {
 
 	conn := node.Conn
 	handshaken := false
@@ -371,7 +427,7 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 			handshaken = true
 		}
 
-		err := p.dispatchBatch(conn, batch, task, prep, accs, q, ns, mu, opts)
+		err := p.dispatchBatch(conn, batch, task, prep, accs, q, sink, ns, mu, opts)
 		batch++
 		if err == nil {
 			attempts = 0
@@ -411,7 +467,7 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 // secondary failure. A panic here is recovered, surfaced, and aborts the
 // bootstrap (the primary cannot fall back to anyone else).
 func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
-	q *workQueue, stats *Stats, mu *sync.Mutex) error {
+	q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex) error {
 
 	// The retained accumulators must be fresh per index, but the kernel
 	// scratch is this worker's alone and lives for the whole drain.
@@ -435,6 +491,7 @@ func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext
 			mu.Lock()
 			stats.Local++
 			mu.Unlock()
+			sink.deliver(idx, acc)
 		}
 	}
 }
@@ -469,7 +526,7 @@ func (p *Primary) handshake(conn io.ReadWriter, opts Options) error {
 // marking every index complete as its accumulator arrives, so that a
 // failure mid-stream loses only the not-yet-received indices.
 func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, prep *core.PreparedBootstrap,
-	accs []*rlwe.Ciphertext, q *workQueue, ns *NodeStats, mu *sync.Mutex, opts Options) error {
+	accs []*rlwe.Ciphertext, q *workQueue, sink *accSink, ns *NodeStats, mu *sync.Mutex, opts Options) error {
 
 	disarm := armTimeout(conn, opts.BatchTimeout)
 	timedOut := false
@@ -533,6 +590,7 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, pr
 			mu.Lock()
 			ns.Completed++
 			mu.Unlock()
+			sink.deliver(idx, acc)
 		case frameBatchEnd:
 			if int(f.Seq) != seq {
 				return fmt.Errorf("cluster: partial accumulator stream: end at seq %d, want %d", f.Seq, seq)
@@ -561,14 +619,14 @@ func (p *Primary) prepare(ct *rlwe.Ciphertext) (prep *core.PreparedBootstrap, er
 	return p.Boot.Prepare(ct), nil
 }
 
-// finish wraps core.Finish the same way.
-func (p *Primary) finish(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext) (out *rlwe.Ciphertext, err error) {
+// finishMerged wraps core.FinishMerged the same way.
+func (p *Primary) finishMerged(prep *core.PreparedBootstrap, merged *rlwe.Ciphertext) (out *rlwe.Ciphertext, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("cluster: finish: %v", r)
 		}
 	}()
-	return p.Boot.Finish(prep, accs), nil
+	return p.Boot.FinishMerged(prep, merged)
 }
 
 // safeRotateInto runs BlindRotateOneInto with panic recovery, so one

@@ -64,6 +64,7 @@ type Bootstrapper struct {
 	tfheEv   *tfhe.Evaluator
 	lut      *tfhe.LookupTable
 	ks       *rlwe.KeySwitcher
+	repacker *rlwe.Repacker
 
 	pAux     uint64   // the reserved auxiliary prime (last limb)
 	pScalar  int64    // round(p / 2N)
@@ -113,6 +114,7 @@ func NewBootstrapper(params *ckks.Parameters, kg *rlwe.KeyGenerator, sk *rlwe.Se
 		bt.lweKSK = rlwe.GenLWEKeySwitchKey(sk.Signed, bt.lweSK.Signed, kskMod, cfg.LWELogBase, sampler, params.Sigma)
 	}
 	bt.packKeys = kg.GenPackingKeys(sk)
+	bt.repacker = rlwe.NewRepacker(bt.ks, bt.packKeys, cfg.Workers)
 
 	// Lookup table: g(u) = q0 · u · N^{-1} mod Q (the N^{-1} pre-cancels the
 	// factor-N scaling of PackRLWEs), valid for |u| < N/2.
@@ -313,25 +315,79 @@ func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ci
 
 // Finish executes steps 4–5 of Algorithm 2 on the collected accumulators:
 // repack, add ct', multiply by round(p/2N) and rescale by p. Accumulators
-// may be in coefficient or NTT representation.
-func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext) *rlwe.Ciphertext {
-	p := bt.Params
-	n := p.N()
-	level := p.MaxLevel()
-	bL := p.QBasis.AtLevel(level)
-	for _, acc := range accs {
-		if !acc.IsNTT {
-			bL.NTT(acc.C0)
-			bL.NTT(acc.C1)
-			acc.IsNTT = true
-		}
-	}
+// may be in coefficient or NTT representation; they are consumed as scratch.
+// The per-accumulator NTTs and the merge tree are fanned out over
+// Cfg.Workers goroutines through a MergeCollector, so the repack scales with
+// cores; the output is bit-identical for every worker count.
+func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext) (*rlwe.Ciphertext, error) {
 	count := prep.Count
 	if count == 0 {
 		count = len(accs)
 	}
-	// Merge the accumulators (payloads at stride N/count, scaled by count).
-	ctKq := rlwe.MergeRLWEs(bt.ks, accs, bt.packKeys)
+	if len(accs) != count {
+		return nil, fmt.Errorf("core: %d accumulators for a bootstrap of count %d", len(accs), count)
+	}
+	mc, err := bt.NewMergeCollector(count)
+	if err != nil {
+		return nil, err
+	}
+	workers := bt.Cfg.Workers
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i, acc := range accs {
+			if err := mc.Add(i, acc); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < count; i += workers {
+					if err := mc.Add(i, accs[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	merged, err := mc.Merged()
+	if err != nil {
+		return nil, err
+	}
+	return bt.finishMerged(prep, merged, count)
+}
+
+// FinishMerged executes the tail of Finish on an already-merged ciphertext —
+// the output of a MergeCollector whose Add calls ran concurrently with the
+// blind-rotate/network fan-out (the streaming path of cluster bootstraps).
+func (bt *Bootstrapper) FinishMerged(prep *PreparedBootstrap, merged *rlwe.Ciphertext) (*rlwe.Ciphertext, error) {
+	count := prep.Count
+	if count == 0 {
+		return nil, fmt.Errorf("core: prepared bootstrap has no count")
+	}
+	return bt.finishMerged(prep, merged, count)
+}
+
+// finishMerged adds ct′, runs the shared trace, and rescales by the
+// auxiliary prime. ctKq is consumed.
+func (bt *Bootstrapper) finishMerged(prep *PreparedBootstrap, ctKq *rlwe.Ciphertext, count int) (*rlwe.Ciphertext, error) {
+	p := bt.Params
+	n := p.N()
+	level := p.MaxLevel()
+	bL := p.QBasis.AtLevel(level)
 
 	// ct′, pre-scaled by count·N^{-1} so that after the shared trace
 	// (factor N/count on subring coefficients) both parts carry factor 1.
@@ -351,7 +407,10 @@ func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext)
 
 	// Shared trace: completes the packing of ct_kq and annihilates the
 	// non-subring junk of ct′ in one pass.
-	ctKq = rlwe.TraceToSubring(bt.ks, ctKq, count, bt.packKeys)
+	ctKq, err := bt.repacker.Trace(ctKq, count)
+	if err != nil {
+		return nil, err
+	}
 
 	for i := 0; i < level; i++ {
 		r := bL.Rings[i]
@@ -367,7 +426,7 @@ func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext)
 	// phase_out = m̃ · (2N·round(p/2N)/p); fold the residual factor into the
 	// tracked scale so decoding stays exact.
 	out.Scale = prep.Scale * float64(2*n) * float64(bt.pScalar) / float64(bt.pAux)
-	return out
+	return out, nil
 }
 
 // Bootstrap refreshes a level-1 ciphertext to level AppMaxLevel following
@@ -387,7 +446,14 @@ func (bt *Bootstrapper) BootstrapSparse(ct *rlwe.Ciphertext, count int) *rlwe.Ci
 	prep := bt.PrepareSparse(ct, count)
 	accs := make([]*rlwe.Ciphertext, len(prep.LWEs))
 	bt.CompleteMissing(prep, accs)
-	return bt.Finish(prep, accs)
+	out, err := bt.Finish(prep, accs)
+	if err != nil {
+		// PrepareSparse validated count and level and CompleteMissing filled
+		// every accumulator; a failure here means corrupted key material, not
+		// a recoverable input error.
+		panic(err)
+	}
+	return out
 }
 
 // ExpectedSlotErrorBound returns the analytic bound on the decoded slot

@@ -294,7 +294,12 @@ func TestCompleteMissingConcurrentSharedKeySwitcher(t *testing.T) {
 			defer wg.Done()
 			accs := make([]*rlwe.Ciphertext, len(prep.LWEs))
 			bt.CompleteMissing(prep, accs)
-			outs[k] = bt.Finish(prep, accs)
+			out, err := bt.Finish(prep, accs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[k] = out
 		}(k)
 	}
 	wg.Wait()

@@ -65,6 +65,24 @@ func (r *Ring) GaloisElementForRotation(k int) uint64 {
 // conjugation on CKKS slots: X → X^{2N-1}.
 func (r *Ring) GaloisElementConjugate() uint64 { return uint64(2*r.N) - 1 }
 
+// MonomialNTT writes the NTT (evaluation) representation of the monomial X^k
+// into out, for any k (reduced mod 2N; X^N = −1). Pointwise multiplication by
+// this table realizes MulByMonomial directly in the evaluation domain —
+// slot j holds ψ^{k·e_j} where e_j is the slot's evaluation exponent — and is
+// bit-identical to the INTT→MulByMonomial→NTT round-trip it replaces, since
+// both compute the same residues and emit canonical representatives.
+func (r *Ring) MonomialNTT(k int, out Poly) {
+	n := r.N
+	k = ((k % (2 * n)) + 2*n) % (2 * n)
+	out.Zero()
+	if k < n {
+		out[k] = 1
+	} else {
+		out[k-n] = r.Mod.Q - 1
+	}
+	r.NTT(out)
+}
+
 // MulByMonomial multiplies p (coefficient representation) by X^k in the
 // negacyclic ring, for any k in [0, 2N). This is the TFHE rotation unit of
 // §IV-A: coefficients shift by k positions and flip sign when wrapping,

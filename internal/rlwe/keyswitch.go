@@ -24,6 +24,11 @@ type KeySwitcher struct {
 	// rotations with a cold cache would otherwise race on the map.
 	permMu    sync.RWMutex
 	permCache map[uint64][]uint64
+	// monoCache caches, per rotation amount k, the NTT image of X^k over
+	// every Q limb, so the repacking merge tree can rotate accumulators by a
+	// pointwise multiply without leaving the evaluation domain.
+	monoMu    sync.RWMutex
+	monoCache map[int][]ring.Poly
 
 	scratchPool sync.Pool
 }
@@ -37,6 +42,7 @@ func NewKeySwitcher(params *Parameters) *KeySwitcher {
 		extenders: make(map[int]*rns.Extender),
 		modDown:   rns.NewModDown(params.QBasis, params.PBasis),
 		permCache: make(map[uint64][]uint64),
+		monoCache: make(map[int][]ring.Poly),
 	}
 	alpha := params.Alpha()
 	L := params.MaxLevel()
@@ -74,6 +80,33 @@ func (ks *KeySwitcher) EnsurePerm(g uint64) []uint64 {
 	return p
 }
 
+// EnsureMonomialNTT precomputes and caches the NTT representation of the
+// monomial X^k for every Q limb at the maximum level (lower levels use a
+// prefix). Safe for concurrent use with the same double-checked RWMutex
+// discipline as EnsurePerm. The merge tree only ever needs log2(N) distinct
+// rotation amounts, so the cache stays tiny.
+func (ks *KeySwitcher) EnsureMonomialNTT(k int) []ring.Poly {
+	ks.monoMu.RLock()
+	m, ok := ks.monoCache[k]
+	ks.monoMu.RUnlock()
+	if ok {
+		return m
+	}
+	ks.monoMu.Lock()
+	defer ks.monoMu.Unlock()
+	if m, ok := ks.monoCache[k]; ok {
+		return m
+	}
+	rings := ks.params.QBasis.Rings
+	m = make([]ring.Poly, len(rings))
+	for i, r := range rings {
+		m[i] = r.NewPoly()
+		r.MonomialNTT(k, m[i])
+	}
+	ks.monoCache[k] = m
+	return m
+}
+
 // qpAccumulator is scratch for a key-switch accumulation at a given level:
 // level Q limbs followed by all P limbs, in NTT representation.
 type qpAccumulator struct {
@@ -100,6 +133,7 @@ type Scratch struct {
 	combined   []ring.Poly
 	dstIdx     []int
 	c0, c1     rns.Poly
+	t0, t1     rns.Poly
 	conv       *rns.ExtendScratch
 	md         *rns.ModDownScratch
 }
@@ -121,6 +155,8 @@ func (ks *KeySwitcher) NewScratch() *Scratch {
 		dstIdx:   make([]int, 0, L+nP),
 		c0:       p.QBasis.NewPoly(),
 		c1:       p.QBasis.NewPoly(),
+		t0:       p.QBasis.NewPoly(),
+		t1:       p.QBasis.NewPoly(),
 		conv:     rns.NewExtendScratch(p.Alpha(), p.N()),
 		md:       ks.modDown.NewScratch(),
 	}
@@ -238,15 +274,134 @@ func (ks *KeySwitcher) Relinearize(c0, c1, c2 rns.Poly, rlk *GadgetCiphertext) (
 // Automorphism applies X→X^g to ct (NTT form) and key-switches back to the
 // original secret using gk (a gadget encryption of σ_g(s)).
 func (ks *KeySwitcher) Automorphism(ct *Ciphertext, g uint64, gk *GadgetCiphertext) *Ciphertext {
+	out := NewCiphertext(ks.params, ct.Level())
+	sc := ks.getScratch()
+	ks.AutomorphismInto(out, ct, g, gk, sc)
+	ks.putScratch(sc)
+	return out
+}
+
+// AutomorphismInto is Automorphism writing into the caller-owned out
+// ciphertext (same level as ct; must not alias it) using the scratch arena.
+// This is the allocation-free form the repacking merge tree and trace run:
+// the permuted components land in sc.t0/sc.t1 and the key-switch reuses the
+// usual decompose→MAC→ModDown buffers. The output is in NTT representation
+// and bit-identical to Automorphism's.
+func (ks *KeySwitcher) AutomorphismInto(out, ct *Ciphertext, g uint64, gk *GadgetCiphertext, sc *Scratch) {
 	level := ct.Level()
 	b := ks.params.QBasis.AtLevel(level)
 	perm := ks.EnsurePerm(g)
-	sc0, sc1 := b.NewPoly(), b.NewPoly()
-	b.AutomorphismNTT(ct.C0, perm, sc0)
-	b.AutomorphismNTT(ct.C1, perm, sc1)
-	d0, d1 := ks.SwitchPoly(sc1, gk)
-	b.Add(sc0, d0, sc0)
-	return &Ciphertext{C0: sc0, C1: d1, IsNTT: true, Scale: ct.Scale}
+	t0 := sc.t0.AtLevel(level)
+	t1 := sc.t1.AtLevel(level)
+	b.AutomorphismNTT(ct.C0, perm, t0)
+	b.AutomorphismNTT(ct.C1, perm, t1)
+	ks.SwitchPolyInto(t1, gk, out.C0, out.C1, sc)
+	b.Add(t0, out.C0, out.C0)
+	out.IsNTT = true
+	out.Scale = ct.Scale
+}
+
+// Hoisted holds the gadget decomposition of one ciphertext component,
+// extended to the full QP basis in NTT representation: the "decompose once"
+// half of hoisted rotations. Galois automorphisms act on each digit as a
+// pure NTT-slot permutation, so a single decomposition of c1 serves every
+// automorphism applied to the same ciphertext — ARK's key-reuse insight
+// applied to rotation batches (PAPERS.md). Note the hoisted result is not
+// bit-identical to the non-hoisted key switch (the fast basis extension and
+// the permutation do not commute exactly); the difference is bounded by the
+// usual key-switch noise, which is why the repacking merge tree — whose
+// output is locked bit-identical to the serial reference — uses
+// AutomorphismInto instead.
+type Hoisted struct {
+	level int
+	digs  []qpAccumulator
+}
+
+// Level reports the level the decomposition was taken at.
+func (h *Hoisted) Level() int { return h.level }
+
+// NewHoisted allocates digit buffers sized for the maximum level.
+func (ks *KeySwitcher) NewHoisted() *Hoisted {
+	p := ks.params
+	L := p.MaxLevel()
+	h := &Hoisted{digs: make([]qpAccumulator, p.DigitsAtLevel(L))}
+	for j := range h.digs {
+		h.digs[j] = qpAccumulator{q: p.QBasis.NewPoly(), p: p.PBasis.NewPoly()}
+	}
+	return h
+}
+
+// DecomposeInto fills h with the gadget decomposition of c (NTT form, level
+// limbs), extended over the full QP basis.
+func (ks *KeySwitcher) DecomposeInto(h *Hoisted, c rns.Poly, sc *Scratch) {
+	level := c.Level()
+	h.level = level
+	cCoeff := sc.c0.AtLevel(level)
+	for i := range cCoeff.Limbs {
+		copy(cCoeff.Limbs[i], c.Limbs[i])
+	}
+	ks.params.QBasis.AtLevel(level).INTT(cCoeff)
+	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
+		ks.decomposeDigit(j, level, cCoeff, h.digs[j].atLevel(level), sc)
+	}
+}
+
+// Decompose is DecomposeInto with a freshly allocated Hoisted and pooled
+// scratch — decompose c1 once, then apply many Galois keys against it.
+func (ks *KeySwitcher) Decompose(c rns.Poly) *Hoisted {
+	h := ks.NewHoisted()
+	sc := ks.getScratch()
+	ks.DecomposeInto(h, c, sc)
+	ks.putScratch(sc)
+	return h
+}
+
+// ApplyGaloisHoistedInto computes out = KeySwitch(σ_g(ct), gk) reusing the
+// decomposition h of ct.C1: each stored digit is permuted in the NTT domain
+// (σ_g commutes with the RNS digit selection) and MACed against the key rows,
+// skipping the per-rotation INTT/decompose/NTT pipeline entirely. ct must be
+// the ciphertext h was decomposed from, at the same level; out must not
+// alias ct.
+func (ks *KeySwitcher) ApplyGaloisHoistedInto(out, ct *Ciphertext, h *Hoisted, g uint64, gk *GadgetCiphertext, sc *Scratch) {
+	level := h.level
+	p := ks.params
+	b := p.QBasis.AtLevel(level)
+	perm := ks.EnsurePerm(g)
+	nP := len(p.P)
+	accB := sc.accB.atLevel(level)
+	accA := sc.accA.atLevel(level)
+	accB.q.Zero()
+	accB.p.Zero()
+	accA.q.Zero()
+	accA.p.Zero()
+	dig := sc.dig.atLevel(level)
+	for j := 0; j < p.DigitsAtLevel(level); j++ {
+		for i := 0; i < level; i++ {
+			p.QBasis.Rings[i].AutomorphismNTT(h.digs[j].q.Limbs[i], perm, dig.q.Limbs[i])
+		}
+		for i := 0; i < nP; i++ {
+			p.PBasis.Rings[i].AutomorphismNTT(h.digs[j].p.Limbs[i], perm, dig.p.Limbs[i])
+		}
+		ks.macRow(accB, dig, gk.B[j], level)
+		ks.macRow(accA, dig, gk.A[j], level)
+	}
+	ks.modDown.ApplyWith(accB.q, accB.p, out.C0, sc.md)
+	ks.modDown.ApplyWith(accA.q, accA.p, out.C1, sc.md)
+	t0 := sc.t0.AtLevel(level)
+	b.AutomorphismNTT(ct.C0, perm, t0)
+	b.Add(t0, out.C0, out.C0)
+	out.IsNTT = true
+	out.Scale = ct.Scale
+}
+
+// ApplyGaloisHoisted is the allocating convenience form of
+// ApplyGaloisHoistedInto.
+func (ks *KeySwitcher) ApplyGaloisHoisted(ct *Ciphertext, h *Hoisted, g uint64, gk *GadgetCiphertext) *Ciphertext {
+	out := NewCiphertext(ks.params, h.level)
+	sc := ks.getScratch()
+	ks.ApplyGaloisHoistedInto(out, ct, h, g, gk, sc)
+	ks.putScratch(sc)
+	return out
 }
 
 // ExternalProduct computes ct ⊡ rgsw ≈ RLWE(m · phase(ct)): both ciphertext

@@ -169,7 +169,10 @@ func TestPackRLWEs(t *testing.T) {
 			}
 			cts[i] = enc.EncryptPolyAtLevel(encodeSigned(p, msg, level), level, 1)
 		}
-		packed := PackRLWEs(ks, cts, pk)
+		packed, err := PackRLWEs(ks, cts, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
 		phase := dec.PhaseCentered(packed)
 
 		stride := n / count

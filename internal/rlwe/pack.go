@@ -1,6 +1,9 @@
 package rlwe
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // PackingKeys holds the Galois keys for the automorphisms X → X^{2^j+1}
 // used by the Chen et al. [11] repacking algorithm (the "efficient repacking
@@ -21,117 +24,259 @@ func (kg *KeyGenerator) GenPackingKeys(sk *SecretKey) *PackingKeys {
 	return pk
 }
 
-// PackRLWEs combines 2^ℓ RLWE ciphertexts — each carrying its payload in the
-// constant coefficient, with arbitrary garbage in all other coefficients —
-// into a single RLWE ciphertext encrypting
+// Repacker executes the repacking merge tree and trace. It replaces the old
+// recursive, single-threaded packRecursive with an iterative level-order
+// reduction: the count/2^ℓ merges at depth ℓ are independent, so each level
+// is fanned out over Workers goroutines, every worker drawing a private
+// scratch arena (diff/rotation temporaries + key-switch buffers) from an
+// internal pool. The merge kernel itself never leaves the NTT domain: the
+// X^{N/2^ℓ} rotation of the odd branch is a pointwise multiply by a cached
+// monomial table instead of the old INTT→MulByMonomial→NTT round-trip
+// (4 transforms per node per component).
+//
+// Determinism: the tree shape and each node's arithmetic are fixed by the
+// ciphertext count alone, so the packed output is bit-identical for every
+// worker count — including the streaming core.MergeCollector, which drives
+// MergePair in arrival order.
+type Repacker struct {
+	ks *KeySwitcher
+	pk *PackingKeys
+	// Workers bounds the goroutines one Merge/Pack call fans each tree level
+	// over; values ≤ 1 run serially. It must not be mutated while a call is
+	// in flight.
+	Workers int
+
+	scratch sync.Pool // *mergeScratch
+}
+
+// NewRepacker builds a Repacker over the given key switcher and packing
+// keys. The Repacker is safe for concurrent use by multiple goroutines.
+func NewRepacker(ks *KeySwitcher, pk *PackingKeys, workers int) *Repacker {
+	rp := &Repacker{ks: ks, pk: pk, Workers: workers}
+	rp.scratch.New = func() any {
+		return &mergeScratch{
+			d:  NewCiphertext(ks.params, ks.params.MaxLevel()),
+			r:  NewCiphertext(ks.params, ks.params.MaxLevel()),
+			sc: ks.NewScratch(),
+		}
+	}
+	return rp
+}
+
+// mergeScratch is one worker's arena for a merge-tree node: the diff and
+// rotated temporaries plus the key-switch scratch. The backing arrays are
+// allocated at the maximum level; ctAtLevel re-slices them in place so a
+// warm arena serves any level without allocating.
+type mergeScratch struct {
+	d, r *Ciphertext
+	sc   *Scratch
+}
+
+// ctAtLevel truncates a max-level scratch ciphertext to level limbs in
+// place. The slice capacity is preserved, so a later call can grow it back.
+func ctAtLevel(ct *Ciphertext, level int) *Ciphertext {
+	ct.C0.Limbs = ct.C0.Limbs[:level]
+	ct.C1.Limbs = ct.C1.Limbs[:level]
+	return ct
+}
+
+// validate checks the merge-tree preconditions and returns the common level.
+func (rp *Repacker) validate(cts []*Ciphertext) (level int, err error) {
+	count := len(cts)
+	if count == 0 || count&(count-1) != 0 {
+		return 0, fmt.Errorf("rlwe: repack needs a power-of-two ciphertext count, got %d", count)
+	}
+	if count > rp.ks.params.N() {
+		return 0, fmt.Errorf("rlwe: cannot pack %d ciphertexts into %d coefficients", count, rp.ks.params.N())
+	}
+	for i, ct := range cts {
+		if ct == nil {
+			return 0, fmt.Errorf("rlwe: repack input %d is nil", i)
+		}
+		if i == 0 {
+			level = ct.Level()
+			continue
+		}
+		if ct.Level() != level {
+			return 0, fmt.Errorf("rlwe: repack inputs at mixed levels (%d vs %d)", level, ct.Level())
+		}
+	}
+	if level < 1 {
+		return 0, fmt.Errorf("rlwe: repack inputs have no limbs")
+	}
+	for c := 2; c <= count; c <<= 1 {
+		if _, ok := rp.pk.Keys[uint64(c+1)]; !ok {
+			return 0, fmt.Errorf("rlwe: missing packing key for galois element %d", c+1)
+		}
+	}
+	return level, nil
+}
+
+// Merge runs the merge tree over cts: payloads land at stride N/count scaled
+// by count, but garbage at non-stride positions survives (Pack adds the
+// trace that annihilates it). Inputs must be NTT-form ciphertexts at one
+// common level; they are consumed as scratch, and the result aliases
+// cts[0]'s storage.
+func (rp *Repacker) Merge(cts []*Ciphertext) (*Ciphertext, error) {
+	if _, err := rp.validate(cts); err != nil {
+		return nil, err
+	}
+	count := len(cts)
+	for c := 2; c <= count; c <<= 1 {
+		rp.mergeLevel(cts, count/c, c, rp.pk.Keys[uint64(c+1)])
+	}
+	return cts[0], nil
+}
+
+// Pack is Merge followed by Trace: it combines 2^ℓ RLWE ciphertexts — each
+// carrying its payload in the constant coefficient, with arbitrary garbage
+// in all other coefficients — into a single RLWE ciphertext encrypting
 //
 //	Σ_i N · m_i · X^{i · N/2^ℓ}
 //
 // (every payload is scaled by N regardless of count: 2^ℓ merge doublings
 // followed by N/2^ℓ trace doublings that annihilate the remaining garbage).
-// This is the accumulation step of the HEAP bootstrapper: the outputs of the
-// parallel BlindRotate operations are streamed back and merged by the
-// primary node. Inputs must be NTT-form ciphertexts at a common level; they
-// are consumed (used as scratch).
-func PackRLWEs(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) *Ciphertext {
-	count := len(cts)
-	if count == 0 || count&(count-1) != 0 {
-		panic(fmt.Sprintf("rlwe: PackRLWEs needs a power-of-two count, got %d", count))
+// Inputs are consumed as scratch; the result aliases cts[0]'s storage.
+func (rp *Repacker) Pack(cts []*Ciphertext) (*Ciphertext, error) {
+	out, err := rp.Merge(cts)
+	if err != nil {
+		return nil, err
 	}
-	n := ks.params.N()
-	if count > n {
-		panic("rlwe: cannot pack more ciphertexts than coefficients")
-	}
-	out := packRecursive(ks, cts, count, pk)
-	return TraceToSubring(ks, out, count, pk)
+	return rp.Trace(out, len(cts))
 }
 
-// MergeRLWEs is the recursive merge half of PackRLWEs without the trailing
-// trace: payloads land at stride N/count scaled by count, but garbage at
-// non-stride positions survives. The HEAP sparse bootstrap merges the
-// accumulators, adds ct′, and runs TraceToSubring once over the sum so the
-// same trace both finishes the packing and annihilates the non-subring
-// junk of ct′.
-func MergeRLWEs(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) *Ciphertext {
-	count := len(cts)
-	if count == 0 || count&(count-1) != 0 {
-		panic(fmt.Sprintf("rlwe: MergeRLWEs needs a power-of-two count, got %d", count))
+// Trace applies σ_{2^j+1} for 2^j = 2·count … N in place: coefficients at
+// stride N/count are fixed and doubled at every step (total factor N/count);
+// all other coefficients cancel. With count = N it is a no-op.
+func (rp *Repacker) Trace(out *Ciphertext, count int) (*Ciphertext, error) {
+	n := rp.ks.params.N()
+	if count < 1 || count&(count-1) != 0 || count > n {
+		return nil, fmt.Errorf("rlwe: trace needs a power-of-two count in [1, %d], got %d", n, count)
 	}
-	return packRecursive(ks, cts, count, pk)
-}
-
-// TraceToSubring applies σ_{2^j+1} for 2^j = 2·count … N: coefficients at
-// stride N/count are fixed and doubled at every step (total factor
-// N/count); all other coefficients cancel. With count = N it is a no-op.
-func TraceToSubring(ks *KeySwitcher, out *Ciphertext, count int, pk *PackingKeys) *Ciphertext {
-	n := ks.params.N()
+	for step := 2 * count; step <= n; step <<= 1 {
+		if _, ok := rp.pk.Keys[uint64(step+1)]; !ok {
+			return nil, fmt.Errorf("rlwe: missing packing key for galois element %d", step+1)
+		}
+	}
 	level := out.Level()
-	b := ks.params.QBasis.AtLevel(level)
+	b := rp.ks.params.QBasis.AtLevel(level)
+	ms := rp.scratch.Get().(*mergeScratch)
+	defer rp.scratch.Put(ms)
+	rot := ctAtLevel(ms.r, level)
 	for step := 2 * count; step <= n; step <<= 1 {
 		g := uint64(step + 1)
-		gk, ok := pk.Keys[g]
-		if !ok {
-			panic(fmt.Sprintf("rlwe: missing packing key for galois element %d", g))
-		}
-		rot := ks.Automorphism(out, g, gk)
+		rp.ks.AutomorphismInto(rot, out, g, rp.pk.Keys[g], ms.sc)
 		b.Add(out.C0, rot.C0, out.C0)
 		b.Add(out.C1, rot.C1, out.C1)
 	}
-	return out
+	return out, nil
 }
 
-// packRecursive implements
+// MergePair merges sibling nodes whose combined subtree spans c leaves:
 //
-//	Pack(ct_0..ct_{2^ℓ-1}) = (E + X^{N/2^ℓ}·O) + σ_{2^ℓ+1}(E − X^{N/2^ℓ}·O)
+//	out = (E + X^{N/c}·O) + σ_{c+1}(E − X^{N/c}·O)
 //
-// with E = Pack(evens), O = Pack(odds). The automorphism fixes the wanted
-// coefficients (doubling them) and, composed across all recursion levels,
-// acts as the trace that annihilates every garbage coefficient.
-func packRecursive(ks *KeySwitcher, cts []*Ciphertext, count int, pk *PackingKeys) *Ciphertext {
-	if count == 1 {
-		return cts[0]
+// Both inputs are consumed; the result lands in (and aliases) e's storage.
+// This is the unit of work the streaming core.MergeCollector schedules as
+// accumulators arrive.
+func (rp *Repacker) MergePair(e, o *Ciphertext, c int) (*Ciphertext, error) {
+	if c < 2 || c&(c-1) != 0 || c > rp.ks.params.N() {
+		return nil, fmt.Errorf("rlwe: merge span must be a power of two in [2, %d], got %d", rp.ks.params.N(), c)
 	}
-	half := count / 2
-	evens := make([]*Ciphertext, half)
-	odds := make([]*Ciphertext, half)
-	for i := 0; i < half; i++ {
-		evens[i] = cts[2*i]
-		odds[i] = cts[2*i+1]
+	if e.Level() != o.Level() {
+		return nil, fmt.Errorf("rlwe: merge siblings at mixed levels (%d vs %d)", e.Level(), o.Level())
 	}
-	e := packRecursive(ks, evens, half, pk)
-	o := packRecursive(ks, odds, half, pk)
+	gk, ok := rp.pk.Keys[uint64(c+1)]
+	if !ok {
+		return nil, fmt.Errorf("rlwe: missing packing key for galois element %d", c+1)
+	}
+	ms := rp.scratch.Get().(*mergeScratch)
+	rp.mergePair(e, o, c, gk, ms)
+	rp.scratch.Put(ms)
+	return e, nil
+}
 
+// mergePair is the merge kernel. Entirely in the NTT domain and, with a warm
+// arena, allocation-free: the monomial rotation is a pointwise multiply by
+// the cached NTT image of X^{N/c}, which is bit-identical to the old
+// coefficient-domain MulByMonomial round-trip.
+func (rp *Repacker) mergePair(e, o *Ciphertext, c int, gk *GadgetCiphertext, ms *mergeScratch) {
+	ks := rp.ks
 	level := e.Level()
 	b := ks.params.QBasis.AtLevel(level)
-	n := ks.params.N()
-
-	// X^{N/2^ℓ}·O: monomial multiplication in the coefficient domain.
-	rot := uint64(n / count)
-	oShift := o // reuse storage
+	mono := ks.EnsureMonomialNTT(ks.params.N() / c)
 	for i := 0; i < level; i++ {
 		r := b.Rings[i]
-		r.INTT(oShift.C0.Limbs[i])
-		r.MulByMonomial(oShift.C0.Limbs[i], int(rot), oShift.C0.Limbs[i])
-		r.NTT(oShift.C0.Limbs[i])
-		r.INTT(oShift.C1.Limbs[i])
-		r.MulByMonomial(oShift.C1.Limbs[i], int(rot), oShift.C1.Limbs[i])
-		r.NTT(oShift.C1.Limbs[i])
+		r.MulCoeffs(o.C0.Limbs[i], mono[i], o.C0.Limbs[i])
+		r.MulCoeffs(o.C1.Limbs[i], mono[i], o.C1.Limbs[i])
 	}
+	d := ctAtLevel(ms.d, level)
+	rot := ctAtLevel(ms.r, level)
+	b.Sub(e.C0, o.C0, d.C0) // diff = E − X^{N/c}·O
+	b.Sub(e.C1, o.C1, d.C1)
+	b.Add(e.C0, o.C0, e.C0) // sum = E + X^{N/c}·O
+	b.Add(e.C1, o.C1, e.C1)
+	ks.AutomorphismInto(rot, d, uint64(c+1), gk, ms.sc)
+	b.Add(e.C0, rot.C0, e.C0)
+	b.Add(e.C1, rot.C1, e.C1)
+}
 
-	sum := e.CopyNew()
-	b.Add(sum.C0, oShift.C0, sum.C0)
-	b.Add(sum.C1, oShift.C1, sum.C1)
-	diff := e
-	b.Sub(diff.C0, oShift.C0, diff.C0)
-	b.Sub(diff.C1, oShift.C1, diff.C1)
-
-	g := uint64(count + 1)
-	gk, ok := pk.Keys[g]
-	if !ok {
-		panic(fmt.Sprintf("rlwe: missing packing key for galois element %d", g))
+// mergeLevel runs the `half` independent merges of one tree level over
+// min(Workers, half) goroutines, each holding its own scratch arena for the
+// duration. The serial path (Workers ≤ 1) is allocation-free.
+func (rp *Repacker) mergeLevel(cts []*Ciphertext, half, c int, gk *GadgetCiphertext) {
+	w := rp.Workers
+	if w > half {
+		w = half
 	}
-	rotated := ks.Automorphism(diff, g, gk)
-	b.Add(sum.C0, rotated.C0, sum.C0)
-	b.Add(sum.C1, rotated.C1, sum.C1)
-	return sum
+	if w <= 1 {
+		ms := rp.scratch.Get().(*mergeScratch)
+		for i := 0; i < half; i++ {
+			rp.mergePair(cts[i], cts[i+half], c, gk, ms)
+		}
+		rp.scratch.Put(ms)
+		return
+	}
+	// stride is declared after the serial return: the goroutine closure
+	// captures it by reference, and an earlier declaration would heap-move it
+	// on the (allocation-free) serial path too.
+	stride := w
+	var wg sync.WaitGroup
+	for k := 0; k < stride; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ms := rp.scratch.Get().(*mergeScratch)
+			defer rp.scratch.Put(ms)
+			for i := k; i < half; i += stride {
+				rp.mergePair(cts[i], cts[i+half], c, gk, ms)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// PackRLWEs combines 2^ℓ RLWE ciphertexts into one (see Repacker.Pack). The
+// outputs of the parallel BlindRotate operations are streamed back and
+// merged by the primary node this way. Inputs must be NTT-form ciphertexts
+// at a common level; they are consumed (used as scratch) and the result
+// aliases cts[0]'s storage. Returns an error — not a panic — on a
+// non-power-of-two count, mixed levels, or missing packing keys, so a
+// malformed request cannot take down a bootstrap in flight.
+func PackRLWEs(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) (*Ciphertext, error) {
+	return NewRepacker(ks, pk, 1).Pack(cts)
+}
+
+// MergeRLWEs is the merge half of PackRLWEs without the trailing trace
+// (see Repacker.Merge). The HEAP sparse bootstrap merges the accumulators,
+// adds ct′, and runs TraceToSubring once over the sum so the same trace both
+// finishes the packing and annihilates the non-subring junk of ct′. Inputs
+// are consumed as scratch; the result aliases cts[0]'s storage.
+func MergeRLWEs(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) (*Ciphertext, error) {
+	return NewRepacker(ks, pk, 1).Merge(cts)
+}
+
+// TraceToSubring applies the trace in place (see Repacker.Trace).
+func TraceToSubring(ks *KeySwitcher, out *Ciphertext, count int, pk *PackingKeys) (*Ciphertext, error) {
+	return NewRepacker(ks, pk, 1).Trace(out, count)
 }

@@ -1,0 +1,342 @@
+package rlwe
+
+import (
+	"testing"
+
+	"heap/internal/ring"
+)
+
+// packFixture builds the key material for repacking tests.
+func packFixture(t *testing.T, logN int) (*Parameters, *KeySwitcher, *PackingKeys, *KeyGenerator, *SecretKey) {
+	t.Helper()
+	p := testParams(t, logN)
+	kg := NewKeyGenerator(p, 31)
+	sk := kg.GenSecretKey(SecretTernary)
+	ks := NewKeySwitcher(p)
+	pk := kg.GenPackingKeys(sk)
+	return p, ks, pk, kg, sk
+}
+
+// randCiphertext fills a ciphertext with uniform limbs — the repack
+// algebra is data-independent, so random operands exercise it fully.
+func randCiphertext(p *Parameters, s *ring.Sampler, level int) *Ciphertext {
+	ct := NewCiphertext(p, level)
+	for i := 0; i < level; i++ {
+		s.UniformPoly(p.QBasis.Rings[i], ct.C0.Limbs[i])
+		s.UniformPoly(p.QBasis.Rings[i], ct.C1.Limbs[i])
+	}
+	ct.IsNTT = true
+	return ct
+}
+
+func copyCts(cts []*Ciphertext) []*Ciphertext {
+	out := make([]*Ciphertext, len(cts))
+	for i, ct := range cts {
+		out[i] = ct.CopyNew()
+	}
+	return out
+}
+
+// refMerge is the retired recursive implementation, kept verbatim as the
+// serial reference: evens/odds split, coefficient-domain monomial rotation
+// (INTT→MulByMonomial→NTT), allocating Automorphism.
+func refMerge(ks *KeySwitcher, cts []*Ciphertext, pk *PackingKeys) *Ciphertext {
+	count := len(cts)
+	if count == 1 {
+		return cts[0]
+	}
+	half := count / 2
+	evens := make([]*Ciphertext, half)
+	odds := make([]*Ciphertext, half)
+	for i := 0; i < half; i++ {
+		evens[i] = cts[2*i]
+		odds[i] = cts[2*i+1]
+	}
+	e := refMerge(ks, evens, pk)
+	o := refMerge(ks, odds, pk)
+
+	level := e.Level()
+	b := ks.params.QBasis.AtLevel(level)
+	rot := ks.params.N() / count
+	for i := 0; i < level; i++ {
+		r := b.Rings[i]
+		r.INTT(o.C0.Limbs[i])
+		r.MulByMonomial(o.C0.Limbs[i], rot, o.C0.Limbs[i])
+		r.NTT(o.C0.Limbs[i])
+		r.INTT(o.C1.Limbs[i])
+		r.MulByMonomial(o.C1.Limbs[i], rot, o.C1.Limbs[i])
+		r.NTT(o.C1.Limbs[i])
+	}
+	sum := e.CopyNew()
+	b.Add(sum.C0, o.C0, sum.C0)
+	b.Add(sum.C1, o.C1, sum.C1)
+	diff := e
+	b.Sub(diff.C0, o.C0, diff.C0)
+	b.Sub(diff.C1, o.C1, diff.C1)
+	rotated := ks.Automorphism(diff, uint64(count+1), pk.Keys[uint64(count+1)])
+	b.Add(sum.C0, rotated.C0, sum.C0)
+	b.Add(sum.C1, rotated.C1, sum.C1)
+	return sum
+}
+
+func refTrace(ks *KeySwitcher, out *Ciphertext, count int, pk *PackingKeys) *Ciphertext {
+	b := ks.params.QBasis.AtLevel(out.Level())
+	for step := 2 * count; step <= ks.params.N(); step <<= 1 {
+		g := uint64(step + 1)
+		rot := ks.Automorphism(out, g, pk.Keys[g])
+		b.Add(out.C0, rot.C0, out.C0)
+		b.Add(out.C1, rot.C1, out.C1)
+	}
+	return out
+}
+
+func ctsEqual(p *Parameters, a, b *Ciphertext) bool {
+	return p.QBasis.Equal(a.C0, b.C0) && p.QBasis.Equal(a.C1, b.C1)
+}
+
+// TestRepackMatchesSerialReference is the bit-exactness property test of the
+// parallel merge tree: over random counts and levels, the serial wrapper and
+// a 4-worker Repacker must reproduce the retired recursive implementation
+// exactly (the cluster chaos tests rely on repacking being deterministic).
+// Run under -race this also exercises the per-worker scratch arenas.
+func TestRepackMatchesSerialReference(t *testing.T) {
+	p, ks, pk, _, _ := packFixture(t, 5)
+	s := ring.NewSampler(0xfeed)
+	par := NewRepacker(ks, pk, 4)
+	for _, count := range []int{1, 2, 4, 8, p.N()} {
+		for level := 1; level <= p.MaxLevel(); level++ {
+			cts := make([]*Ciphertext, count)
+			for i := range cts {
+				cts[i] = randCiphertext(p, s, level)
+			}
+			want := refTrace(ks, refMerge(ks, copyCts(cts), pk), count, pk)
+
+			serial, err := PackRLWEs(ks, copyCts(cts), pk)
+			if err != nil {
+				t.Fatalf("count=%d level=%d: serial: %v", count, level, err)
+			}
+			parallel, err := par.Pack(copyCts(cts))
+			if err != nil {
+				t.Fatalf("count=%d level=%d: parallel: %v", count, level, err)
+			}
+			if !ctsEqual(p, want, serial) {
+				t.Errorf("count=%d level=%d: serial PackRLWEs differs from reference", count, level)
+			}
+			if !ctsEqual(p, want, parallel) {
+				t.Errorf("count=%d level=%d: parallel Pack differs from reference", count, level)
+			}
+		}
+	}
+}
+
+// TestMergeConsumesInputs locks the documented contract the cluster layer
+// relies on: Merge/Pack use their inputs as scratch and the result aliases
+// cts[0]'s storage.
+func TestMergeConsumesInputs(t *testing.T) {
+	p, ks, pk, _, _ := packFixture(t, 4)
+	s := ring.NewSampler(7)
+	cts := make([]*Ciphertext, 4)
+	for i := range cts {
+		cts[i] = randCiphertext(p, s, p.MaxLevel())
+	}
+	originals := copyCts(cts)
+
+	out, err := MergeRLWEs(ks, cts, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != cts[0] {
+		t.Error("MergeRLWEs result must alias cts[0]'s storage")
+	}
+	consumed := 0
+	for i := range cts {
+		if !ctsEqual(p, cts[i], originals[i]) {
+			consumed++
+		}
+	}
+	if consumed == 0 {
+		t.Error("MergeRLWEs left every input untouched; the consume-as-scratch contract changed")
+	}
+}
+
+// TestRepackErrors: the exported entry points must return errors — not
+// panic mid-bootstrap — on malformed requests.
+func TestRepackErrors(t *testing.T) {
+	p, ks, pk, _, _ := packFixture(t, 4)
+	s := ring.NewSampler(8)
+	mk := func(n, level int) []*Ciphertext {
+		cts := make([]*Ciphertext, n)
+		for i := range cts {
+			cts[i] = randCiphertext(p, s, level)
+		}
+		return cts
+	}
+	L := p.MaxLevel()
+
+	if _, err := PackRLWEs(ks, mk(3, L), pk); err == nil {
+		t.Error("expected error for non-power-of-two count")
+	}
+	if _, err := MergeRLWEs(ks, nil, pk); err == nil {
+		t.Error("expected error for empty input")
+	}
+	mixed := mk(2, L)
+	mixed[1] = randCiphertext(p, s, L-1)
+	if _, err := MergeRLWEs(ks, mixed, pk); err == nil {
+		t.Error("expected error for mixed levels")
+	}
+	withNil := mk(2, L)
+	withNil[1] = nil
+	if _, err := MergeRLWEs(ks, withNil, pk); err == nil {
+		t.Error("expected error for nil input")
+	}
+	if _, err := TraceToSubring(ks, randCiphertext(p, s, L), 3, pk); err == nil {
+		t.Error("expected error for non-power-of-two trace count")
+	}
+
+	// Missing key: strip the g=5 key needed by any count ≥ 4 merge.
+	gutted := &PackingKeys{Keys: map[uint64]*GadgetCiphertext{}}
+	for g, k := range pk.Keys {
+		if g != 5 {
+			gutted.Keys[g] = k
+		}
+	}
+	if _, err := PackRLWEs(ks, mk(4, L), gutted); err == nil {
+		t.Error("expected error for missing packing key")
+	}
+	if _, err := TraceToSubring(ks, randCiphertext(p, s, L), 2, gutted); err == nil {
+		t.Error("expected error for missing trace key")
+	}
+
+	rp := NewRepacker(ks, pk, 1)
+	e, o := randCiphertext(p, s, L), randCiphertext(p, s, L-1)
+	if _, err := rp.MergePair(e, o, 2); err == nil {
+		t.Error("expected error for mixed-level merge pair")
+	}
+	if _, err := rp.MergePair(e, randCiphertext(p, s, L), 3); err == nil {
+		t.Error("expected error for non-power-of-two merge span")
+	}
+}
+
+// TestMonomialNTTMatchesCoefficientDomain proves the table the merge kernel
+// multiplies by: for every rotation amount, pointwise multiplication by
+// NTT(X^k) is bit-identical to the coefficient-domain monomial shift.
+func TestMonomialNTTMatchesCoefficientDomain(t *testing.T) {
+	p, ks, _, _, _ := packFixture(t, 4)
+	r := p.QBasis.Rings[0]
+	n := r.N
+	s := ring.NewSampler(9)
+	for _, k := range []int{0, 1, 5, n / 2, n - 1, n, n + 3, 2*n - 1} {
+		a := r.NewPoly()
+		s.UniformPoly(r, a) // NTT-form operand
+		want := a.Copy()
+		r.INTT(want)
+		r.MulByMonomial(want, k, want)
+		r.NTT(want)
+
+		mono := ks.EnsureMonomialNTT(k)
+		got := r.NewPoly()
+		r.MulCoeffs(a, mono[0], got)
+		if !r.Equal(want, got) {
+			t.Errorf("k=%d: NTT-domain monomial multiply differs from coefficient-domain shift", k)
+		}
+	}
+}
+
+// TestHoistedRotationMatchesAutomorphism checks the decompose-once/apply-many
+// path: the hoisted rotation must decrypt to the same permuted message as the
+// plain Automorphism (the two are not bit-identical — the fast basis
+// extension sees permuted digits — but the difference stays inside key-switch
+// noise), and the Into form must match the allocating form exactly.
+func TestHoistedRotationMatchesAutomorphism(t *testing.T) {
+	p, ks, _, kg, sk := packFixture(t, 5)
+	enc := NewEncryptor(p, sk, 32)
+	dec := NewDecryptor(p, sk)
+	n := p.N()
+	msg := make([]int64, n)
+	for i := range msg {
+		msg[i] = int64(i%17) - 8
+	}
+	level := p.MaxLevel()
+	ct := enc.EncryptPolyAtLevel(encodeSigned(p, msg, level), level, 1)
+
+	h := ks.Decompose(ct.C1)
+	if h.Level() != level {
+		t.Fatalf("decomposition at level %d, want %d", h.Level(), level)
+	}
+	for _, g := range []uint64{3, 5, 9} {
+		gk := kg.GenGaloisKey(g, sk)
+		plain := ks.Automorphism(ct, g, gk)
+		hoisted := ks.ApplyGaloisHoisted(ct, h, g, gk)
+
+		into := NewCiphertext(p, level)
+		sc := ks.NewScratch()
+		ks.ApplyGaloisHoistedInto(into, ct, h, g, gk, sc)
+		if !ctsEqual(p, hoisted, into) {
+			t.Fatalf("g=%d: ApplyGaloisHoistedInto differs from ApplyGaloisHoisted", g)
+		}
+
+		// Both must decrypt to σ_g(msg).
+		expected := make([]int64, n)
+		for i := 0; i < n; i++ {
+			k := (uint64(i) * g) % uint64(2*n)
+			if k < uint64(n) {
+				expected[k] = msg[i]
+			} else {
+				expected[k-uint64(n)] = -msg[i]
+			}
+		}
+		if d := maxAbsDiff(dec.PhaseCentered(plain), expected); d > 1<<16 {
+			t.Errorf("g=%d: plain automorphism phase error %d", g, d)
+		}
+		if d := maxAbsDiff(dec.PhaseCentered(hoisted), expected); d > 1<<16 {
+			t.Errorf("g=%d: hoisted automorphism phase error %d", g, d)
+		}
+	}
+}
+
+// TestAutomorphismIntoZeroAllocs locks the allocation-free contract of the
+// merge tree's inner kernel.
+func TestAutomorphismIntoZeroAllocs(t *testing.T) {
+	p, ks, pk, _, sk := packFixture(t, 5)
+	enc := NewEncryptor(p, sk, 33)
+	msg := make([]int64, p.N())
+	for i := range msg {
+		msg[i] = int64(i % 5)
+	}
+	level := p.MaxLevel()
+	ct := enc.EncryptPolyAtLevel(encodeSigned(p, msg, level), level, 1)
+	gk := pk.Keys[3]
+	out := NewCiphertext(p, level)
+	sc := ks.NewScratch()
+	ks.AutomorphismInto(out, ct, 3, gk, sc) // warm the arena + perm cache
+
+	if avg := testing.AllocsPerRun(10, func() {
+		ks.AutomorphismInto(out, ct, 3, gk, sc)
+	}); avg != 0 {
+		t.Fatalf("AutomorphismInto allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestMergeLevelZeroAllocs locks one full merge-tree level (the unit the
+// per-worker arenas are sized for): with a warm Repacker, merging a sibling
+// pair must not touch the heap.
+func TestMergeLevelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; the allocation lock only holds in regular builds")
+	}
+	p, ks, pk, _, _ := packFixture(t, 5)
+	s := ring.NewSampler(10)
+	rp := NewRepacker(ks, pk, 1)
+	level := p.MaxLevel()
+	pair := []*Ciphertext{randCiphertext(p, s, level), randCiphertext(p, s, level)}
+	if _, err := rp.Merge(pair); err != nil { // warm arenas, perm + monomial caches
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if _, err := rp.Merge(pair); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("one merge-tree level allocates %.1f objects/op, want 0", avg)
+	}
+}

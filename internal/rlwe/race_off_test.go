@@ -1,0 +1,5 @@
+//go:build !race
+
+package rlwe
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rlwe
+
+// raceEnabled reports whether the race detector is compiled in. Under -race
+// sync.Pool intentionally drops items to widen interleavings, so pool-backed
+// zero-allocation locks cannot hold and are skipped.
+const raceEnabled = true
