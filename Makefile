@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz fmt bench-smoke
+.PHONY: build test check vet race fuzz fmt bench-smoke cover
 
 build:
 	$(GO) build ./...
@@ -27,11 +27,27 @@ bench-smoke:
 	$(GO) test -run='TestNTTZeroAllocs' ./internal/ring/
 	$(GO) test -run='TestAutomorphismIntoZeroAllocs|TestMergeLevelZeroAllocs' ./internal/rlwe/
 
+# Per-package statement-coverage gate over the packages that carry the
+# correctness burden. Floors sit ~2 points under measured head (core 90.8%,
+# cluster 80.9%, rlwe 89.7%) so the gate trips on real coverage loss — a
+# deleted test, an uncovered new subsystem — not on noise.
+cover:
+	@set -e; \
+	for spec in internal/core:88 internal/cluster:78 internal/rlwe:87; do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL: no coverage output for $$pkg"; exit 1; fi; \
+		echo "coverage $$pkg: $$pct% (floor $$floor%)"; \
+		if [ "$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p>=f)?1:0}')" != 1 ]; then \
+			echo "FAIL: $$pkg coverage $$pct% below floor $$floor%"; exit 1; \
+		fi; \
+	done
+
 # The merge gate: everything must build, vet clean, pass under the race
 # detector (the cluster chaos tests plus the concurrent-automorphism and
-# shared-key-switcher tests are the concurrency exercise), and keep the hot
-# kernels allocation-free.
-check: build vet race bench-smoke
+# shared-key-switcher tests are the concurrency exercise), keep the hot
+# kernels allocation-free, and hold the coverage floors.
+check: build vet race bench-smoke cover
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.

@@ -10,6 +10,14 @@
 //	heapbench -benchjson BENCH_repack.json
 //	                     # time the repack/Finish tail serial vs parallel
 //	                     # at the paper ring and write the numbers as JSON
+//	heapbench -trace out.json
+//	                     # run a local bootstrap with the observability layer
+//	                     # on and write a Chrome trace_event timeline (open in
+//	                     # chrome://tracing or Perfetto); also prints the
+//	                     # expvar-style metrics snapshot
+//	heapbench -cluster -trace out.json
+//	                     # same, for the distributed fault-injection demo:
+//	                     # one timeline lane per node/worker, Fig. 4 style
 //
 // The -cpuprofile and -memprofile flags write pprof profiles of whichever
 // mode runs — the intended use is profiling the blind-rotation hot path via
@@ -34,6 +42,7 @@ import (
 	"heap/internal/core"
 	"heap/internal/experiments"
 	"heap/internal/hwsim"
+	"heap/internal/obs"
 	"heap/internal/ring"
 	"heap/internal/rlwe"
 )
@@ -45,6 +54,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
 	benchJSON := flag.String("benchjson", "", "benchmark the repack/Finish tail at the paper ring and write JSON to this file")
+	trace := flag.String("trace", "", "write a Chrome trace_event timeline of the bootstrap to this file (combine with -cluster for the distributed demo)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the selected mode to this file")
 	flag.Parse()
@@ -84,7 +94,12 @@ func main() {
 			os.Exit(1)
 		}
 	case *chaos:
-		if err := runCluster(); err != nil {
+		if err := runCluster(*trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *trace != "":
+		if err := runTraceLocal(*trace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -223,12 +238,62 @@ func runBenchJSON(path string) error {
 	return nil
 }
 
+// writeTraceAndSnapshot flushes a tracer timeline to tracePath and prints the
+// metrics snapshot plus the instrumented-vs-measured accounting: the sum of
+// the pipeline-lane phase durations must agree with the end-to-end wall time
+// (they tile it; the conformance tests hold the gap under 5%).
+func writeTraceAndSnapshot(tracePath string, tracer *obs.Tracer, met *obs.Metrics, wall time.Duration) error {
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if _, err := tracer.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics snapshot:\n%s", met.JSON())
+	fmt.Printf("pipeline phases sum to %.1f ms of %.1f ms measured; timeline -> %s\n",
+		met.PipelineTotalMs(), float64(wall.Microseconds())/1e3, tracePath)
+	return nil
+}
+
+// runTraceLocal runs one fully local bootstrap with the observability layer
+// installed (Metrics aggregate + Chrome trace timeline) and writes both out.
+func runTraceLocal(tracePath string) error {
+	ctx, err := heap.NewContext(heap.TestContextConfig())
+	if err != nil {
+		return err
+	}
+	v := make([]complex128, ctx.Params.Slots)
+	for i := range v {
+		v[i] = complex(0.4, 0)
+	}
+	ct := ctx.Client.EncryptAtLevel(v, 1)
+
+	met := obs.NewMetrics()
+	tracer := obs.NewTracer()
+	ctx.Boot.SetRecorder(obs.Combine(met, tracer))
+	start := time.Now()
+	out := ctx.Boot.Bootstrap(ct)
+	wall := time.Since(start)
+	ctx.Boot.SetRecorder(nil)
+
+	fmt.Printf("local bootstrap: %v; slot0 = %.3f (want 0.400)\n",
+		wall.Round(time.Millisecond), real(ctx.Decrypt(out)[0]))
+	return writeTraceAndSnapshot(tracePath, tracer, met, wall)
+}
+
 // runCluster runs the parallelized bootstrap (§V) across three in-process
 // nodes connected by byte pipes, with one link deliberately cut mid-stream
 // to exercise the retry/reassignment path, and checks the result against a
 // purely local bootstrap of the same ciphertext (they must be bit-identical,
 // since blind rotations are deterministic and node-placement-independent).
-func runCluster() error {
+// With a non-empty tracePath the distributed run is recorded by the
+// observability layer: one timeline lane per node and local worker.
+func runCluster(tracePath string) error {
 	mk := func() (*heap.Context, error) { return heap.NewContext(heap.TestContextConfig()) }
 	primary, err := mk()
 	if err != nil {
@@ -257,14 +322,31 @@ func runCluster() error {
 	// LWE indices are reassigned to node 1 and the primary's local workers.
 	nodes[0].Conn = cluster.NewFaultConn(nodes[0].Conn, cluster.FaultPlan{Seed: 42, CutReadAfter: 8 << 10})
 
+	var (
+		met    *obs.Metrics
+		tracer *obs.Tracer
+	)
+	if tracePath != "" {
+		met, tracer = obs.NewMetrics(), obs.NewTracer()
+		primary.Boot.SetRecorder(obs.Combine(met, tracer))
+	}
 	start := time.Now()
 	out, stats, err := (&cluster.Primary{Boot: primary.Boot}).BootstrapCluster(
 		context.Background(), ct, nodes, cluster.DefaultOptions())
+	wall := time.Since(start)
+	if tracePath != "" {
+		primary.Boot.SetRecorder(nil)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("distributed bootstrap with one link cut mid-stream: %v\n%s",
-		time.Since(start).Round(time.Millisecond), stats)
+		wall.Round(time.Millisecond), stats)
+	if tracePath != "" {
+		if err := writeTraceAndSnapshot(tracePath, tracer, met, wall); err != nil {
+			return err
+		}
+	}
 
 	for i := 0; i < out.Level(); i++ {
 		for j, c := range out.C0.Limbs[i] {

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"heap"
+)
+
+// TestMultiFPGASmoke executes the whole walk-through — worker sweep,
+// distributed bootstrap over byte pipes, fault-injected chaos run with the
+// observability snapshot, hardware-model table — at a reduced ring (N=64)
+// and a short worker sweep, proving the example runs to completion.
+func TestMultiFPGASmoke(t *testing.T) {
+	cfg := heap.TestContextConfig()
+	cfg.LogN = 6
+	cfg.Slots = 32
+	cfg.Bootstrap.Workers = 2
+	if err := run(cfg, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}

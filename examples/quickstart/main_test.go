@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestQuickstartSmoke executes the full walk-through at a reduced ring
+// (N=64) so the example is proven runnable by `go test ./examples/...`
+// without the multi-second cost of the readme-scale parameters.
+func TestQuickstartSmoke(t *testing.T) {
+	if err := run(smokeConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

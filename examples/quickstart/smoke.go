@@ -1,0 +1,13 @@
+package main
+
+import "heap"
+
+// smokeConfig shrinks the walk-through to a N=64 ring with two workers: the
+// same pipeline end to end, but fast enough for the example smoke tests.
+func smokeConfig() heap.ContextConfig {
+	cfg := heap.TestContextConfig()
+	cfg.LogN = 6
+	cfg.Slots = 32
+	cfg.Bootstrap.Workers = 2
+	return cfg
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"heap/internal/core"
+	"heap/internal/obs"
 	"heap/internal/rlwe"
 	"heap/internal/tfhe"
 )
@@ -55,6 +56,7 @@ type Secondary struct {
 // soon as the BlindRotate operation is completed".
 func (s *Secondary) Serve(conn io.ReadWriter) error {
 	p := s.Boot.Params.Parameters
+	rec := s.Boot.Recorder()
 	local := helloFor(s.Boot)
 	maxBatch := p.N()
 	dim := lweDim(s.Boot)
@@ -140,12 +142,14 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 				if err := writeFrame(conn, &frame{Kind: frameAcc, Shard: f.Shard, Seq: uint32(j), Payload: payload}); err != nil {
 					return err
 				}
+				rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
 			}
 			endPayload := make([]byte, 4)
 			putU32(endPayload, uint32(len(lwes)))
 			if err := writeFrame(conn, &frame{Kind: frameBatchEnd, Shard: f.Shard, Seq: uint32(len(lwes)), Payload: endPayload}); err != nil {
 				return err
 			}
+			rec.Add(obs.CounterBytesFramed, wireSize(len(endPayload)))
 		default:
 			return fail(fmt.Errorf("cluster: unknown message kind %#x", f.Kind))
 		}
@@ -225,6 +229,8 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 	if err != nil {
 		return nil, nil, err
 	}
+	rec := p.Boot.Recorder()
+	q.rec = rec
 	sink := &accSink{mc: mc, q: q}
 	parts := len(nodes) + 1
 	chunk := (n + parts - 1) / parts
@@ -257,13 +263,18 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 		}()
 	}
 
+	// The whole fan-out — network dispatch, remote rotations, local fallback
+	// compute, and the streamed portion of the merge tree — is the pipeline's
+	// BlindRotate phase; per-node and per-worker activity lands on shard
+	// lanes inside it (nodes on lanes 0..len(nodes)-1, local workers after).
+	brTok := rec.Begin(obs.StageBlindRotate, obs.LanePipeline)
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards stats
 	for k := range nodes {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			p.runNode(ctx, nodes[k], &stats.Nodes[k], shard(k), prep, accs, q, sink, stats, &mu, opts)
+			p.runNode(ctx, nodes[k], &stats.Nodes[k], k, shard(k), prep, accs, q, sink, stats, &mu, opts)
 		}(k)
 	}
 
@@ -279,10 +290,11 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			localErrs[w] = p.runLocal(prep, accs, q, sink, stats, &mu)
+			localErrs[w] = p.runLocal(len(nodes)+w, prep, accs, q, sink, stats, &mu)
 		}(w)
 	}
 	wg.Wait()
+	rec.End(obs.StageBlindRotate, obs.LanePipeline, brTok)
 
 	if missing := prep.Missing(accs); len(missing) != 0 {
 		errs := []error{fmt.Errorf("cluster: bootstrap incomplete: %d of %d rotations missing", len(missing), n)}
@@ -301,7 +313,11 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 	if serr := sink.takeErr(); serr != nil {
 		return nil, stats, serr
 	}
+	// The streamed merge tree ran inside the BlindRotate phase; what is left
+	// of Repack here is only the final bookkeeping read.
+	rpTok := rec.Begin(obs.StageRepack, obs.LanePipeline)
 	merged, err := mc.Merged()
+	rec.End(obs.StageRepack, obs.LanePipeline, rpTok)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -351,7 +367,7 @@ func (s *accSink) takeErr() error {
 
 // runNode feeds one secondary until the queue drains or the node
 // permanently fails, reassigning whatever it could not finish.
-func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initial []int, prep *core.PreparedBootstrap,
+func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane int, initial []int, prep *core.PreparedBootstrap,
 	accs []*rlwe.Ciphertext, q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex, opts Options) {
 
 	conn := node.Conn
@@ -359,6 +375,7 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 	rng := &splitmix{s: opts.JitterSeed ^ hashName(ns.Name)}
 	var batch uint32
 	attempts := 0
+	resend := false
 
 	giveUp := func(task []int, err error) {
 		pending := pendingOf(task, accs)
@@ -427,10 +444,11 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 			handshaken = true
 		}
 
-		err := p.dispatchBatch(conn, batch, task, prep, accs, q, sink, ns, mu, opts)
+		err := p.dispatchBatch(conn, batch, lane, resend, task, prep, accs, q, sink, ns, mu, opts)
 		batch++
 		if err == nil {
 			attempts = 0
+			resend = false
 			task = q.pop()
 			continue
 		}
@@ -444,9 +462,11 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 		if len(task) == 0 {
 			// Every accumulator arrived before the stream broke (e.g. a
 			// corrupted batch-end frame) — nothing to retry.
+			resend = false
 			task = q.pop()
 			continue
 		}
+		resend = true
 		attempts++
 		if node.Dial == nil || attempts > opts.MaxRetries {
 			giveUp(task, err)
@@ -466,11 +486,12 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, initia
 // BlindRotateOne — both its initial shard and anything reassigned after a
 // secondary failure. A panic here is recovered, surfaced, and aborts the
 // bootstrap (the primary cannot fall back to anyone else).
-func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
+func (p *Primary) runLocal(lane int, prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
 	q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex) error {
 
 	// The retained accumulators must be fresh per index, but the kernel
 	// scratch is this worker's alone and lives for the whole drain.
+	rec := p.Boot.Recorder()
 	sc := p.Boot.NewRotateScratch()
 	for {
 		task := q.pop()
@@ -482,10 +503,13 @@ func (p *Primary) runLocal(prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext
 				return nil
 			}
 			acc := p.Boot.NewAccumulator()
+			tok := rec.Begin(obs.StageBlindRotate, lane)
 			if err := safeRotateInto(p.Boot, acc, prep.LWEs[idx], sc); err != nil {
+				rec.End(obs.StageBlindRotate, lane, tok)
 				q.abort()
 				return fmt.Errorf("cluster: local blind rotation of index %d: %w", idx, err)
 			}
+			rec.End(obs.StageBlindRotate, lane, tok)
 			accs[idx] = acc
 			q.done(1)
 			mu.Lock()
@@ -525,9 +549,10 @@ func (p *Primary) handshake(conn io.ReadWriter, opts Options) error {
 // dispatchBatch sends one LWE batch and collects the accumulator stream,
 // marking every index complete as its accumulator arrives, so that a
 // failure mid-stream loses only the not-yet-received indices.
-func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, prep *core.PreparedBootstrap,
+func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, resend bool, idxs []int, prep *core.PreparedBootstrap,
 	accs []*rlwe.Ciphertext, q *workQueue, sink *accSink, ns *NodeStats, mu *sync.Mutex, opts Options) error {
 
+	rec := p.Boot.Recorder()
 	disarm := armTimeout(conn, opts.BatchTimeout)
 	timedOut := false
 	defer func() {
@@ -542,12 +567,20 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, pr
 		return err
 	}
 
+	sendTok := rec.Begin(obs.StageNetSend, lane)
 	payload, err := encodeBatch(idxs, prep.LWEs)
 	if err != nil {
+		rec.End(obs.StageNetSend, lane, sendTok)
 		return err
 	}
-	if err := writeFrame(conn, &frame{Kind: frameBatch, Shard: shard, Seq: 0, Payload: payload}); err != nil {
-		return wrap(fmt.Errorf("cluster: batch send: %w", err))
+	werr := writeFrame(conn, &frame{Kind: frameBatch, Shard: shard, Seq: 0, Payload: payload})
+	rec.End(obs.StageNetSend, lane, sendTok)
+	rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
+	if resend {
+		rec.Add(obs.CounterBytesRetried, wireSize(len(payload)))
+	}
+	if werr != nil {
+		return wrap(fmt.Errorf("cluster: batch send: %w", werr))
 	}
 	mu.Lock()
 	ns.Dispatched += len(idxs)
@@ -559,11 +592,18 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, pr
 	for _, idx := range idxs {
 		want[idx] = true
 	}
+	rec.Gauge(obs.GaugeInFlightShards, int64(len(want)))
+	// Whatever is still outstanding when the stream ends — cleanly or not —
+	// leaves flight here.
+	defer func() { rec.Gauge(obs.GaugeInFlightShards, -int64(len(want))) }()
+	recvTok := rec.Begin(obs.StageNetRecv, lane)
+	defer func() { rec.End(obs.StageNetRecv, lane, recvTok) }()
 	for seq := 0; ; seq++ {
 		f, err := readFrame(conn, maxPayload)
 		if err != nil {
 			return wrap(err)
 		}
+		rec.Add(obs.CounterBytesFramed, wireSize(len(f.Payload)))
 		if f.Shard != shard {
 			return fmt.Errorf("cluster: frame for shard %d while awaiting shard %d", f.Shard, shard)
 		}
@@ -585,6 +625,7 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, idxs []int, pr
 				return fmt.Errorf("cluster: accumulator for unrequested index %d", idx)
 			}
 			delete(want, idx)
+			rec.Gauge(obs.GaugeInFlightShards, -1)
 			accs[idx] = acc
 			q.done(1)
 			mu.Lock()

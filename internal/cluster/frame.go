@@ -43,6 +43,13 @@ const (
 	maxErrorPayload = 1 << 10
 )
 
+// wireSize is the on-the-wire byte count of a frame with the given payload
+// length — header, payload, and CRC trailer. The observability byte counters
+// use it so that framing overhead is accounted exactly.
+func wireSize(payloadLen int) uint64 {
+	return uint64(frameHeaderSize + payloadLen + frameTrailerSize)
+}
+
 // Frame kinds.
 const (
 	frameHello    = uint32(0x4845_4C4F) // "HELO"

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"heap/internal/obs"
+)
+
+// TestClusterTraceAccounting locks the observability contract of a
+// distributed bootstrap: the pipeline phases recorded on the primary tile
+// its end-to-end wall time within 5%, the per-node network spans land on
+// shard lanes, byte counters account the framed traffic on both endpoints,
+// and the flight/queue gauges return to zero.
+func TestClusterTraceAccounting(t *testing.T) {
+	params, cl, btPrimary := buildNode(t)
+	_, _, btSec := buildNode(t)
+
+	v := make([]complex128, params.Slots)
+	for i := range v {
+		v[i] = complex(0.3*float64(i%7)/7, 0)
+	}
+	ct := cl.EncryptAtLevel(v, 1)
+
+	cp, cs := net.Pipe()
+	secMet := obs.NewMetrics()
+	btSec.SetRecorder(secMet)
+	done := make(chan error, 1)
+	go func() { done <- (&Secondary{Boot: btSec}).Serve(cs) }()
+
+	met := obs.NewMetrics()
+	tracer := obs.NewTracer()
+	btPrimary.SetRecorder(obs.Combine(met, tracer))
+	primary := &Primary{Boot: btPrimary}
+	nodes := []*Node{{Conn: cp, Name: "sec-0"}}
+	start := time.Now()
+	out, stats, err := primary.BootstrapCluster(context.Background(), ct, nodes, DefaultOptions())
+	wallMs := float64(time.Since(start).Microseconds()) / 1e3
+	btPrimary.SetRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || stats.Total != params.N() {
+		t.Fatalf("unexpected result: out=%v stats=%+v", out != nil, stats)
+	}
+	if err := Shutdown(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("secondary error: %v", err)
+	}
+
+	pipeMs := met.PipelineTotalMs()
+	if diff := pipeMs - wallMs; diff < -0.05*wallMs || diff > 0.05*wallMs {
+		t.Errorf("pipeline phases sum to %.3f ms, measured wall %.3f ms (>5%% apart)", pipeMs, wallMs)
+	}
+
+	snap := met.Snapshot()
+	for _, stage := range []string{"ModSwitch", "Extract", "BlindRotate", "Repack", "Finish"} {
+		if st := snap.Pipeline[stage]; st.Count != 1 {
+			t.Errorf("pipeline stage %s: want exactly one span, got %+v", stage, st)
+		}
+	}
+	if snap.Shards["NetSend"].Count == 0 || snap.Shards["NetRecv"].Count == 0 {
+		t.Errorf("network spans missing from shard lanes: %+v", snap.Shards)
+	}
+	// Every rotation ran somewhere: remotely (received over the wire) or on
+	// the primary's local workers (shard-lane BlindRotate spans).
+	remote := 0
+	for i := range stats.Nodes {
+		remote += stats.Nodes[i].Completed
+	}
+	if got := int(snap.Shards["BlindRotate"].Count); got != stats.Local {
+		t.Errorf("local shard-lane rotations = %d, want stats.Local = %d", got, stats.Local)
+	}
+	if remote+stats.Local != stats.Total {
+		t.Errorf("remote %d + local %d != total %d", remote, stats.Local, stats.Total)
+	}
+
+	// The primary frames one batch per dispatch and receives one frame per
+	// accumulator plus one batch-end; the secondary frames the accumulator
+	// stream. Exact byte counts depend on scheduling, but both endpoints
+	// must have counted traffic, and the primary must have seen at least the
+	// secondary's accumulator payloads.
+	pBytes := met.Counter(obs.CounterBytesFramed)
+	sBytes := secMet.Counter(obs.CounterBytesFramed)
+	if pBytes == 0 || sBytes == 0 {
+		t.Errorf("bytes_framed: primary %d, secondary %d — both must be nonzero", pBytes, sBytes)
+	}
+	if pBytes < sBytes {
+		t.Errorf("primary framed %d bytes < secondary's %d (must include the received accumulator stream)", pBytes, sBytes)
+	}
+	for g := obs.Gauge(0); int(g) < obs.NumGauges; g++ {
+		if v := met.GaugeValue(g); v != 0 {
+			t.Errorf("gauge %s = %d after completion, want 0", g, v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := tracer.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := tr.PipelineTotalMs() - wallMs; diff < -0.05*wallMs || diff > 0.05*wallMs {
+		t.Errorf("trace pipeline spans sum to %.3f ms, measured wall %.3f ms (>5%% apart)",
+			tr.PipelineTotalMs(), wallMs)
+	}
+	var netSpans int
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase == "X" && (ev.Name == "NetSend" || ev.Name == "NetRecv") {
+			if ev.Cat != "shard" || ev.Tid != 1 {
+				t.Errorf("%s span on cat=%q tid=%d, want shard lane 0 (tid 1)", ev.Name, ev.Cat, ev.Tid)
+			}
+			netSpans++
+		}
+	}
+	if netSpans == 0 {
+		t.Error("trace has no network spans")
+	}
+}
+
+// TestClusterRetryBytesAccounted locks the bytes_retried counter: when a
+// node's stream breaks mid-batch and the node reconnects via Dial, the
+// re-dispatched batch is counted as retried traffic.
+func TestClusterRetryBytesAccounted(t *testing.T) {
+	params, cl, btPrimary := buildNode(t)
+	_, _, btSec := buildNode(t)
+
+	v := make([]complex128, params.Slots)
+	for i := range v {
+		v[i] = complex(0.25, 0)
+	}
+	ct := cl.EncryptAtLevel(v, 1)
+
+	serve := func() io.ReadWriter {
+		cp, cs := net.Pipe()
+		go func() { _ = (&Secondary{Boot: btSec}).Serve(cs) }()
+		return cp
+	}
+	// First connection dies after a little accumulator traffic; the Dial
+	// function hands out a healthy replacement.
+	first := NewFaultConn(serve(), FaultPlan{Seed: 7, CutReadAfter: 4 << 10})
+	nodes := []*Node{{
+		Conn: first,
+		Dial: func() (io.ReadWriter, error) { return serve(), nil },
+		Name: "flaky-0",
+	}}
+
+	met := obs.NewMetrics()
+	btPrimary.SetRecorder(met)
+	primary := &Primary{Boot: btPrimary}
+	out, stats, err := primary.BootstrapCluster(context.Background(), ct, nodes, DefaultOptions())
+	btPrimary.SetRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("bootstrap returned nil")
+	}
+	if stats.Nodes[0].Retries == 0 {
+		t.Skip("link survived the fault plan; nothing was retried")
+	}
+	if met.Counter(obs.CounterBytesRetried) == 0 {
+		t.Error("node retried but bytes_retried counter did not move")
+	}
+	if met.Counter(obs.CounterBytesFramed) <= met.Counter(obs.CounterBytesRetried) {
+		t.Errorf("bytes_framed %d must exceed bytes_retried %d",
+			met.Counter(obs.CounterBytesFramed), met.Counter(obs.CounterBytesRetried))
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"heap/internal/obs"
 )
 
 // Node describes one secondary the primary can dispatch to.
@@ -120,10 +122,11 @@ type workQueue struct {
 	tasks     [][]int
 	remaining int
 	aborted   bool
+	rec       obs.Recorder // queue-depth gauge; set before workers start
 }
 
 func newWorkQueue(total int) *workQueue {
-	q := &workQueue{remaining: total}
+	q := &workQueue{remaining: total, rec: obs.Nop{}}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -136,6 +139,7 @@ func (q *workQueue) push(idxs []int) {
 	q.mu.Lock()
 	q.tasks = append(q.tasks, idxs)
 	q.mu.Unlock()
+	q.rec.Gauge(obs.GaugeQueueDepth, int64(len(idxs)))
 	q.cond.Broadcast()
 }
 
@@ -150,6 +154,7 @@ func (q *workQueue) pop() []int {
 		if len(q.tasks) > 0 {
 			t := q.tasks[0]
 			q.tasks = q.tasks[1:]
+			q.rec.Gauge(obs.GaugeQueueDepth, -int64(len(t)))
 			return t
 		}
 		q.cond.Wait()

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"heap/internal/ckks"
+	"heap/internal/obs"
 	"heap/internal/ring"
 	"heap/internal/rlwe"
 	"heap/internal/tfhe"
@@ -69,7 +70,23 @@ type Bootstrapper struct {
 	pAux     uint64   // the reserved auxiliary prime (last limb)
 	pScalar  int64    // round(p / 2N)
 	invNModQ []uint64 // N^{-1} mod each limb, for the sparse ct′ pre-scale
+
+	// rec receives pipeline-stage spans and kernel counters; always non-nil
+	// (Nop by default, so the uninstrumented path stays allocation-free).
+	rec obs.Recorder
 }
+
+// SetRecorder installs the observability recorder for this bootstrapper and
+// the shared key switcher beneath it (kernel counters: NTTs, external
+// products, key switches, merges). Pass nil to disable. Not safe to call
+// concurrently with a running bootstrap.
+func (bt *Bootstrapper) SetRecorder(r obs.Recorder) {
+	bt.rec = obs.OrNop(r)
+	bt.ks.SetRecorder(bt.rec)
+}
+
+// Recorder returns the installed recorder (Nop when none was set).
+func (bt *Bootstrapper) Recorder() obs.Recorder { return bt.rec }
 
 // AppMaxLevel is the highest level application ciphertexts may use: the top
 // limb is the bootstrap's auxiliary prime.
@@ -98,7 +115,7 @@ func NewBootstrapper(params *ckks.Parameters, kg *rlwe.KeyGenerator, sk *rlwe.Se
 			twoN, params.Q[0])
 	}
 
-	bt := &Bootstrapper{Params: params, Cfg: cfg}
+	bt := &Bootstrapper{Params: params, Cfg: cfg, rec: obs.Nop{}}
 	bt.ks = rlwe.NewKeySwitcher(params.Parameters)
 	bt.tfheEv = tfhe.NewEvaluator(params.Parameters, bt.ks)
 
@@ -205,18 +222,22 @@ func (bt *Bootstrapper) PrepareSparse(ct *rlwe.Ciphertext, count int) *PreparedB
 	if ct.Level() != 1 {
 		panic("core: scheme-switching bootstrap input must be at level 1")
 	}
+	tok := bt.rec.Begin(obs.StageModSwitch, obs.LanePipeline)
 	b1 := p.QBasis.AtLevel(1)
 	c0 := ct.C0.Limbs[0].Copy()
 	c1 := ct.C1.Limbs[0].Copy()
 	if ct.IsNTT {
 		b1.Rings[0].INTT(c0)
 		b1.Rings[0].INTT(c1)
+		bt.rec.Add(obs.CounterNTT, 2)
 	}
 	ms := bt.modSwitchExact(c0, c1)
+	bt.rec.End(obs.StageModSwitch, obs.LanePipeline, tok)
 	twoN := uint64(2 * n)
 	prep := &PreparedBootstrap{rC0: ms.rC0, rC1: ms.rC1, Scale: ct.Scale, Count: count}
 	gap := n / count
 	prep.LWEs = make([]*rlwe.LWECiphertext, count)
+	tok = bt.rec.Begin(obs.StageExtract, obs.LanePipeline)
 	for i := 0; i < count; i++ {
 		lwe := rlwe.ExtractLWEFromPolys(ms.alphaC0, ms.alphaC1, twoN, i*gap)
 		if bt.Cfg.NT != 0 {
@@ -225,6 +246,7 @@ func (bt *Bootstrapper) PrepareSparse(ct *rlwe.Ciphertext, count int) *PreparedB
 		}
 		prep.LWEs[i] = lwe
 	}
+	bt.rec.End(obs.StageExtract, obs.LanePipeline, tok)
 	return prep
 }
 
@@ -286,6 +308,7 @@ func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ci
 	if workers < 1 {
 		workers = 1
 	}
+	tok := bt.rec.Begin(obs.StageBlindRotate, obs.LanePipeline)
 	var wg sync.WaitGroup
 	chunk := (len(missing) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -297,7 +320,7 @@ func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ci
 			continue
 		}
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(lane int, idxs []int) {
 			defer wg.Done()
 			// One scratch arena per worker: only the retained accumulators
 			// are allocated; every kernel intermediate is reused across the
@@ -305,12 +328,15 @@ func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ci
 			sc := bt.NewRotateScratch()
 			for _, i := range idxs {
 				acc := bt.NewAccumulator()
+				st := bt.rec.Begin(obs.StageBlindRotate, lane)
 				bt.BlindRotateOneInto(acc, prep.LWEs[i], sc)
+				bt.rec.End(obs.StageBlindRotate, lane, st)
 				accs[i] = acc
 			}
-		}(missing[lo:hi])
+		}(w, missing[lo:hi])
 	}
 	wg.Wait()
+	bt.rec.End(obs.StageBlindRotate, obs.LanePipeline, tok)
 }
 
 // Finish executes steps 4–5 of Algorithm 2 on the collected accumulators:
@@ -331,6 +357,7 @@ func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext)
 	if err != nil {
 		return nil, err
 	}
+	tok := bt.rec.Begin(obs.StageRepack, obs.LanePipeline)
 	workers := bt.Cfg.Workers
 	if workers > count {
 		workers = count
@@ -364,6 +391,7 @@ func (bt *Bootstrapper) Finish(prep *PreparedBootstrap, accs []*rlwe.Ciphertext)
 		}
 	}
 	merged, err := mc.Merged()
+	bt.rec.End(obs.StageRepack, obs.LanePipeline, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -384,6 +412,8 @@ func (bt *Bootstrapper) FinishMerged(prep *PreparedBootstrap, merged *rlwe.Ciphe
 // finishMerged adds ct′, runs the shared trace, and rescales by the
 // auxiliary prime. ctKq is consumed.
 func (bt *Bootstrapper) finishMerged(prep *PreparedBootstrap, ctKq *rlwe.Ciphertext, count int) (*rlwe.Ciphertext, error) {
+	tok := bt.rec.Begin(obs.StageFinish, obs.LanePipeline)
+	defer bt.rec.End(obs.StageFinish, obs.LanePipeline, tok)
 	p := bt.Params
 	n := p.N()
 	level := p.MaxLevel()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"heap/internal/obs"
 	"heap/internal/rlwe"
 )
 
@@ -79,6 +80,7 @@ func (mc *MergeCollector) Add(idx int, acc *rlwe.Ciphertext) error {
 		bL.NTT(acc.C0)
 		bL.NTT(acc.C1)
 		acc.IsNTT = true
+		mc.bt.rec.Add(obs.CounterNTT, uint64(2*acc.Level()))
 	}
 
 	node, l, i := acc, 0, idx

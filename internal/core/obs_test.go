@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"heap/internal/obs"
+)
+
+// TestBootstrapTraceAccounting locks the observability contract of a local
+// bootstrap: the five pipeline-lane phases tile the end-to-end wall time
+// (their sum must agree within 5%), the emitted Chrome trace parses and
+// carries the same accounting, and the kernel counters report exactly the
+// work Algorithm 2 prescribes for the chosen n_br.
+func TestBootstrapTraceAccounting(t *testing.T) {
+	params, cl, _, bt := testSetup(t, 4)
+	const count = 64
+	v := testVector(params.Slots)
+	ct := cl.EncryptAtLevel(v, 1)
+
+	met := obs.NewMetrics()
+	tracer := obs.NewTracer()
+	bt.SetRecorder(obs.Combine(met, tracer))
+	start := time.Now()
+	out := bt.BootstrapSparse(ct, count)
+	wallMs := float64(time.Since(start).Microseconds()) / 1e3
+	bt.SetRecorder(nil)
+	if out == nil {
+		t.Fatal("bootstrap returned nil")
+	}
+
+	pipeMs := met.PipelineTotalMs()
+	if diff := pipeMs - wallMs; diff < -0.05*wallMs || diff > 0.05*wallMs {
+		t.Errorf("pipeline phases sum to %.3f ms, measured wall %.3f ms (>5%% apart)", pipeMs, wallMs)
+	}
+
+	snap := met.Snapshot()
+	for _, stage := range []string{"ModSwitch", "Extract", "BlindRotate", "Repack", "Finish"} {
+		st, ok := snap.Pipeline[stage]
+		if !ok || st.Count != 1 {
+			t.Errorf("pipeline stage %s: want exactly one span, got %+v", stage, st)
+		}
+	}
+	if sh := snap.Shards["BlindRotate"]; sh.Count != count {
+		t.Errorf("shard-lane blind rotations: got %d, want %d", sh.Count, count)
+	}
+
+	if got := met.Counter(obs.CounterBlindRotate); got != count {
+		t.Errorf("blind_rotates = %d, want %d", got, count)
+	}
+	if got := met.Counter(obs.CounterMerge); got != count-1 {
+		t.Errorf("merges = %d, want %d (one per merge-tree node)", got, count-1)
+	}
+	// Ternary-key blind rotation: two CMux external products per nonzero
+	// mask element — data-dependent, but never zero for a real ciphertext.
+	if met.Counter(obs.CounterExternalProduct) == 0 || met.Counter(obs.CounterNTT) == 0 {
+		t.Error("external-product / NTT counters did not move")
+	}
+	for g := obs.Gauge(0); int(g) < obs.NumGauges; g++ {
+		if v := met.GaugeValue(g); v != 0 {
+			t.Errorf("gauge %s = %d after completion, want 0", g, v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := tracer.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := tr.PipelineTotalMs() - wallMs; diff < -0.05*wallMs || diff > 0.05*wallMs {
+		t.Errorf("trace pipeline spans sum to %.3f ms, measured wall %.3f ms (>5%% apart)",
+			tr.PipelineTotalMs(), wallMs)
+	}
+	var pipeSpans, shardSpans int
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Phase == "X" && ev.Cat == "pipeline":
+			pipeSpans++
+			if ev.Tid != 0 {
+				t.Errorf("pipeline span %q on tid %d, want 0", ev.Name, ev.Tid)
+			}
+		case ev.Phase == "X" && ev.Cat == "shard":
+			shardSpans++
+			if ev.Tid < 1 {
+				t.Errorf("shard span %q on tid %d, want >= 1", ev.Name, ev.Tid)
+			}
+		}
+	}
+	if pipeSpans != 5 {
+		t.Errorf("trace has %d pipeline spans, want 5", pipeSpans)
+	}
+	if shardSpans != count {
+		t.Errorf("trace has %d shard spans, want %d", shardSpans, count)
+	}
+}
+
+// TestRecorderDefaultsToNop locks that an uninstrumented bootstrapper carries
+// the Nop recorder (never nil) and that SetRecorder(nil) restores it.
+func TestRecorderDefaultsToNop(t *testing.T) {
+	_, _, _, bt := testSetup(t, 1)
+	if _, ok := bt.Recorder().(obs.Nop); !ok {
+		t.Fatalf("fresh bootstrapper recorder is %T, want obs.Nop", bt.Recorder())
+	}
+	bt.SetRecorder(obs.NewMetrics())
+	if _, ok := bt.Recorder().(*obs.Metrics); !ok {
+		t.Fatalf("recorder after SetRecorder is %T, want *obs.Metrics", bt.Recorder())
+	}
+	bt.SetRecorder(nil)
+	if _, ok := bt.Recorder().(obs.Nop); !ok {
+		t.Fatalf("recorder after SetRecorder(nil) is %T, want obs.Nop", bt.Recorder())
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"heap/internal/ckks"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// Committed precision bounds for the end-to-end bootstrap regression. The
+// whole pipeline is deterministic — seeded key generation, seeded encryption
+// noise, integer kernels — so the decoded slot error is a reproducible
+// number; the bounds carry ~5× headroom over the measured values and exist
+// to catch precision regressions (a broken rescale, a lost limb, a bad
+// lookup table), not to re-derive the noise analysis (DESIGN.md does that).
+const (
+	// maxSlotErrExact bounds the exact-mode (NT=0) bootstrap at N=64:
+	// measured ≈6e-6 of blind-rotate/packing noise only.
+	maxSlotErrExact = 2e-4
+	// maxSlotErrKS bounds the n_t-mode bootstrap of the core test fixture
+	// (N=256, n_t=24): dominated by the key-switch rounding error, measured
+	// ≈0.30 against an analytic bound of 0.46.
+	maxSlotErrKS = 0.40
+)
+
+// TestBootstrapPrecisionRegression bootstraps a freshly exhausted ciphertext
+// at small parameters, decrypts, and asserts the max slot error stays below
+// the committed bounds — the precision contract of Algorithm 2 end to end.
+func TestBootstrapPrecisionRegression(t *testing.T) {
+	t.Run("exact", func(t *testing.T) {
+		logN := 6
+		q := ring.GenerateNTTPrimes(30, logN, 3)
+		p := ring.GenerateNTTPrimesUp(31, logN, 2)
+		params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<28), 1<<(logN-1))
+		kg := rlwe.NewKeyGenerator(params.Parameters, 70)
+		sk := kg.GenSecretKey(rlwe.SecretTernary)
+		cl := ckks.NewClient(params, sk, 71)
+		cfg := DefaultConfig()
+		cfg.NT = 0
+		cfg.Workers = 2
+		bt, err := NewBootstrapper(params, kg, sk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := testVector(params.Slots)
+		out := bt.Bootstrap(cl.EncryptAtLevel(v, 1))
+		if out.Level() != bt.AppMaxLevel() {
+			t.Fatalf("output level %d, want %d", out.Level(), bt.AppMaxLevel())
+		}
+		e := worstErr(cl.Decrypt(out), v)
+		t.Logf("exact-mode max slot error: %g (committed bound %g)", e, maxSlotErrExact)
+		if e > maxSlotErrExact {
+			t.Errorf("max slot error %g exceeds the committed bound %g", e, maxSlotErrExact)
+		}
+	})
+	t.Run("keyswitched", func(t *testing.T) {
+		params, cl, _, bt := testSetup(t, 4)
+		v := testVector(params.Slots)
+		out := bt.Bootstrap(cl.EncryptAtLevel(v, 1))
+		e := worstErr(cl.Decrypt(out), v)
+		t.Logf("n_t-mode max slot error: %g (committed bound %g)", e, maxSlotErrKS)
+		if e > maxSlotErrKS {
+			t.Errorf("max slot error %g exceeds the committed bound %g", e, maxSlotErrKS)
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package experiments
+
+// Golden is the serializable snapshot of every generated report: the exact
+// rendered text of Tables II–VIII plus the key and area reports. All of them
+// are pure functions of the calibrated hardware model, the workload
+// schedules, and the published baseline numbers — no wall-clock measurement
+// enters — so the snapshot is bit-stable across runs and platforms and is
+// committed as testdata/tables_golden.json. The conformance tests fail on
+// any drift: a model change, a baseline edit, or a formatting change all
+// require regenerating the golden file (go test -run Golden -args -update)
+// and reviewing the diff.
+type Golden struct {
+	Tables map[string]string `json:"tables"`
+}
+
+// CurrentGolden renders every report at head.
+func CurrentGolden() Golden {
+	return Golden{Tables: map[string]string{
+		"table2": Table2(),
+		"table3": Table3(),
+		"table4": Table4(),
+		"table5": Table5(),
+		"table6": Table6(),
+		"table7": Table7(),
+		"table8": Table8(),
+		"keys":   KeyReport(),
+		"area":   AreaReport(),
+	}}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"heap/internal/hwsim"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/tables_golden.json from the current model")
+
+const goldenPath = "testdata/tables_golden.json"
+
+func loadGolden(t *testing.T) Golden {
+	t.Helper()
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -args -update): %v", err)
+	}
+	var g Golden
+	if err := json.Unmarshal(blob, &g); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	return g
+}
+
+func marshalGolden(t *testing.T, g Golden) []byte {
+	t.Helper()
+	blob, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(blob, '\n')
+}
+
+// TestTablesMatchGolden locks every generated report — Tables II–VIII, the
+// key-traffic report, the area report — bit for bit against the committed
+// golden file. heapbench prints these strings verbatim, so this is the
+// conformance lock on the whole `heapbench` output surface.
+func TestTablesMatchGolden(t *testing.T) {
+	got := CurrentGolden()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, marshalGolden(t, got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want := loadGolden(t)
+	for name, wantText := range want.Tables {
+		gotText, ok := got.Tables[name]
+		if !ok {
+			t.Errorf("report %q present in golden but no longer generated", name)
+			continue
+		}
+		if gotText != wantText {
+			t.Errorf("report %q drifted from golden:\n%s", name, firstDiff(wantText, gotText))
+		}
+	}
+	for name := range got.Tables {
+		if _, ok := want.Tables[name]; !ok {
+			t.Errorf("report %q generated but missing from golden (regenerate with -args -update)", name)
+		}
+	}
+}
+
+// firstDiff renders the first differing line pair for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "(identical?)"
+}
+
+// nonFinite matches the strconv renderings of NaN/±Inf as standalone tokens
+// (word-bounded, so "Inference" does not trip it).
+var nonFinite = regexp.MustCompile(`\b(NaN|[+-]?Inf)\b`)
+
+// TestTablesFinite asserts every report actually carries numbers and none of
+// them degenerated to NaN or Inf — the "measured values present and finite"
+// half of the conformance contract.
+func TestTablesFinite(t *testing.T) {
+	for name, text := range CurrentGolden().Tables {
+		if strings.TrimSpace(text) == "" {
+			t.Errorf("report %q is empty", name)
+			continue
+		}
+		if m := nonFinite.FindString(text); m != "" {
+			t.Errorf("report %q contains non-finite value %q:\n%s", name, m, text)
+		}
+		if !strings.ContainsAny(text, "0123456789") {
+			t.Errorf("report %q carries no numeric values:\n%s", name, text)
+		}
+	}
+}
+
+// TestPaperColumnsExact spot-checks that the paper's published values appear
+// verbatim in the rendered tables: the golden lock catches drift, this test
+// pins the provenance of the paper columns themselves.
+func TestPaperColumnsExact(t *testing.T) {
+	g := CurrentGolden()
+	// Table V quotes the paper's amortized multiplication time for HEAP.
+	if want := fmt.Sprintf("paper %.3f µs", hwsim.PaperHEAPTMultUs); !strings.Contains(g.Tables["table5"], want) {
+		t.Errorf("table5 lost the paper T_mult value %q", want)
+	}
+	// Table II quotes the paper's published resource counts.
+	paper, _ := hwsim.PaperResourceTable()
+	for _, v := range []int{paper.LUTs, paper.DSPs, paper.URAMs} {
+		if want := fmt.Sprintf("%10d", v); !strings.Contains(g.Tables["table2"], want) {
+			t.Errorf("table2 lost the paper resource value %d", v)
+		}
+	}
+	// Table VIII's CPU columns are the paper's measurements.
+	for _, r := range hwsim.TableVIIIBaselines() {
+		if want := fmt.Sprintf("%12.3f", r.CKKSCPU); !strings.Contains(g.Tables["table8"], want) {
+			t.Errorf("table8 lost the paper CKKS@CPU value %.3f for %s", r.CKKSCPU, r.Workload)
+		}
+	}
+}
+
+// TestGoldenDetectsMutation proves the conformance comparison actually bites:
+// flipping a single digit anywhere in a golden table must be detected. (The
+// same property was exercised end-to-end by mutating a baseline value and
+// watching TestTablesMatchGolden fail.)
+func TestGoldenDetectsMutation(t *testing.T) {
+	want := loadGolden(t)
+	got := CurrentGolden()
+	for name, text := range want.Tables {
+		idx := strings.IndexAny(text, "0123456789")
+		if idx < 0 {
+			t.Fatalf("golden report %q has no digit to mutate", name)
+		}
+		mutated := text[:idx] + string('0'+('9'-text[idx])%10) + text[idx+1:]
+		if mutated == got.Tables[name] {
+			t.Errorf("mutated %q still matches the generated report — comparison is vacuous", name)
+		}
+	}
+}
+
+// TestAllComposesReports locks that heapbench's default mode (All) is exactly
+// the individual reports joined in order — no report silently dropped.
+func TestAllComposesReports(t *testing.T) {
+	all := All()
+	for _, part := range []string{Table2(), Table3(), Table4(), Table5(), Table6(), Table7(), Table8(), KeyReport(), AreaReport()} {
+		if !strings.Contains(all, part) {
+			t.Errorf("All() is missing a report:\n%s", part)
+		}
+	}
+}

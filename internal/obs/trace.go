@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// traceEvent is one Chrome trace_event "complete" (ph:"X") record. The
+// format is the trace-event JSON the about:tracing / Perfetto UIs consume:
+// timestamps and durations in microseconds, pid/tid grouping events into
+// lanes. We map the bootstrap pipeline onto tid 0 and each shard lane
+// (cluster node or local worker) onto tid lane+1, so a cluster run renders
+// exactly like the paper's Fig. 4 overlap schedule: one row per node,
+// blind rotations overlapping the network send/receive spans.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records a Chrome trace_event timeline of the bootstrap pipeline.
+// Unlike Metrics it allocates (one event per span), so it is a debugging /
+// profiling recorder, not an always-on one; installing it costs one short
+// mutex section per completed span.
+type Tracer struct {
+	mu       sync.Mutex
+	baseNs   int64 // epoch offset of the tracer's t=0
+	events   []traceEvent
+	maxLanes int
+}
+
+// NewTracer returns a tracer whose timeline starts at the moment of the
+// call.
+func NewTracer() *Tracer {
+	return &Tracer{baseNs: nowNanos()}
+}
+
+func (tr *Tracer) Begin(s Stage, lane int) Token { return Token(nowNanos()) }
+
+func (tr *Tracer) End(s Stage, lane int, t Token) {
+	end := nowNanos()
+	start := int64(t)
+	if start < tr.baseNs {
+		start = tr.baseNs
+	}
+	if end < start {
+		end = start
+	}
+	tid := 0
+	if lane != LanePipeline {
+		tid = lane + 1
+	}
+	cat := "shard"
+	if lane == LanePipeline {
+		cat = "pipeline"
+	}
+	ev := traceEvent{
+		Name:  s.String(),
+		Cat:   cat,
+		Phase: "X",
+		TsUs:  float64(start-tr.baseNs) / 1e3,
+		DurUs: float64(end-start) / 1e3,
+		Pid:   1,
+		Tid:   tid,
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, ev)
+	if tid >= tr.maxLanes {
+		tr.maxLanes = tid
+	}
+	tr.mu.Unlock()
+}
+
+// Counters and gauges are Metrics' job; the tracer records spans only.
+func (tr *Tracer) Add(Counter, uint64) {}
+func (tr *Tracer) Gauge(Gauge, int64)  {}
+
+// Trace is the decoded shape of the emitted JSON, shared with the tests
+// that validate heapbench -trace output.
+type Trace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEvent mirrors traceEvent with exported JSON tags for decoding.
+type TraceEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	TsUs  float64 `json:"ts"`
+	DurUs float64 `json:"dur"`
+	Pid   int     `json:"pid"`
+	Tid   int     `json:"tid"`
+}
+
+// PipelineTotalMs sums the durations of the pipeline-lane phase spans — the
+// quantity that must agree (within scheduling epsilon) with the measured
+// end-to-end bootstrap time.
+func (t *Trace) PipelineTotalMs() float64 {
+	var us float64
+	for _, ev := range t.TraceEvents {
+		if ev.Phase == "X" && ev.Cat == "pipeline" {
+			us += ev.DurUs
+		}
+	}
+	return us / 1e3
+}
+
+// WriteTo emits the timeline as Chrome trace_event JSON (the
+// {"traceEvents": [...]} object form). Events are sorted by start time and
+// prefixed with thread_name metadata so the lanes are labeled in the
+// viewer. The tracer stays usable afterwards; WriteTo snapshots the events
+// recorded so far.
+func (tr *Tracer) WriteTo(w io.Writer) (int64, error) {
+	tr.mu.Lock()
+	events := make([]traceEvent, len(tr.events))
+	copy(events, tr.events)
+	lanes := tr.maxLanes
+	tr.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TsUs < events[j].TsUs })
+
+	meta := make([]traceEvent, 0, lanes+1)
+	addMeta := func(tid int, name string) {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	addMeta(0, "pipeline")
+	for lane := 1; lane <= lanes; lane++ {
+		addMeta(lane, fmt.Sprintf("shard-%d", lane-1))
+	}
+
+	blob, err := json.MarshalIndent(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{append(meta, events...), "ms"}, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(append(blob, '\n'))
+	return int64(n), err
+}
+
+// ParseTrace decodes trace JSON produced by WriteTo — used by the
+// conformance tests and by anyone post-processing heapbench -trace output.
+func ParseTrace(blob []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(blob, &t); err != nil {
+		return nil, fmt.Errorf("obs: invalid trace JSON: %w", err)
+	}
+	return &t, nil
+}

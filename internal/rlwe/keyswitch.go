@@ -3,6 +3,7 @@ package rlwe
 import (
 	"sync"
 
+	"heap/internal/obs"
 	"heap/internal/ring"
 	"heap/internal/rns"
 )
@@ -30,6 +31,12 @@ type KeySwitcher struct {
 	monoMu    sync.RWMutex
 	monoCache map[int][]ring.Poly
 
+	// rec receives the kernel-granularity cost counters (NTT limb
+	// transforms, external products, key switches). Always non-nil; the
+	// default obs.Nop makes every instrumentation site a free leaf call, so
+	// the zero-allocation hot-path locks hold with the counters compiled in.
+	rec obs.Recorder
+
 	scratchPool sync.Pool
 }
 
@@ -43,6 +50,7 @@ func NewKeySwitcher(params *Parameters) *KeySwitcher {
 		modDown:   rns.NewModDown(params.QBasis, params.PBasis),
 		permCache: make(map[uint64][]uint64),
 		monoCache: make(map[int][]ring.Poly),
+		rec:       obs.Nop{},
 	}
 	alpha := params.Alpha()
 	L := params.MaxLevel()
@@ -59,6 +67,18 @@ func NewKeySwitcher(params *Parameters) *KeySwitcher {
 	ks.scratchPool.New = func() any { return ks.NewScratch() }
 	return ks
 }
+
+// SetRecorder installs the observability recorder the kernel counters
+// report to (nil restores the no-op default). Install before the key
+// switcher is shared across goroutines; the recorder itself must be
+// concurrency-safe.
+func (ks *KeySwitcher) SetRecorder(r obs.Recorder) { ks.rec = obs.OrNop(r) }
+
+// Recorder returns the installed recorder (never nil). Components built on
+// top of the key switcher — the TFHE evaluator, the repacker — report their
+// own stages and counters through it, so one installation covers the whole
+// kernel stack.
+func (ks *KeySwitcher) Recorder() obs.Recorder { return ks.rec }
 
 // EnsurePerm precomputes and caches the NTT-domain permutation for Galois
 // element g. Safe for concurrent use (double-checked under an RWMutex), so
@@ -198,6 +218,7 @@ func (ks *KeySwitcher) decomposeDigit(j, level int, cCoeff rns.Poly, dig qpAccum
 	for i := 0; i < nP; i++ {
 		p.PBasis.Rings[i].NTT(combined.Limbs[level+i])
 	}
+	ks.rec.Add(obs.CounterNTT, uint64(level+nP))
 }
 
 // macRow accumulates acc += dig ⊙ row, where row is a full-QP polynomial and
@@ -236,6 +257,8 @@ func (ks *KeySwitcher) SwitchPolyInto(c rns.Poly, gct *GadgetCiphertext, d0, d1 
 		copy(cCoeff.Limbs[i], c.Limbs[i])
 	}
 	ks.params.QBasis.AtLevel(level).INTT(cCoeff)
+	ks.rec.Add(obs.CounterNTT, uint64(level))
+	ks.rec.Add(obs.CounterKeySwitch, 1)
 	ks.switchPolyCoeff(cCoeff, gct, d0, d1, sc)
 }
 
@@ -341,6 +364,7 @@ func (ks *KeySwitcher) DecomposeInto(h *Hoisted, c rns.Poly, sc *Scratch) {
 		copy(cCoeff.Limbs[i], c.Limbs[i])
 	}
 	ks.params.QBasis.AtLevel(level).INTT(cCoeff)
+	ks.rec.Add(obs.CounterNTT, uint64(level))
 	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
 		ks.decomposeDigit(j, level, cCoeff, h.digs[j].atLevel(level), sc)
 	}
@@ -374,6 +398,7 @@ func (ks *KeySwitcher) ApplyGaloisHoistedInto(out, ct *Ciphertext, h *Hoisted, g
 	accB.p.Zero()
 	accA.q.Zero()
 	accA.p.Zero()
+	ks.rec.Add(obs.CounterKeySwitch, 1)
 	dig := sc.dig.atLevel(level)
 	for j := 0; j < p.DigitsAtLevel(level); j++ {
 		for i := 0; i < level; i++ {
@@ -433,7 +458,9 @@ func (ks *KeySwitcher) ExternalProductInto(out, ct *Ciphertext, rgsw *RGSWCipher
 	if ct.IsNTT {
 		b.INTT(c0Coeff)
 		b.INTT(c1Coeff)
+		ks.rec.Add(obs.CounterNTT, uint64(2*level))
 	}
+	ks.rec.Add(obs.CounterExternalProduct, 1)
 	accB := sc.accB.atLevel(level)
 	accA := sc.accA.atLevel(level)
 	accB.q.Zero()

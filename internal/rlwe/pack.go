@@ -3,6 +3,8 @@ package rlwe
 import (
 	"fmt"
 	"sync"
+
+	"heap/internal/obs"
 )
 
 // PackingKeys holds the Galois keys for the automorphisms X → X^{2^j+1}
@@ -202,6 +204,7 @@ func (rp *Repacker) MergePair(e, o *Ciphertext, c int) (*Ciphertext, error) {
 // coefficient-domain MulByMonomial round-trip.
 func (rp *Repacker) mergePair(e, o *Ciphertext, c int, gk *GadgetCiphertext, ms *mergeScratch) {
 	ks := rp.ks
+	ks.rec.Add(obs.CounterMerge, 1)
 	level := e.Level()
 	b := ks.params.QBasis.AtLevel(level)
 	mono := ks.EnsureMonomialNTT(ks.params.N() / c)

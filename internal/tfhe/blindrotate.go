@@ -3,6 +3,7 @@ package tfhe
 import (
 	"sync"
 
+	"heap/internal/obs"
 	"heap/internal/rlwe"
 )
 
@@ -114,6 +115,7 @@ func (ev *Evaluator) BlindRotateInto(acc *rlwe.Ciphertext, lwe *rlwe.LWECipherte
 			ev.cmuxStep(acc, -int(ai), brk.Minus[i], level, sc)
 		}
 	}
+	ev.KS.Recorder().Add(obs.CounterBlindRotate, 1)
 }
 
 // cmuxStep computes ACC += (X^k·ACC − ACC) ⊡ rgsw in place, with the rotated
@@ -132,6 +134,7 @@ func (ev *Evaluator) cmuxStep(acc *rlwe.Ciphertext, k int, rgsw *rlwe.RGSWCipher
 	ev.KS.ExternalProductInto(d, rot, rgsw, sc.KS) // NTT-form output
 	b.INTT(d.C0)
 	b.INTT(d.C1)
+	ev.KS.Recorder().Add(obs.CounterNTT, uint64(2*level))
 	b.Add(acc.C0, d.C0, acc.C0)
 	b.Add(acc.C1, d.C1, acc.C1)
 }
