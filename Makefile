@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz fmt bench-smoke cover
+.PHONY: build test check vet race fuzz fmt bench-smoke cover benchdiff benchdiff-soft
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,24 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkKernel' -benchmem -benchtime=1x .
 	$(GO) test -run='^$$' -bench='BenchmarkRepack|BenchmarkFinish|BenchmarkBootstrapEndToEnd' -benchmem -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkBlindRotateBatch' -benchmem -benchtime=1x .
 	$(GO) test -run='TestExternalProductIntoZeroAllocs' ./internal/rlwe/
-	$(GO) test -run='TestBlindRotateIntoZeroAllocs' ./internal/tfhe/
+	$(GO) test -run='TestBlindRotateIntoZeroAllocs|TestBlindRotateTileZeroAllocs|TestCMuxIntoZeroAllocs' ./internal/tfhe/
 	$(GO) test -run='TestNTTZeroAllocs' ./internal/ring/
 	$(GO) test -run='TestAutomorphismIntoZeroAllocs|TestMergeLevelZeroAllocs' ./internal/rlwe/
+
+# Performance-trajectory gate: re-measure the key-major blind rotation at a
+# reduced batch size (the gated metric is per-rotation, so it compares against
+# the committed full-size BENCH_blindrotate.json) and fail on a >10%
+# regression. `check` runs it as a soft gate — wall-clock noise on shared CI
+# hosts should warn, not block a merge; run `make benchdiff` directly for the
+# hard verdict.
+benchdiff:
+	$(GO) run ./cmd/heapbench -benchjson /tmp/BENCH_blindrotate.json -brcount 32 -brruns 2
+	$(GO) run ./cmd/benchdiff BENCH_blindrotate.json /tmp/BENCH_blindrotate.json
+
+benchdiff-soft:
+	@$(MAKE) benchdiff || echo "WARNING: benchdiff regression vs committed baseline (soft gate; not failing check)"
 
 # Per-package statement-coverage gate over the packages that carry the
 # correctness burden. Floors sit ~2 points under measured head (core 90.8%,
@@ -46,8 +60,9 @@ cover:
 # The merge gate: everything must build, vet clean, pass under the race
 # detector (the cluster chaos tests plus the concurrent-automorphism and
 # shared-key-switcher tests are the concurrency exercise), keep the hot
-# kernels allocation-free, and hold the coverage floors.
-check: build vet race bench-smoke cover
+# kernels allocation-free, hold the coverage floors, and hold the committed
+# blind-rotate trajectory (soft: warns on regression).
+check: build vet race bench-smoke cover benchdiff-soft
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.

@@ -564,6 +564,54 @@ func BenchmarkBootstrapEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkBlindRotateBatch contrasts the two blind-rotation schedules over a
+// 64-ciphertext batch at the paper ring: ciphertext-major (the full BRK
+// streamed through cache once per ciphertext) versus the key-major batched
+// engine (each key pulled once per tile of accumulators — the §V URAM
+// residency schedule). The outputs are bit-identical (locked by
+// TestBlindRotateBatchMatchesPerCiphertext); the delta is pure memory-system
+// scheduling, so the win grows with BRK size relative to cache.
+func BenchmarkBlindRotateBatch(b *testing.B) {
+	kernelOps(b)
+	const batch = 64
+	params := paperCtx.params
+	twoN := uint64(2 * params.N())
+	s := ring.NewSampler(17)
+	lwes := make([]*rlwe.LWECiphertext, batch)
+	for j := range lwes {
+		lwe := &rlwe.LWECiphertext{A: make([]uint64, 8), Q: twoN}
+		for i := range lwe.A {
+			lwe.A[i] = 1 + s.UniformMod(twoN-1) // dense masks: every key touched
+		}
+		lwe.B = s.UniformMod(twoN)
+		lwes[j] = lwe
+	}
+	accs := make([]*rlwe.Ciphertext, batch)
+	for i := range accs {
+		accs[i] = rlwe.NewCiphertext(params.Parameters, kernelCtx.lut.Level)
+	}
+	ev := kernelCtx.ev
+	b.Run("PerCiphertext", func(b *testing.B) {
+		sc := ev.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range lwes {
+				ev.BlindRotateInto(accs[j], lwes[j], kernelCtx.lut, kernelCtx.brk, sc)
+			}
+		}
+	})
+	b.Run("KeyMajorBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.BlindRotateBatchInto(accs, lwes, kernelCtx.lut, kernelCtx.brk, tfhe.BatchOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkKernelBlindRotate times one steady-state blind rotation (n_t=8
 // iterations; the per-iteration cost scales linearly to the paper's n_t)
 // with a reused accumulator and a per-worker scratch arena.

@@ -1,0 +1,94 @@
+// Command benchdiff compares one metric between two BENCH_*.json records
+// written by heapbench -benchjson and fails when it regresses past a
+// threshold:
+//
+//	benchdiff old.json new.json
+//	benchdiff -metric finish_parallel_ms -max-regress 5 old.json new.json
+//
+// The metric is lower-is-better (all the heapbench timings are). The default
+// metric is the blind-rotate mode's per-rotation figure, which is independent
+// of the batch size, so a quick -brcount run can be gated against a committed
+// full-size baseline. Context fields that change what the metric means
+// (ring, limbs, tile, n_t) must match between the two records; a mismatch is
+// an error, not a regression. Everything here is stdlib-only so the gate
+// runs anywhere the toolchain does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	metric := flag.String("metric", "batch_us_per_rot", "numeric JSON field to compare (lower is better)")
+	maxRegress := flag.Float64("max-regress", 10, "fail when the metric is worse by more than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metric name] [-max-regress pct] old.json new.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *metric, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, metric string, maxRegress float64) error {
+	oldRec, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	// A per-rotation or per-run time only compares across runs of the same
+	// parameter point; batch size (n_br) and host parallelism may differ
+	// because the gated metrics are per-unit and the schedules are
+	// bit-identical, but the arithmetic shape must not.
+	for _, key := range []string{"logN", "q_limbs", "tile", "n_t"} {
+		ov, oOK := number(oldRec, key)
+		nv, nOK := number(newRec, key)
+		if oOK && nOK && ov != nv {
+			return fmt.Errorf("benchdiff: %s differs (%v vs %v); the records are not comparable", key, ov, nv)
+		}
+	}
+	ov, ok := number(oldRec, metric)
+	if !ok {
+		return fmt.Errorf("benchdiff: %s has no numeric field %q", oldPath, metric)
+	}
+	nv, ok := number(newRec, metric)
+	if !ok {
+		return fmt.Errorf("benchdiff: %s has no numeric field %q", newPath, metric)
+	}
+	if ov <= 0 {
+		return fmt.Errorf("benchdiff: baseline %s = %v is not a positive number", metric, ov)
+	}
+	delta := (nv - ov) / ov * 100
+	fmt.Printf("benchdiff %s: old %.3f, new %.3f, delta %+.1f%% (threshold +%.0f%%)\n",
+		metric, ov, nv, delta, maxRegress)
+	if delta > maxRegress {
+		return fmt.Errorf("benchdiff: FAIL: %s regressed %.1f%% (> %.0f%%)", metric, delta, maxRegress)
+	}
+	fmt.Println("benchdiff: OK")
+	return nil
+}
+
+func load(path string) (map[string]any, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func number(rec map[string]any, key string) (float64, bool) {
+	v, ok := rec[key].(float64) // encoding/json decodes every JSON number as float64
+	return v, ok
+}

@@ -10,6 +10,13 @@
 //	heapbench -benchjson BENCH_repack.json
 //	                     # time the repack/Finish tail serial vs parallel
 //	                     # at the paper ring and write the numbers as JSON
+//	heapbench -benchjson BENCH_blindrotate.json
+//	                     # time ciphertext-major vs key-major batched blind
+//	                     # rotation at the paper ring and write the numbers
+//	                     # (plus the counter-verified BRK traffic) as JSON;
+//	                     # the mode is picked by the output basename, and
+//	                     # -brcount/-brtile/-brworkers/-brnt/-brruns shrink
+//	                     # or reshape the run for quick regression checks
 //	heapbench -trace out.json
 //	                     # run a local bootstrap with the observability layer
 //	                     # on and write a Chrome trace_event timeline (open in
@@ -30,10 +37,13 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/big"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"heap"
@@ -45,6 +55,7 @@ import (
 	"heap/internal/obs"
 	"heap/internal/ring"
 	"heap/internal/rlwe"
+	"heap/internal/tfhe"
 )
 
 func main() {
@@ -53,7 +64,12 @@ func main() {
 	area := flag.Bool("area", false, "print the §VI-B area/power comparison")
 	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
-	benchJSON := flag.String("benchjson", "", "benchmark the repack/Finish tail at the paper ring and write JSON to this file")
+	benchJSON := flag.String("benchjson", "", "benchmark at the paper ring and write JSON to this file (basename BENCH_blindrotate* selects the blind-rotate mode, anything else the repack/Finish tail)")
+	brCount := flag.Int("brcount", 256, "blind-rotate mode: batch size n_br")
+	brTile := flag.Int("brtile", tfhe.DefaultTile, "blind-rotate mode: key-major tile size")
+	brWorkers := flag.Int("brworkers", 1, "blind-rotate mode: batch workers (1 isolates the cache effect; >1 adds core scaling)")
+	brNT := flag.Int("brnt", 8, "blind-rotate mode: LWE dimension n_t (per-rotation cost scales linearly; the paper's 500 takes minutes per rotation on a CPU)")
+	brRuns := flag.Int("brruns", 2, "blind-rotate mode: timed runs per schedule (best is kept)")
 	trace := flag.String("trace", "", "write a Chrome trace_event timeline of the bootstrap to this file (combine with -cluster for the distributed demo)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the selected mode to this file")
@@ -89,7 +105,13 @@ func main() {
 
 	switch {
 	case *benchJSON != "":
-		if err := runBenchJSON(*benchJSON); err != nil {
+		var err error
+		if strings.HasPrefix(filepath.Base(*benchJSON), "BENCH_blindrotate") {
+			err = runBenchBlindRotate(*benchJSON, *brCount, *brTile, *brWorkers, *brNT, *brRuns)
+		} else {
+			err = runBenchJSON(*benchJSON)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -235,6 +257,130 @@ func runBenchJSON(path string) error {
 	}
 	fmt.Printf("serial %.1f ms, parallel %.1f ms, speedup %.2fx -> %s\n",
 		res.SerialMs, res.ParallelMs, res.Speedup, path)
+	return nil
+}
+
+// brBenchResult is the JSON record runBenchBlindRotate writes: the parameter
+// point, the wall time of the whole batch under each schedule, the derived
+// per-rotation figures (the count-independent numbers `make benchdiff`
+// gates on), and the BRK traffic taken from the brk_bytes_streamed counters —
+// the same accounting TestKeyReuseMatchesSoftwareCounters locks against the
+// hardware model's KeyTraffic.
+type brBenchResult struct {
+	LogN          int     `json:"logN"`
+	Limbs         int     `json:"q_limbs"`
+	NT            int     `json:"n_t"`
+	Count         int     `json:"n_br"`
+	Tile          int     `json:"tile"`
+	Workers       int     `json:"workers"`
+	Cores         int     `json:"cores"`
+	Runs          int     `json:"runs_per_point"`
+	PerCtMs       float64 `json:"per_ct_ms"`
+	BatchMs       float64 `json:"batch_ms"`
+	PerCtUsPerRot float64 `json:"per_ct_us_per_rot"`
+	BatchUsPerRot float64 `json:"batch_us_per_rot"`
+	Speedup       float64 `json:"speedup"`
+	PerCtKeyBytes int64   `json:"per_ct_brk_bytes"`
+	BatchKeyBytes int64   `json:"batch_brk_bytes"`
+	KeyReuse      float64 `json:"key_reuse"`
+	ModelKeyReuse float64 `json:"model_key_reuse"`
+}
+
+// runBenchBlindRotate times a batch of blind rotations at the paper's ring
+// (N=2^13, seven 36-bit limbs) under the ciphertext-major and key-major
+// schedules and writes the best-of-N timings plus the counter-verified BRK
+// traffic as JSON. The two schedules compute bit-identical accumulators
+// (locked by the batch equivalence test), so the timing delta is pure memory
+// scheduling. Masks are dense (no zero elements) so the measured key-reuse
+// factor is exactly the model's batch/⌈batch/tile⌉ ratio; n_t is reduced from
+// the paper's 500 because per-rotation CPU cost scales linearly in it.
+func runBenchBlindRotate(path string, count, tile, workers, nt, runs int) error {
+	if count <= 0 || tile <= 0 || workers <= 0 || nt <= 0 || runs <= 0 {
+		return fmt.Errorf("heapbench: -brcount/-brtile/-brworkers/-brnt/-brruns must be positive")
+	}
+	q := ring.GenerateNTTPrimes(36, 13, 7)
+	p := ring.GenerateNTTPrimesUp(37, 13, 4)
+	params := ckks.MustParameters(13, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<35), 1<<12)
+	kg := rlwe.NewKeyGenerator(params.Parameters, 61)
+	rsk := kg.GenSecretKey(rlwe.SecretTernary)
+	lweSK := kg.GenLWESecretKey(nt, rlwe.SecretBinary)
+	brk := tfhe.GenBlindRotateKey(kg, lweSK, rsk)
+	ev := tfhe.NewEvaluator(params.Parameters, nil)
+	lut := tfhe.NewLUTFromBig(params.Parameters, params.MaxLevel(), func(u int) *big.Int {
+		return big.NewInt(int64(u))
+	})
+
+	twoN := uint64(2 * params.N())
+	s := ring.NewSampler(62)
+	lwes := make([]*rlwe.LWECiphertext, count)
+	for j := range lwes {
+		lwe := &rlwe.LWECiphertext{A: make([]uint64, nt), Q: twoN}
+		for i := range lwe.A {
+			lwe.A[i] = 1 + s.UniformMod(twoN-1)
+		}
+		lwe.B = s.UniformMod(twoN)
+		lwes[j] = lwe
+	}
+	accs := make([]*rlwe.Ciphertext, count)
+	for i := range accs {
+		accs[i] = rlwe.NewCiphertext(params.Parameters, lut.Level)
+	}
+
+	res := brBenchResult{
+		LogN: 13, Limbs: 7, NT: nt, Count: count, Tile: tile,
+		Workers: workers, Cores: runtime.NumCPU(), Runs: runs,
+	}
+	fmt.Printf("timing %d blind rotations (N=2^13, 7 limbs, n_t=%d) ciphertext-major vs key-major tile %d (%d worker(s)) on %d core(s)...\n",
+		count, nt, tile, workers, res.Cores)
+
+	perCtMet := obs.NewMetrics()
+	ev.KS.SetRecorder(perCtMet)
+	sc := ev.NewScratch()
+	res.PerCtMs = math.MaxFloat64
+	for r := 0; r < runs; r++ {
+		t0 := time.Now()
+		for j := range lwes {
+			ev.BlindRotateInto(accs[j], lwes[j], lut, brk, sc)
+		}
+		if d := float64(time.Since(t0).Microseconds()) / 1e3; d < res.PerCtMs {
+			res.PerCtMs = d
+		}
+	}
+	batchMet := obs.NewMetrics()
+	ev.KS.SetRecorder(batchMet)
+	res.BatchMs = math.MaxFloat64
+	for r := 0; r < runs; r++ {
+		t0 := time.Now()
+		if err := ev.BlindRotateBatchInto(accs, lwes, lut, brk, tfhe.BatchOptions{Tile: tile, Workers: workers}); err != nil {
+			return err
+		}
+		if d := float64(time.Since(t0).Microseconds()) / 1e3; d < res.BatchMs {
+			res.BatchMs = d
+		}
+	}
+	ev.KS.SetRecorder(nil)
+
+	res.PerCtUsPerRot = res.PerCtMs * 1e3 / float64(count)
+	res.BatchUsPerRot = res.BatchMs * 1e3 / float64(count)
+	res.Speedup = res.PerCtMs / res.BatchMs
+	// Counters accumulate across the timed runs; per-run traffic is the total
+	// divided by the run count (every run streams identical bytes).
+	res.PerCtKeyBytes = int64(perCtMet.Counter(obs.CounterBRKBytesStreamed)) / int64(runs)
+	res.BatchKeyBytes = int64(batchMet.Counter(obs.CounterBRKBytesStreamed)) / int64(runs)
+	if res.BatchKeyBytes > 0 {
+		res.KeyReuse = float64(res.PerCtKeyBytes) / float64(res.BatchKeyBytes)
+	}
+	res.ModelKeyReuse = hwsim.PaperParams().KeyReuse(count, tile)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("per-ct %.1f ms (%.0f us/rot), batch %.1f ms (%.0f us/rot), speedup %.2fx, key-reuse %.2fx (model %.2fx) -> %s\n",
+		res.PerCtMs, res.PerCtUsPerRot, res.BatchMs, res.BatchUsPerRot, res.Speedup, res.KeyReuse, res.ModelKeyReuse, path)
 	return nil
 }
 

@@ -100,11 +100,30 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 		return fail(fmt.Errorf("cluster: expected hello, got frame kind %#x", f.Kind))
 	}
 
-	// Lazily built on the first batch and reused for the connection's life.
+	// Recycled accumulators, reused across batches for the connection's
+	// life: tiles in flight hold at most workers×tile accumulators live, and
+	// each is returned to the free list as soon as it is framed, so a large
+	// batch never materializes all of its accumulators at once.
 	var (
-		acc *rlwe.Ciphertext
-		sc  *tfhe.Scratch
+		accMu   sync.Mutex
+		freeAcc []*rlwe.Ciphertext
 	)
+	getAcc := func() *rlwe.Ciphertext {
+		accMu.Lock()
+		if n := len(freeAcc); n > 0 {
+			a := freeAcc[n-1]
+			freeAcc = freeAcc[:n-1]
+			accMu.Unlock()
+			return a
+		}
+		accMu.Unlock()
+		return s.Boot.NewAccumulator()
+	}
+	putAcc := func(a *rlwe.Ciphertext) {
+		accMu.Lock()
+		freeAcc = append(freeAcc, a)
+		accMu.Unlock()
+	}
 	for {
 		f, err := readFrame(conn, maxPayload)
 		if err != nil {
@@ -124,25 +143,55 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 			if err != nil {
 				return fail(err)
 			}
-			for j, lwe := range lwes {
-				// The accumulator is serialized before the next rotation, so
-				// one ciphertext and one scratch arena serve the whole
-				// connection — the secondary's steady state allocates only
-				// frames.
-				if acc == nil {
-					acc, sc = s.Boot.NewAccumulator(), s.Boot.NewRotateScratch()
+			// The whole dispatch batch runs through the key-major engine as
+			// one batch (§V: one shared key, many shards), so the BRK streams
+			// once per tile instead of once per LWE. Each finished tile is
+			// framed and sent the moment it completes — the "send as soon as
+			// BlindRotate completes" overlap — with sequence numbers stamped
+			// in completion order (the primary resolves accumulators by
+			// index, not order). One BlindRotate span covers the batch
+			// (lane 0); the engine's per-tile spans land on lanes ≥ 1, so
+			// traces stay bounded at large shard counts.
+			accs := make([]*rlwe.Ciphertext, len(lwes))
+			var (
+				sendMu  sync.Mutex
+				seq     uint32
+				sendErr error
+			)
+			tok := rec.Begin(obs.StageBlindRotate, 0)
+			err = s.Boot.BlindRotateBatch(accs, lwes, tfhe.BatchOptions{
+				Workers:  s.Boot.Cfg.Workers,
+				BaseLane: 1,
+				NewAcc:   getAcc,
+				OnTile: func(lo, hi int) error {
+					sendMu.Lock()
+					defer sendMu.Unlock()
+					if sendErr != nil {
+						return sendErr
+					}
+					for j := lo; j < hi; j++ {
+						payload, err := encodeAcc(idxs[j], accs[j])
+						if err == nil {
+							err = writeFrame(conn, &frame{Kind: frameAcc, Shard: f.Shard, Seq: seq, Payload: payload})
+						}
+						if err != nil {
+							sendErr = err
+							return err
+						}
+						seq++
+						rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
+						putAcc(accs[j])
+						accs[j] = nil
+					}
+					return nil
+				},
+			})
+			rec.End(obs.StageBlindRotate, 0, tok)
+			if err != nil {
+				if sendErr != nil {
+					return sendErr // the link itself is dead; no error frame can reach the primary
 				}
-				if err := safeRotateInto(s.Boot, acc, lwe, sc); err != nil {
-					return fail(fmt.Errorf("cluster: blind rotation of index %d: %w", idxs[j], err))
-				}
-				payload, err := encodeAcc(idxs[j], acc)
-				if err != nil {
-					return err
-				}
-				if err := writeFrame(conn, &frame{Kind: frameAcc, Shard: f.Shard, Seq: uint32(j), Payload: payload}); err != nil {
-					return err
-				}
-				rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
+				return fail(fmt.Errorf("cluster: batch %d: %w", f.Shard, err))
 			}
 			endPayload := make([]byte, 4)
 			putU32(endPayload, uint32(len(lwes)))
@@ -482,40 +531,59 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 	}
 }
 
-// runLocal is the primary's own compute: it drains queue tasks through
-// BlindRotateOne — both its initial shard and anything reassigned after a
-// secondary failure. A panic here is recovered, surfaced, and aborts the
+// runLocal is the primary's own compute: it drains queue tasks through the
+// key-major tile engine — both its initial shard and anything reassigned
+// after a secondary failure. Each task is cut into Tile-sized tiles so the
+// BRK streams through cache once per tile, not once per index; finished
+// accumulators reach the streaming merge sink tile by tile, preserving the
+// repack overlap. A panic here is recovered, surfaced, and aborts the
 // bootstrap (the primary cannot fall back to anyone else).
 func (p *Primary) runLocal(lane int, prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
 	q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex) error {
 
-	// The retained accumulators must be fresh per index, but the kernel
-	// scratch is this worker's alone and lives for the whole drain.
+	// The retained accumulators must be fresh per index, but the tile
+	// buffers and the kernel scratch are this worker's alone and live for
+	// the whole drain.
 	rec := p.Boot.Recorder()
-	sc := p.Boot.NewRotateScratch()
+	bsc := p.Boot.NewBatchScratch()
+	tile := p.Boot.TileSize()
+	accTile := make([]*rlwe.Ciphertext, tile)
+	lweTile := make([]*rlwe.LWECiphertext, tile)
 	for {
 		task := q.pop()
 		if task == nil {
 			return nil
 		}
-		for _, idx := range task {
+		for lo := 0; lo < len(task); lo += tile {
 			if q.isAborted() {
 				return nil
 			}
-			acc := p.Boot.NewAccumulator()
-			tok := rec.Begin(obs.StageBlindRotate, lane)
-			if err := safeRotateInto(p.Boot, acc, prep.LWEs[idx], sc); err != nil {
-				rec.End(obs.StageBlindRotate, lane, tok)
-				q.abort()
-				return fmt.Errorf("cluster: local blind rotation of index %d: %w", idx, err)
+			hi := lo + tile
+			if hi > len(task) {
+				hi = len(task)
 			}
+			idxs := task[lo:hi]
+			for k, idx := range idxs {
+				accTile[k] = p.Boot.NewAccumulator()
+				lweTile[k] = prep.LWEs[idx]
+			}
+			tok := rec.Begin(obs.StageBlindRotate, lane)
+			err := safeRotateTile(p.Boot, accTile[:len(idxs)], lweTile[:len(idxs)], bsc)
 			rec.End(obs.StageBlindRotate, lane, tok)
-			accs[idx] = acc
-			q.done(1)
+			if err != nil {
+				q.abort()
+				return fmt.Errorf("cluster: local blind rotation of indices %v: %w", idxs, err)
+			}
+			for k, idx := range idxs {
+				accs[idx] = accTile[k]
+			}
+			q.done(len(idxs))
 			mu.Lock()
-			stats.Local++
+			stats.Local += len(idxs)
 			mu.Unlock()
-			sink.deliver(idx, acc)
+			for k, idx := range idxs {
+				sink.deliver(idx, accTile[k])
+			}
 		}
 	}
 }
@@ -670,16 +738,16 @@ func (p *Primary) finishMerged(prep *core.PreparedBootstrap, merged *rlwe.Cipher
 	return p.Boot.FinishMerged(prep, merged)
 }
 
-// safeRotateInto runs BlindRotateOneInto with panic recovery, so one
-// malformed LWE ciphertext cannot take down a node. The caller owns out and
-// sc; on error out's contents are unspecified.
-func safeRotateInto(bt *core.Bootstrapper, out *rlwe.Ciphertext, lwe *rlwe.LWECiphertext, sc *tfhe.Scratch) (err error) {
+// safeRotateTile runs BlindRotateTile with panic recovery, so one malformed
+// LWE ciphertext cannot take down a node. The caller owns the accumulators
+// and the arena; on error the accumulators' contents are unspecified.
+func safeRotateTile(bt *core.Bootstrapper, accs []*rlwe.Ciphertext, lwes []*rlwe.LWECiphertext, bsc *tfhe.BatchScratch) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	bt.BlindRotateOneInto(out, lwe, sc)
+	bt.BlindRotateTile(accs, lwes, bsc)
 	return nil
 }
 

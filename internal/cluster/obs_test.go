@@ -69,16 +69,46 @@ func TestClusterTraceAccounting(t *testing.T) {
 		t.Errorf("network spans missing from shard lanes: %+v", snap.Shards)
 	}
 	// Every rotation ran somewhere: remotely (received over the wire) or on
-	// the primary's local workers (shard-lane BlindRotate spans).
+	// the primary's local workers. Local shard-lane BlindRotate spans are
+	// per key-major tile — at least ⌈local/tile⌉ of them (tasks tile
+	// independently, so partial tiles can add more), never more than one per
+	// rotation — and the exact rotation count lives in the counters.
 	remote := 0
 	for i := range stats.Nodes {
 		remote += stats.Nodes[i].Completed
 	}
-	if got := int(snap.Shards["BlindRotate"].Count); got != stats.Local {
-		t.Errorf("local shard-lane rotations = %d, want stats.Local = %d", got, stats.Local)
+	tile := btPrimary.TileSize()
+	minTiles := (stats.Local + tile - 1) / tile
+	tileSpans := int(snap.Shards["BlindRotate"].Count)
+	if tileSpans < minTiles || tileSpans > maxInt(stats.Local, minTiles) {
+		t.Errorf("local shard-lane tile spans = %d, want in [%d, %d] for %d local rotations (tile %d)",
+			tileSpans, minTiles, maxInt(stats.Local, minTiles), stats.Local, tile)
+	}
+	if got := int(met.Counter(obs.CounterBlindRotate)); got != stats.Local {
+		t.Errorf("primary blind_rotates = %d, want stats.Local = %d", got, stats.Local)
+	}
+	if got := int(met.Counter(obs.CounterBlindRotateTile)); got != tileSpans {
+		t.Errorf("primary blind_rotate_tiles = %d, want %d (one per tile span)", got, tileSpans)
 	}
 	if remote+stats.Local != stats.Total {
 		t.Errorf("remote %d + local %d != total %d", remote, stats.Local, stats.Total)
+	}
+	// The secondary runs each dispatch batch through the batched engine:
+	// exactly its completed rotations on the counter, and per-batch (not
+	// per-LWE) BlindRotate spans on lane 0 so traces stay bounded.
+	if got := int(secMet.Counter(obs.CounterBlindRotate)); got != remote {
+		t.Errorf("secondary blind_rotates = %d, want %d", got, remote)
+	}
+	if remote > 0 {
+		secSnap := secMet.Snapshot()
+		spans := int(secSnap.Shards["BlindRotate"].Count)
+		tilesSec := int(secMet.Counter(obs.CounterBlindRotateTile))
+		// One span per batch (lane 0) plus one per tile (lanes ≥ 1): at most
+		// 2× the tile count, and far below the per-LWE count at real sizes.
+		if spans == 0 || spans > 2*tilesSec {
+			t.Errorf("secondary BlindRotate spans = %d with %d tiles — want per-batch+per-tile, never per LWE",
+				spans, tilesSec)
+		}
 	}
 
 	// The primary frames one batch per dispatch and receives one frame per

@@ -41,13 +41,19 @@ type Config struct {
 	// Workers is the number of parallel compute nodes the BlindRotate fan-out
 	// uses (the software analog of the paper's eight FPGAs).
 	Workers int
+	// Tile is the key-major batch tile: the number of accumulators that
+	// advance together through one pass over the blind-rotate key, so each
+	// RGSW key pair is pulled through cache once per tile instead of once
+	// per ciphertext — the software analog of the paper's URAM-resident key
+	// slabs (§V). 0 selects the tfhe default.
+	Tile int
 	// Seed drives deterministic key generation.
 	Seed uint64
 }
 
 // DefaultConfig mirrors the paper's parameter choices.
 func DefaultConfig() Config {
-	return Config{NT: 500, LWELogBase: 7, ScaleUpBits: 20, Workers: 8, Seed: 0xb007}
+	return Config{NT: 500, LWELogBase: 7, ScaleUpBits: 20, Workers: 8, Tile: tfhe.DefaultTile, Seed: 0xb007}
 }
 
 // Bootstrapper holds the key material and evaluators for scheme-switching
@@ -99,7 +105,7 @@ func NewBootstrapper(params *ckks.Parameters, kg *rlwe.KeyGenerator, sk *rlwe.Se
 	if params.MaxLevel() < 2 {
 		return nil, fmt.Errorf("core: need at least two limbs (one application limb plus the auxiliary prime)")
 	}
-	if cfg.NT < 0 || cfg.Workers < 1 {
+	if cfg.NT < 0 || cfg.Workers < 1 || cfg.Tile < 0 {
 		return nil, fmt.Errorf("core: invalid config %+v", cfg)
 	}
 	n := params.N()
@@ -277,6 +283,42 @@ func (bt *Bootstrapper) BlindRotateOneInto(out *rlwe.Ciphertext, lwe *rlwe.LWECi
 	bt.tfheEv.BlindRotateInto(out, lwe, bt.lut, bt.brk, sc)
 }
 
+// TileSize returns the key-major tile size of the batched blind-rotate
+// engine (Cfg.Tile, or the tfhe default when unset).
+func (bt *Bootstrapper) TileSize() int {
+	if bt.Cfg.Tile > 0 {
+		return bt.Cfg.Tile
+	}
+	return tfhe.DefaultTile
+}
+
+// NewBatchScratch allocates a per-worker arena for BlindRotateTile.
+func (bt *Bootstrapper) NewBatchScratch() *tfhe.BatchScratch {
+	return bt.tfheEv.NewBatchScratch()
+}
+
+// BlindRotateTile rotates one key-major tile of prepared LWE ciphertexts
+// into caller-owned accumulators (tfhe.BlindRotateTileInto): the blind-rotate
+// key is pulled through cache once for the whole tile. It is the building
+// block cluster workers drain the shared queue with.
+func (bt *Bootstrapper) BlindRotateTile(accs []*rlwe.Ciphertext, lwes []*rlwe.LWECiphertext, bsc *tfhe.BatchScratch) {
+	bt.tfheEv.BlindRotateTileInto(accs, lwes, bt.lut, bt.brk, bsc)
+}
+
+// BlindRotateBatch runs the key-major batched engine over prepared LWE
+// ciphertexts, filling nil entries of accs. Zero-value options inherit the
+// bootstrapper's tile size and accumulator allocator; see tfhe.BatchOptions
+// for the worker fan-out and the streaming per-tile hook.
+func (bt *Bootstrapper) BlindRotateBatch(accs []*rlwe.Ciphertext, lwes []*rlwe.LWECiphertext, opts tfhe.BatchOptions) error {
+	if opts.Tile <= 0 {
+		opts.Tile = bt.TileSize()
+	}
+	if opts.NewAcc == nil {
+		opts.NewAcc = bt.NewAccumulator
+	}
+	return bt.tfheEv.BlindRotateBatchInto(accs, lwes, bt.lut, bt.brk, opts)
+}
+
 // Missing returns the LWE indices whose accumulators have not been computed
 // yet (nil entries of accs). A prepared bootstrap is resumable: the blind
 // rotations are mutually independent, so after a partial distributed run —
@@ -295,48 +337,34 @@ func (prep *PreparedBootstrap) Missing(accs []*rlwe.Ciphertext) []int {
 	return missing
 }
 
-// CompleteMissing blind-rotates every missing accumulator locally, fanning
-// the remaining indices out over Cfg.Workers goroutines. It is the
-// fall-back compute of a degraded cluster (all peers dead → the primary
-// completes the shards itself) and the local half of BootstrapSparse.
+// CompleteMissing blind-rotates every missing accumulator locally through
+// the key-major batched engine: the missing indices are tiled so each RGSW
+// key is streamed once per tile, and tiles are fanned out over Cfg.Workers
+// goroutines, each owning its scratch arena. It is the fall-back compute of
+// a degraded cluster (all peers dead → the primary completes the shards
+// itself) and the local half of BootstrapSparse. Shard-lane BlindRotate
+// spans are recorded per tile.
 func (bt *Bootstrapper) CompleteMissing(prep *PreparedBootstrap, accs []*rlwe.Ciphertext) {
 	missing := prep.Missing(accs)
 	if len(missing) == 0 {
 		return
 	}
-	workers := bt.Cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	tok := bt.rec.Begin(obs.StageBlindRotate, obs.LanePipeline)
-	var wg sync.WaitGroup
-	chunk := (len(missing) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(missing) {
-			hi = len(missing)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lane int, idxs []int) {
-			defer wg.Done()
-			// One scratch arena per worker: only the retained accumulators
-			// are allocated; every kernel intermediate is reused across the
-			// worker's whole shard.
-			sc := bt.NewRotateScratch()
-			for _, i := range idxs {
-				acc := bt.NewAccumulator()
-				st := bt.rec.Begin(obs.StageBlindRotate, lane)
-				bt.BlindRotateOneInto(acc, prep.LWEs[i], sc)
-				bt.rec.End(obs.StageBlindRotate, lane, st)
-				accs[i] = acc
-			}
-		}(w, missing[lo:hi])
+	lwes := make([]*rlwe.LWECiphertext, len(missing))
+	for k, idx := range missing {
+		lwes[k] = prep.LWEs[idx]
 	}
-	wg.Wait()
+	out := make([]*rlwe.Ciphertext, len(missing))
+	err := bt.BlindRotateBatch(out, lwes, tfhe.BatchOptions{Workers: bt.Cfg.Workers})
 	bt.rec.End(obs.StageBlindRotate, obs.LanePipeline, tok)
+	if err != nil {
+		// The prepared LWEs and the key material are the bootstrapper's own;
+		// a failure here means corrupted keys, not a recoverable input error.
+		panic(err)
+	}
+	for k, idx := range missing {
+		accs[idx] = out[k]
+	}
 }
 
 // Finish executes steps 4–5 of Algorithm 2 on the collected accumulators:

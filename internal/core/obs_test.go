@@ -42,12 +42,22 @@ func TestBootstrapTraceAccounting(t *testing.T) {
 			t.Errorf("pipeline stage %s: want exactly one span, got %+v", stage, st)
 		}
 	}
-	if sh := snap.Shards["BlindRotate"]; sh.Count != count {
-		t.Errorf("shard-lane blind rotations: got %d, want %d", sh.Count, count)
+	// Shard-lane BlindRotate spans are per key-major tile, not per rotation
+	// (the engine streams the BRK once per tile); the exact rotation count
+	// lives in the blind_rotates counter.
+	tiles := uint64((count + bt.TileSize() - 1) / bt.TileSize())
+	if sh := snap.Shards["BlindRotate"]; uint64(sh.Count) != tiles {
+		t.Errorf("shard-lane blind-rotate tile spans: got %d, want %d", sh.Count, tiles)
 	}
 
 	if got := met.Counter(obs.CounterBlindRotate); got != count {
 		t.Errorf("blind_rotates = %d, want %d", got, count)
+	}
+	if got := met.Counter(obs.CounterBlindRotateTile); got != tiles {
+		t.Errorf("blind_rotate_tiles = %d, want %d", got, tiles)
+	}
+	if met.Counter(obs.CounterBRKBytesStreamed) == 0 {
+		t.Error("brk_bytes_streamed counter did not move")
 	}
 	if got := met.Counter(obs.CounterMerge); got != count-1 {
 		t.Errorf("merges = %d, want %d (one per merge-tree node)", got, count-1)
@@ -93,8 +103,8 @@ func TestBootstrapTraceAccounting(t *testing.T) {
 	if pipeSpans != 5 {
 		t.Errorf("trace has %d pipeline spans, want 5", pipeSpans)
 	}
-	if shardSpans != count {
-		t.Errorf("trace has %d shard spans, want %d", shardSpans, count)
+	if uint64(shardSpans) != tiles {
+		t.Errorf("trace has %d shard spans, want %d (one per key-major tile)", shardSpans, tiles)
 	}
 }
 

@@ -91,6 +91,35 @@ func (p ParamSet) BRKKeyBytes() int64 {
 // paper's 1.76 GB.
 func (p ParamSet) BRKTotalBytes() int64 { return int64(p.NT) * p.BRKKeyBytes() }
 
+// KeyTraffic returns the BRK bytes one node pulls from memory to
+// blind-rotate a batch of ciphertexts under the two software schedules:
+// ciphertext-major (the full key set streamed once per ciphertext — the
+// pre-batching path) and key-major batched (once per tile of accumulators —
+// the URAM-residency schedule BlindRotateBatched assumes). tile ≤ 0 is
+// treated as 1.
+func (p ParamSet) KeyTraffic(batch, tile int) (perCtBytes, batchedBytes int64) {
+	if batch <= 0 {
+		return 0, 0
+	}
+	if tile <= 0 {
+		tile = 1
+	}
+	tiles := int64((batch + tile - 1) / tile)
+	return int64(batch) * p.BRKTotalBytes(), tiles * p.BRKTotalBytes()
+}
+
+// KeyReuse is the model's key-reuse factor for a batch at the given tile:
+// per-ciphertext traffic over batched traffic. The software engine's
+// brk_bytes_streamed counter ratio must match this exactly for dense masks —
+// locked by TestKeyReuseMatchesSoftwareCounters.
+func (p ParamSet) KeyReuse(batch, tile int) float64 {
+	perCt, batched := p.KeyTraffic(batch, tile)
+	if batched == 0 {
+		return 0
+	}
+	return float64(perCt) / float64(batched)
+}
+
 // ResourceUsage models Table II: utilization of the single-FPGA design.
 type ResourceUsage struct {
 	LUTs, FFs, DSPs, BRAMs, URAMs int

@@ -1,0 +1,87 @@
+package hwsim
+
+import (
+	"math/big"
+	"testing"
+
+	"heap/internal/obs"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+// TestKeyReuseMatchesSoftwareCounters cross-checks the model's URAM
+// key-reuse assumption against the real engine: BlindRotateBatched assumes
+// each BRK slab is fetched once per batch tile rather than once per
+// ciphertext, and the software engine's brk_bytes_streamed counters must
+// reproduce exactly the KeyTraffic ratio the model predicts. Dense masks
+// (every key index used by every ciphertext) make the comparison exact; the
+// batch size is deliberately a non-multiple of the tile so the partial-tile
+// rounding in both accountings is exercised too.
+func TestKeyReuseMatchesSoftwareCounters(t *testing.T) {
+	q := ring.GenerateNTTPrimes(40, 6, 2)
+	up := ring.GenerateNTTPrimesUp(40, 6, 2)
+	params := rlwe.MustParameters(6, q, up, ring.DefaultSigma, 2)
+	kg := rlwe.NewKeyGenerator(params, 40)
+	rsk := kg.GenSecretKey(rlwe.SecretTernary)
+	lweSK := kg.GenLWESecretKey(12, rlwe.SecretBinary)
+	brk := tfhe.GenBlindRotateKey(kg, lweSK, rsk)
+	ev := tfhe.NewEvaluator(params, nil)
+	lut := tfhe.NewLUTFromBig(params, params.MaxLevel(), func(u int) *big.Int {
+		return big.NewInt(int64(u))
+	})
+
+	const batch, tile = 10, 4
+	twoN := uint64(2 * params.N())
+	s := ring.NewSampler(5)
+	lwes := make([]*rlwe.LWECiphertext, batch)
+	for j := range lwes {
+		lwe := &rlwe.LWECiphertext{A: make([]uint64, brk.NumKeys()), Q: twoN}
+		for i := range lwe.A {
+			lwe.A[i] = 1 + s.UniformMod(twoN-1) // dense: every key index used
+		}
+		lwe.B = s.UniformMod(twoN)
+		lwes[j] = lwe
+	}
+
+	perCt := obs.NewMetrics()
+	ev.KS.SetRecorder(perCt)
+	sc := ev.NewScratch()
+	acc := rlwe.NewCiphertext(params, lut.Level)
+	for _, lwe := range lwes {
+		ev.BlindRotateInto(acc, lwe, lut, brk, sc)
+	}
+	batched := obs.NewMetrics()
+	ev.KS.SetRecorder(batched)
+	err := ev.BlindRotateBatchInto(make([]*rlwe.Ciphertext, batch), lwes, lut, brk, tfhe.BatchOptions{Tile: tile})
+	ev.KS.SetRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swPerCt := perCt.Counter(obs.CounterBRKBytesStreamed)
+	swBatched := batched.Counter(obs.CounterBRKBytesStreamed)
+	if swPerCt == 0 || swBatched == 0 {
+		t.Fatal("brk_bytes_streamed counters did not move")
+	}
+	swReuse := float64(swPerCt) / float64(swBatched)
+
+	// The real quotient is batch/⌈batch/tile⌉ in both accountings, so the
+	// correctly-rounded float64 divisions agree bit-exactly even though the
+	// byte magnitudes differ (test ring vs paper ring).
+	modelReuse := PaperParams().KeyReuse(batch, tile)
+	if swReuse != modelReuse {
+		t.Errorf("software key-reuse %.6f != model key-reuse %.6f", swReuse, modelReuse)
+	}
+	if swReuse < 2 {
+		t.Errorf("key-reuse %.2f at tile %d, want >= 2 (the batching must actually help)", swReuse, tile)
+	}
+
+	perCtModel, batchedModel := PaperParams().KeyTraffic(batch, tile)
+	if perCtModel != int64(batch)*PaperParams().BRKTotalBytes() {
+		t.Errorf("model per-ct traffic %d, want batch×BRKTotalBytes", perCtModel)
+	}
+	if wantTiles := int64(3); batchedModel != wantTiles*PaperParams().BRKTotalBytes() {
+		t.Errorf("model batched traffic %d, want %d tiles × BRKTotalBytes", batchedModel, wantTiles)
+	}
+}

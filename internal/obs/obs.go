@@ -103,13 +103,24 @@ const (
 	// CounterBytesRetried counts framed bytes re-sent because a batch had
 	// to be retried or reassigned after a node failure.
 	CounterBytesRetried
+	// CounterBRKBytesStreamed counts blind-rotate key bytes pulled through
+	// the datapath: the per-ciphertext path streams every used RGSW key pair
+	// once per rotation, the key-major batch engine once per tile. The ratio
+	// of the two is the software measurement of the paper's §V URAM
+	// key-reuse factor.
+	CounterBRKBytesStreamed
+	// CounterBlindRotateTile counts key-major accumulator tiles completed by
+	// the batched blind-rotate engine (the unit shard-lane BlindRotate spans
+	// are recorded at).
+	CounterBlindRotateTile
 
-	NumCounters = int(CounterBytesRetried) + 1
+	NumCounters = int(CounterBlindRotateTile) + 1
 )
 
 var counterNames = [NumCounters]string{
 	"ntt_limb_transforms", "external_products", "key_switches",
 	"blind_rotates", "merges", "bytes_framed", "bytes_retried",
+	"brk_bytes_streamed", "blind_rotate_tiles",
 }
 
 func (c Counter) String() string {

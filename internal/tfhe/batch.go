@@ -1,0 +1,282 @@
+package tfhe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"heap/internal/obs"
+	"heap/internal/rlwe"
+)
+
+// This file is the key-major batched blind-rotate engine. The per-ciphertext
+// loop in blindrotate.go is ciphertext-major: for each LWE ciphertext it
+// streams the entire blind-rotate key (hundreds of MB at paper parameters)
+// through cache once. But HEAP's premise (§V) is the opposite schedule: the
+// n_br extracted LWE ciphertexts are rotated against ONE shared key, so the
+// FPGA keeps each BRK slab resident in URAM and reuses it across shards.
+//
+// BlindRotateTileInto realizes that schedule in software: the outer loop
+// walks the BRK index i, the inner loop advances a tile of accumulators, so
+// brk.Plus[i]/brk.Minus[i] and their decomposition constants are pulled
+// through cache once per tile instead of once per ciphertext. Correctness is
+// immediate: each accumulator still sees exactly the per-ciphertext CMux
+// sequence (the rotations of different accumulators are independent), so the
+// batched engine is bit-exact against BlindRotateInto — locked by the
+// property tests in batch_test.go.
+//
+// BlindRotateBatchInto fans tiles out across a worker pool, each worker
+// owning one BatchScratch arena (the PR 2 zero-alloc discipline: nothing but
+// the retained accumulators is allocated in steady state).
+
+// DefaultTile is the number of accumulators that advance together through
+// the key-major schedule when the caller does not choose one. At paper
+// parameters one RGSW key pair is a few MB — far larger than L2 — so even a
+// small tile converts the key stream from once-per-ciphertext to
+// once-per-tile; 8 keeps the tile's accumulators and the scratch arena
+// cache-resident while already capturing an 8× key-traffic reduction.
+const DefaultTile = 8
+
+// BatchScratch is the per-worker arena of the batched engine: the underlying
+// single-rotation scratch plus the transposed mask tile. One arena per
+// worker keeps the whole key-major schedule allocation-free in steady state.
+// A BatchScratch must not be shared between concurrent tiles.
+type BatchScratch struct {
+	// Scratch holds the rotate/external-product buffers shared with the
+	// per-ciphertext path.
+	Scratch *Scratch
+	// aT is the key-major transpose of the tile's masks: aT[i*T+j] is
+	// a_{j,i} mod 2N for tile slot j — laid out so the inner loop over the
+	// tile reads contiguously. Doing the reduction once at transpose time
+	// hoists the per-aᵢ monomial bookkeeping out of the key loop.
+	aT []uint64
+}
+
+// NewBatchScratch allocates a batched blind-rotation scratch arena. Buffers
+// are sized lazily by the first tile, so one arena serves any tile size.
+func (ev *Evaluator) NewBatchScratch() *BatchScratch {
+	return &BatchScratch{Scratch: ev.NewScratch()}
+}
+
+func (bsc *BatchScratch) ensure(n int) {
+	if cap(bsc.aT) < n {
+		bsc.aT = make([]uint64, n)
+	}
+	bsc.aT = bsc.aT[:n]
+}
+
+func (ev *Evaluator) getBatchScratch() *BatchScratch {
+	return ev.batchScratchPool.Get().(*BatchScratch)
+}
+func (ev *Evaluator) putBatchScratch(bsc *BatchScratch) { ev.batchScratchPool.Put(bsc) }
+
+// BlindRotateTileInto blind-rotates one tile of LWE ciphertexts into the
+// caller-owned accumulators with the key-index-major schedule described
+// above. It is the single-threaded building block of BlindRotateBatchInto;
+// callers that manage their own worker fan-out (the cluster's runLocal) use
+// it directly. len(accs) must equal len(lwes); input validation matches
+// BlindRotateInto and panics on malformed inputs. Allocation-free in steady
+// state.
+func (ev *Evaluator) BlindRotateTileInto(accs []*rlwe.Ciphertext, lwes []*rlwe.LWECiphertext, lut *LookupTable, brk *BlindRotateKey, bsc *BatchScratch) {
+	T := len(accs)
+	if T == 0 {
+		return
+	}
+	if len(lwes) != T {
+		panic("tfhe: tile accumulator/LWE count mismatch")
+	}
+	n := ev.Params.N()
+	twoN := uint64(2 * n)
+	nk := brk.NumKeys()
+	level := lut.Level
+	sc := bsc.Scratch
+	sc.ensure(ev.Params, level)
+	bsc.ensure(nk * T)
+	b := ev.Params.QBasis.AtLevel(level)
+
+	// Per-ciphertext setup: ACC_j ← (f·X^{b_j}, 0) exactly as the scalar
+	// path, plus the key-major mask transpose (reduced mod 2N once, here).
+	for j, lwe := range lwes {
+		if lwe.Q != twoN {
+			panic("tfhe: BlindRotate requires an LWE ciphertext at modulus 2N")
+		}
+		if len(lwe.A) != nk {
+			panic("tfhe: LWE dimension does not match blind-rotate key")
+		}
+		acc := accs[j]
+		if acc.Level() != level {
+			panic("tfhe: accumulator level does not match lookup table")
+		}
+		acc.IsNTT = false
+		acc.Scale = 1
+		for i := 0; i < level; i++ {
+			b.Rings[i].MulByMonomialInto(lut.Poly.Limbs[i], int(lwe.B%twoN), acc.C0.Limbs[i])
+		}
+		acc.C1.Zero()
+		for i, ai := range lwe.A {
+			bsc.aT[i*T+j] = ai % twoN
+		}
+	}
+
+	// Key-major sweep: brk.Plus[i]/brk.Minus[i] stay hot across the whole
+	// tile. A key index no ciphertext in the tile uses (all-zero row) is
+	// never touched and never counted.
+	keyBytes := uint64(brk.PerKeyBytes())
+	var streamed uint64
+	for i := 0; i < nk; i++ {
+		row := bsc.aT[i*T : i*T+T]
+		touched := false
+		for j, k := range row {
+			if k == 0 {
+				continue
+			}
+			touched = true
+			ev.cmuxStep(accs[j], int(k), brk.Plus[i], level, sc)
+			if !brk.Binary {
+				ev.cmuxStep(accs[j], -int(k), brk.Minus[i], level, sc)
+			}
+		}
+		if touched {
+			streamed += keyBytes
+		}
+	}
+	rec := ev.KS.Recorder()
+	rec.Add(obs.CounterBRKBytesStreamed, streamed)
+	rec.Add(obs.CounterBlindRotateTile, 1)
+	rec.Add(obs.CounterBlindRotate, uint64(T))
+}
+
+// BatchOptions tunes BlindRotateBatchInto.
+type BatchOptions struct {
+	// Tile is the number of accumulators that share one pass over the key
+	// (≤ 0 selects DefaultTile). The key-traffic reduction is the average
+	// tile fill, so larger tiles stream fewer key bytes, at the cost of a
+	// larger working set of accumulators per worker.
+	Tile int
+	// Workers is the fan-out width; ≤ 1 runs every tile on the calling
+	// goroutine (the allocation-free path the AllocsPerRun lock covers).
+	Workers int
+	// BaseLane offsets the shard lanes per-tile BlindRotate spans are
+	// recorded on: worker w records on lane BaseLane+w.
+	BaseLane int
+	// NewAcc supplies an accumulator for each nil entry of accs; nil
+	// defaults to a fresh ciphertext at the lookup-table level. Callers with
+	// recycling pools (the cluster secondary) inject theirs here. Must be
+	// safe for concurrent use when Workers > 1.
+	NewAcc func() *rlwe.Ciphertext
+	// OnTile, when non-nil, is called from the worker goroutine after the
+	// tile covering batch indices [lo, hi) completes — the hook the cluster
+	// secondary streams finished accumulators back through, preserving the
+	// rotate/network overlap. A non-nil error stops the batch: no new tiles
+	// start, in-flight tiles finish, and the error is returned. Must be safe
+	// for concurrent use when Workers > 1.
+	OnTile func(lo, hi int) error
+}
+
+// BlindRotateBatchInto blind-rotates lwes[j] into accs[j] for every j,
+// fanning key-major tiles (see BlindRotateTileInto) across a worker pool.
+// Nil entries of accs are filled via opts.NewAcc; non-nil entries must be at
+// the lookup-table level. Each worker owns a pooled BatchScratch, so steady
+// state allocates only the accumulators the caller did not supply. Tiles are
+// claimed from an atomic cursor, and each completed tile is reported through
+// opts.OnTile. Panics from malformed inputs (wrong LWE modulus/dimension,
+// wrong accumulator level) are recovered and returned as errors naming the
+// tile, so one bad shard cannot take down a serving node.
+func (ev *Evaluator) BlindRotateBatchInto(accs []*rlwe.Ciphertext, lwes []*rlwe.LWECiphertext, lut *LookupTable, brk *BlindRotateKey, opts BatchOptions) error {
+	if len(accs) != len(lwes) {
+		return fmt.Errorf("tfhe: %d accumulators for %d LWE ciphertexts", len(accs), len(lwes))
+	}
+	n := len(lwes)
+	if n == 0 {
+		return nil
+	}
+	tile := opts.Tile
+	if tile <= 0 {
+		tile = DefaultTile
+	}
+	numTiles := (n + tile - 1) / tile
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > numTiles {
+		workers = numTiles
+	}
+	newAcc := opts.NewAcc
+	if newAcc == nil {
+		newAcc = func() *rlwe.Ciphertext { return rlwe.NewCiphertext(ev.Params, lut.Level) }
+	}
+	rec := ev.KS.Recorder()
+
+	var (
+		cursor   atomic.Int64
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	work := func(lane int, bsc *BatchScratch) {
+		for !stop.Load() {
+			t := int(cursor.Add(1)) - 1
+			if t >= numTiles {
+				return
+			}
+			lo := t * tile
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			for j := lo; j < hi; j++ {
+				if accs[j] == nil {
+					accs[j] = newAcc()
+				}
+			}
+			err := func() (err error) {
+				tok := rec.Begin(obs.StageBlindRotate, lane)
+				defer rec.End(obs.StageBlindRotate, lane, tok)
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("tfhe: blind rotation of batch indices [%d,%d): %v", lo, hi, r)
+					}
+				}()
+				ev.BlindRotateTileInto(accs[lo:hi], lwes[lo:hi], lut, brk, bsc)
+				return nil
+			}()
+			if err == nil && opts.OnTile != nil {
+				err = opts.OnTile(lo, hi)
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+
+	if workers == 1 {
+		bsc := ev.getBatchScratch()
+		work(opts.BaseLane, bsc)
+		ev.putBatchScratch(bsc)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				bsc := ev.getBatchScratch()
+				work(opts.BaseLane+w, bsc)
+				ev.putBatchScratch(bsc)
+			}(w)
+		}
+		wg.Wait()
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}

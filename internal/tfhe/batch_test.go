@@ -1,0 +1,294 @@
+package tfhe
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+
+	"heap/internal/obs"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// batchFixture returns the blind-rotate material plus a fresh LWE generator
+// drawing exact-phase ciphertexts with pseudorandom masks.
+func batchFixture(t *testing.T, secret rlwe.SecretDist) (*rlwe.Parameters, *Evaluator, *LookupTable, *BlindRotateKey, func() *rlwe.LWECiphertext) {
+	t.Helper()
+	p := testParams(t)
+	kg := rlwe.NewKeyGenerator(p, 40)
+	rsk := kg.GenSecretKey(rlwe.SecretTernary)
+	lweSK := kg.GenLWESecretKey(12, secret)
+	brk := GenBlindRotateKey(kg, lweSK, rsk)
+	ev := NewEvaluator(p, nil)
+	lut := NewLUTFromBig(p, p.MaxLevel(), func(u int) *big.Int {
+		return big.NewInt(int64(u) << 24)
+	})
+	s := ring.NewSampler(97)
+	phase := int64(0)
+	next := func() *rlwe.LWECiphertext {
+		phase++
+		return encryptLWEPhase(phase%17-8, uint64(2*p.N()), lweSK.Signed, s)
+	}
+	return p, ev, lut, brk, next
+}
+
+// TestBlindRotateBatchMatchesPerCiphertext is the bit-exactness property
+// test of the key-major engine: for shard counts that are non-multiples of
+// the tile (plus the 0- and 1-shard edges), every tile size, worker count,
+// and both secret distributions, the batched accumulators must equal the
+// per-ciphertext BlindRotateInto outputs exactly. Run under -race this also
+// exercises the tile cursor and per-worker arenas.
+func TestBlindRotateBatchMatchesPerCiphertext(t *testing.T) {
+	for _, secret := range []rlwe.SecretDist{rlwe.SecretBinary, rlwe.SecretTernary} {
+		p, ev, lut, brk, next := batchFixture(t, secret)
+		if secret == rlwe.SecretTernary && brk.Binary {
+			t.Skip("sampled ternary secret happened to be binary")
+		}
+		sc := ev.NewScratch()
+		for _, count := range []int{0, 1, 2, 7, 8, 13} {
+			lwes := make([]*rlwe.LWECiphertext, count)
+			want := make([]*rlwe.Ciphertext, count)
+			for j := range lwes {
+				lwes[j] = next()
+				want[j] = rlwe.NewCiphertext(p, lut.Level)
+				ev.BlindRotateInto(want[j], lwes[j], lut, brk, sc)
+			}
+			for _, tile := range []int{1, 3, 8} {
+				for _, workers := range []int{1, 3} {
+					accs := make([]*rlwe.Ciphertext, count)
+					err := ev.BlindRotateBatchInto(accs, lwes, lut, brk, BatchOptions{Tile: tile, Workers: workers})
+					if err != nil {
+						t.Fatalf("count=%d tile=%d workers=%d: %v", count, tile, workers, err)
+					}
+					for j := range accs {
+						if accs[j] == nil {
+							t.Fatalf("count=%d tile=%d workers=%d: accumulator %d not filled", count, tile, workers, j)
+						}
+						if !p.QBasis.Equal(want[j].C0, accs[j].C0) || !p.QBasis.Equal(want[j].C1, accs[j].C1) ||
+							accs[j].IsNTT != want[j].IsNTT {
+							t.Fatalf("count=%d tile=%d workers=%d: accumulator %d differs from per-ciphertext path",
+								count, tile, workers, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlindRotateTileZeroAllocs locks the PR 2 discipline on the batched
+// inner loop: with a warm arena and reused accumulators, a key-major tile
+// performs zero heap allocations.
+func TestBlindRotateTileZeroAllocs(t *testing.T) {
+	p, ev, lut, brk, next := batchFixture(t, rlwe.SecretBinary)
+	const tile = 4
+	lwes := make([]*rlwe.LWECiphertext, tile)
+	accs := make([]*rlwe.Ciphertext, tile)
+	for j := range lwes {
+		lwes[j] = next()
+		accs[j] = rlwe.NewCiphertext(p, lut.Level)
+	}
+	bsc := ev.NewBatchScratch()
+	ev.BlindRotateTileInto(accs, lwes, lut, brk, bsc) // warm the arena
+
+	if avg := testing.AllocsPerRun(5, func() {
+		ev.BlindRotateTileInto(accs, lwes, lut, brk, bsc)
+	}); avg != 0 {
+		t.Fatalf("BlindRotateTileInto allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestBlindRotateBatchKeyReuse locks the counter semantics behind the
+// engine's whole point: with dense masks, the per-ciphertext path streams
+// the key once per rotation while the batched path streams it once per
+// tile, so brk_bytes_streamed must drop by exactly the tile size.
+func TestBlindRotateBatchKeyReuse(t *testing.T) {
+	p, ev, lut, brk, _ := batchFixture(t, rlwe.SecretBinary)
+	const count, tile = 16, 4
+	twoN := uint64(2 * p.N())
+	s := ring.NewSampler(11)
+	lwes := make([]*rlwe.LWECiphertext, count)
+	for j := range lwes {
+		lwe := &rlwe.LWECiphertext{A: make([]uint64, brk.NumKeys()), Q: twoN}
+		for i := range lwe.A {
+			lwe.A[i] = 1 + s.UniformMod(twoN-1) // dense: every key index used
+		}
+		lwe.B = s.UniformMod(twoN)
+		lwes[j] = lwe
+	}
+
+	perCt := obs.NewMetrics()
+	ev.KS.SetRecorder(perCt)
+	sc := ev.NewScratch()
+	acc := rlwe.NewCiphertext(p, lut.Level)
+	for _, lwe := range lwes {
+		ev.BlindRotateInto(acc, lwe, lut, brk, sc)
+	}
+
+	batched := obs.NewMetrics()
+	ev.KS.SetRecorder(batched)
+	accs := make([]*rlwe.Ciphertext, count)
+	err := ev.BlindRotateBatchInto(accs, lwes, lut, brk, BatchOptions{Tile: tile})
+	ev.KS.SetRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantKey := uint64(brk.PerKeyBytes()) * uint64(brk.NumKeys())
+	if got := perCt.Counter(obs.CounterBRKBytesStreamed); got != wantKey*count {
+		t.Errorf("per-ciphertext path streamed %d key bytes, want %d", got, wantKey*count)
+	}
+	if got := batched.Counter(obs.CounterBRKBytesStreamed); got != wantKey*count/tile {
+		t.Errorf("batched path streamed %d key bytes, want %d", got, wantKey*count/tile)
+	}
+	if got := batched.Counter(obs.CounterBlindRotateTile); got != count/tile {
+		t.Errorf("tiles counter = %d, want %d", got, count/tile)
+	}
+	if got := batched.Counter(obs.CounterBlindRotate); got != count {
+		t.Errorf("blind_rotates = %d, want %d", got, count)
+	}
+	reuse := float64(perCt.Counter(obs.CounterBRKBytesStreamed)) /
+		float64(batched.Counter(obs.CounterBRKBytesStreamed))
+	if reuse < tile {
+		t.Errorf("key-reuse factor %.2f, want >= %d", reuse, tile)
+	}
+}
+
+// TestBlindRotateBatchOnTile locks the streaming hook: every batch index is
+// reported exactly once in tile-sized ranges, and an OnTile error stops the
+// batch and surfaces.
+func TestBlindRotateBatchOnTile(t *testing.T) {
+	_, ev, lut, brk, next := batchFixture(t, rlwe.SecretBinary)
+	const count, tile = 11, 4
+	lwes := make([]*rlwe.LWECiphertext, count)
+	for j := range lwes {
+		lwes[j] = next()
+	}
+
+	var mu sync.Mutex
+	seen := make([]bool, count)
+	accs := make([]*rlwe.Ciphertext, count)
+	err := ev.BlindRotateBatchInto(accs, lwes, lut, brk, BatchOptions{
+		Tile: tile, Workers: 2,
+		OnTile: func(lo, hi int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if hi-lo > tile || lo < 0 || hi > count {
+				return fmt.Errorf("bad tile range [%d,%d)", lo, hi)
+			}
+			for j := lo; j < hi; j++ {
+				if seen[j] {
+					return fmt.Errorf("index %d reported twice", j)
+				}
+				seen[j] = true
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d never reported", j)
+		}
+	}
+
+	boom := errors.New("sink failed")
+	err = ev.BlindRotateBatchInto(make([]*rlwe.Ciphertext, count), lwes, lut, brk, BatchOptions{
+		Tile: tile, OnTile: func(lo, hi int) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("OnTile error not surfaced: %v", err)
+	}
+}
+
+// TestBlindRotateBatchRecoversPanics locks the serving-node contract: a
+// malformed LWE ciphertext in the batch comes back as an error naming the
+// tile, never as a panic.
+func TestBlindRotateBatchRecoversPanics(t *testing.T) {
+	_, ev, lut, brk, next := batchFixture(t, rlwe.SecretBinary)
+	lwes := []*rlwe.LWECiphertext{next(), next(), next()}
+	lwes[1] = &rlwe.LWECiphertext{A: make([]uint64, 3), Q: lwes[0].Q} // wrong dimension
+	err := ev.BlindRotateBatchInto(make([]*rlwe.Ciphertext, 3), lwes, lut, brk, BatchOptions{Tile: 2})
+	if err == nil {
+		t.Fatal("malformed LWE in batch did not error")
+	}
+	if err := ev.BlindRotateBatchInto(make([]*rlwe.Ciphertext, 2), lwes, lut, brk, BatchOptions{}); err == nil {
+		t.Fatal("length mismatch did not error")
+	}
+}
+
+// TestCMuxIntoMatchesCMux locks the scratch-arena CMux against a reference
+// transcription of the retired allocating implementation.
+func TestCMuxIntoMatchesCMux(t *testing.T) {
+	p := testParams(t)
+	kg := rlwe.NewKeyGenerator(p, 34)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	enc := rlwe.NewEncryptor(p, sk, 35)
+	ev := NewEvaluator(p, nil)
+
+	level := p.MaxLevel()
+	b := p.QBasis.AtLevel(level)
+	mk := func(v int64) *rlwe.Ciphertext {
+		msg := make([]int64, p.N())
+		msg[0] = v
+		pt := b.NewPoly()
+		b.SetSigned(msg, pt)
+		b.NTT(pt)
+		return enc.EncryptPolyAtLevel(pt, level, 1)
+	}
+	ct0, ct1 := mk(1<<26), mk(-(1 << 25))
+	ref := func(bit *rlwe.RGSWCiphertext, ct0, ct1 *rlwe.Ciphertext) *rlwe.Ciphertext {
+		diff := ct1.CopyNew()
+		b.Sub(diff.C0, ct0.C0, diff.C0)
+		b.Sub(diff.C1, ct0.C1, diff.C1)
+		d := ev.KS.ExternalProduct(diff, bit)
+		out := ct0.CopyNew()
+		if !out.IsNTT {
+			b.NTT(out.C0)
+			b.NTT(out.C1)
+			out.IsNTT = true
+		}
+		b.Add(out.C0, d.C0, out.C0)
+		b.Add(out.C1, d.C1, out.C1)
+		return out
+	}
+	for bit := int64(0); bit <= 1; bit++ {
+		sel := kg.GenRGSWConstant(bit, sk)
+		want := ref(sel, ct0, ct1)
+		got := ev.CMux(sel, ct0, ct1)
+		if !p.QBasis.Equal(want.C0, got.C0) || !p.QBasis.Equal(want.C1, got.C1) || got.IsNTT != want.IsNTT {
+			t.Fatalf("bit=%d: CMuxInto differs from reference", bit)
+		}
+	}
+}
+
+// TestCMuxIntoZeroAllocs locks the selection path's allocation freedom with
+// a warm arena, like the other hot-path locks.
+func TestCMuxIntoZeroAllocs(t *testing.T) {
+	p := testParams(t)
+	kg := rlwe.NewKeyGenerator(p, 34)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	enc := rlwe.NewEncryptor(p, sk, 35)
+	ev := NewEvaluator(p, nil)
+
+	level := p.MaxLevel()
+	b := p.QBasis.AtLevel(level)
+	pt := b.NewPoly()
+	b.NTT(pt)
+	ct0 := enc.EncryptPolyAtLevel(pt, level, 1)
+	ct1 := enc.EncryptPolyAtLevel(pt, level, 1)
+	sel := kg.GenRGSWConstant(1, sk)
+	out := rlwe.NewCiphertext(p, level)
+	sc := ev.NewScratch()
+	ev.CMuxInto(out, sel, ct0, ct1, sc) // warm the arena
+
+	if avg := testing.AllocsPerRun(5, func() {
+		ev.CMuxInto(out, sel, ct0, ct1, sc)
+	}); avg != 0 {
+		t.Fatalf("CMuxInto allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -14,7 +14,8 @@ type Evaluator struct {
 	Params *rlwe.Parameters
 	KS     *rlwe.KeySwitcher
 
-	scratchPool sync.Pool
+	scratchPool      sync.Pool
+	batchScratchPool sync.Pool
 }
 
 // NewEvaluator builds an evaluator (reusing an existing key switcher if
@@ -25,6 +26,7 @@ func NewEvaluator(params *rlwe.Parameters, ks *rlwe.KeySwitcher) *Evaluator {
 	}
 	ev := &Evaluator{Params: params, KS: ks}
 	ev.scratchPool.New = func() any { return ev.NewScratch() }
+	ev.batchScratchPool.New = func() any { return ev.NewBatchScratch() }
 	return ev
 }
 
@@ -105,17 +107,22 @@ func (ev *Evaluator) BlindRotateInto(acc *rlwe.Ciphertext, lwe *rlwe.LWECipherte
 	}
 	acc.C1.Zero()
 
+	keyBytes := uint64(brk.PerKeyBytes())
+	var streamed uint64
 	for i, ai := range lwe.A {
 		ai %= twoN
 		if ai == 0 {
 			continue
 		}
+		streamed += keyBytes
 		ev.cmuxStep(acc, int(ai), brk.Plus[i], level, sc)
 		if !brk.Binary {
 			ev.cmuxStep(acc, -int(ai), brk.Minus[i], level, sc)
 		}
 	}
-	ev.KS.Recorder().Add(obs.CounterBlindRotate, 1)
+	rec := ev.KS.Recorder()
+	rec.Add(obs.CounterBRKBytesStreamed, streamed)
+	rec.Add(obs.CounterBlindRotate, 1)
 }
 
 // cmuxStep computes ACC += (X^k·ACC − ACC) ⊡ rgsw in place, with the rotated
@@ -139,24 +146,50 @@ func (ev *Evaluator) cmuxStep(acc *rlwe.Ciphertext, k int, rgsw *rlwe.RGSWCipher
 	b.Add(acc.C1, d.C1, acc.C1)
 }
 
-// CMux homomorphically selects ct1 (bit=1) or ct0 (bit=0):
-// out = ct0 + (ct1 − ct0) ⊡ RGSW(bit). Inputs must share representation and
-// level.
-func (ev *Evaluator) CMux(bit *rlwe.RGSWCiphertext, ct0, ct1 *rlwe.Ciphertext) *rlwe.Ciphertext {
+// CMuxInto homomorphically selects ct1 (bit=1) or ct0 (bit=0) into the
+// caller-owned out: out = ct0 + (ct1 − ct0) ⊡ RGSW(bit). Inputs must share
+// representation and level; out must be at the same level and must not alias
+// either input. The difference and the external product live in the scratch
+// arena, so the selection is allocation-free in steady state. The output is
+// in NTT representation.
+func (ev *Evaluator) CMuxInto(out *rlwe.Ciphertext, bit *rlwe.RGSWCiphertext, ct0, ct1 *rlwe.Ciphertext, sc *Scratch) {
 	level := ct0.Level()
+	if ct1.Level() != level || out.Level() != level {
+		panic("tfhe: CMux operand levels differ")
+	}
+	if ct0.IsNTT != ct1.IsNTT {
+		panic("tfhe: CMux inputs must share representation")
+	}
+	sc.ensure(ev.Params, level)
 	b := ev.Params.QBasis.AtLevel(level)
-	diff := ct1.CopyNew()
-	b.Sub(diff.C0, ct0.C0, diff.C0)
-	b.Sub(diff.C1, ct0.C1, diff.C1)
-	d := ev.KS.ExternalProduct(diff, bit)
-	out := ct0.CopyNew()
+	diff := sc.rot
+	diff.IsNTT = ct1.IsNTT
+	diff.Scale = ct1.Scale
+	b.Sub(ct1.C0, ct0.C0, diff.C0)
+	b.Sub(ct1.C1, ct0.C1, diff.C1)
+	ev.KS.ExternalProductInto(sc.d, diff, bit, sc.KS) // NTT-form output
+	for i := 0; i < level; i++ {
+		copy(out.C0.Limbs[i], ct0.C0.Limbs[i])
+		copy(out.C1.Limbs[i], ct0.C1.Limbs[i])
+	}
+	out.IsNTT = ct0.IsNTT
+	out.Scale = ct0.Scale
 	if !out.IsNTT {
 		b.NTT(out.C0)
 		b.NTT(out.C1)
 		out.IsNTT = true
 	}
-	b.Add(out.C0, d.C0, out.C0)
-	b.Add(out.C1, d.C1, out.C1)
+	b.Add(out.C0, sc.d.C0, out.C0)
+	b.Add(out.C1, sc.d.C1, out.C1)
+}
+
+// CMux is the allocating convenience form of CMuxInto, drawing its scratch
+// from the evaluator's pool.
+func (ev *Evaluator) CMux(bit *rlwe.RGSWCiphertext, ct0, ct1 *rlwe.Ciphertext) *rlwe.Ciphertext {
+	out := rlwe.NewCiphertext(ev.Params, ct0.Level())
+	sc := ev.getScratch()
+	ev.CMuxInto(out, bit, ct0, ct1, sc)
+	ev.putScratch(sc)
 	return out
 }
 

@@ -67,6 +67,21 @@ func (k *BlindRotateKey) SizeBytes() int {
 	return total
 }
 
+// PerKeyBytes returns the in-memory size of the RGSW material one key index
+// streams through the blind-rotate datapath: the Plus ciphertext, plus the
+// Minus ciphertext for ternary secrets (the binary fast path never touches
+// the minus branch). This is the unit of the brk_bytes_streamed counter.
+func (k *BlindRotateKey) PerKeyBytes() int {
+	if len(k.Plus) == 0 {
+		return 0
+	}
+	b := k.Plus[0].C0.SizeBytes() + k.Plus[0].C1.SizeBytes()
+	if !k.Binary {
+		b += k.Minus[0].C0.SizeBytes() + k.Minus[0].C1.SizeBytes()
+	}
+	return b
+}
+
 // LookupTable is a negacyclic test polynomial f over the full Q basis
 // (coefficient representation) together with the level it lives at. The
 // blind rotation of an LWE ciphertext with phase u produces an RLWE
