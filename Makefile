@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz fmt bench-smoke cover benchdiff benchdiff-soft
+.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,19 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection suite under the race detector: link cuts, stalls, corrupt
+# frames, join/leave churn, kill-mid-key-upload resume, and hedged dispatch.
+# Every scenario checks the distributed result bit-exact against a local
+# bootstrap and asserts no goroutine leaks.
+chaos:
+	$(GO) test -race -count=1 ./internal/cluster/ -run \
+		'TestKill|TestAllSecondariesDead|TestDelayedPeer|TestRetryBackoff|TestReconnect|TestCorruptLink|TestShortReads|TestContextCancellation|TestChaosMatrix|TestElastic|TestGracefulLeave|TestStalledNode|TestProbeMisses'
+
+# Seed-corpus smoke over every fuzz target (plain `go test` runs each
+# target's f.Add seeds and committed testdata/fuzz corpora without fuzzing).
+fuzz-smoke:
+	$(GO) test -count=1 -run='^Fuzz' ./internal/cluster/ ./internal/rlwe/
 
 # Allocation smoke: a short -benchmem pass over the hot kernels. The hard
 # 0 allocs/op locks live in the AllocsPerRun tests (TestExternalProductInto
@@ -59,16 +72,19 @@ cover:
 
 # The merge gate: everything must build, vet clean, pass under the race
 # detector (the cluster chaos tests plus the concurrent-automorphism and
-# shared-key-switcher tests are the concurrency exercise), keep the hot
-# kernels allocation-free, hold the coverage floors, and hold the committed
+# shared-key-switcher tests are the concurrency exercise), survive the
+# fault-injection suite, run every fuzz seed corpus, keep the hot kernels
+# allocation-free, hold the coverage floors, and hold the committed
 # blind-rotate trajectory (soft: warns on regression).
-check: build vet race bench-smoke cover benchdiff-soft
+check: build vet race chaos fuzz-smoke bench-smoke cover benchdiff-soft
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeJoin -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeKeyOffer -fuzztime=10s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzReadCiphertext -fuzztime=10s ./internal/rlwe/
 	$(GO) test -run=^$$ -fuzz=FuzzReadLWECiphertext -fuzztime=10s ./internal/rlwe/
 

@@ -55,13 +55,22 @@ func run(oldPath, newPath, metric string, maxRegress float64) error {
 			return fmt.Errorf("benchdiff: %s differs (%v vs %v); the records are not comparable", key, ov, nv)
 		}
 	}
-	ov, ok := number(oldRec, metric)
-	if !ok {
-		return fmt.Errorf("benchdiff: %s has no numeric field %q", oldPath, metric)
-	}
 	nv, ok := number(newRec, metric)
 	if !ok {
 		return fmt.Errorf("benchdiff: %s has no numeric field %q", newPath, metric)
+	}
+	ov, ok := number(oldRec, metric)
+	if !ok {
+		// A metric the candidate has but the baseline predates is not a
+		// regression — it is a freshly instrumented figure with nothing to
+		// gate against yet. Pass with a note so adding counters never forces
+		// regenerating every committed baseline; the gate arms itself the
+		// first time a baseline containing the metric is committed. A metric
+		// missing from the *candidate* stays an error (above): that is
+		// instrumentation lost, not gained.
+		fmt.Printf("benchdiff %s: new %.3f, no baseline value in %s\n", metric, nv, oldPath)
+		fmt.Println("benchdiff: OK (new metric, nothing to compare against yet)")
+		return nil
 	}
 	if ov <= 0 {
 		return fmt.Errorf("benchdiff: baseline %s = %v is not a positive number", metric, ov)

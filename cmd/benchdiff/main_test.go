@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRec(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunComparesAndGates(t *testing.T) {
+	oldP := writeRec(t, "old.json", `{"logN": 13, "batch_us_per_rot": 100}`)
+	okP := writeRec(t, "ok.json", `{"logN": 13, "batch_us_per_rot": 104}`)
+	badP := writeRec(t, "bad.json", `{"logN": 13, "batch_us_per_rot": 140}`)
+
+	if err := run(oldP, okP, "batch_us_per_rot", 10); err != nil {
+		t.Fatalf("4%% drift within a 10%% threshold must pass: %v", err)
+	}
+	if err := run(oldP, badP, "batch_us_per_rot", 10); err == nil {
+		t.Fatal("40% regression past a 10% threshold must fail")
+	}
+}
+
+func TestRunNewMetricPassesWithNote(t *testing.T) {
+	// The baseline predates the metric: pass (there is nothing to gate
+	// against), so instrumenting a new figure never forces regenerating every
+	// committed baseline.
+	oldP := writeRec(t, "old.json", `{"logN": 13, "batch_us_per_rot": 100}`)
+	newP := writeRec(t, "new.json", `{"logN": 13, "batch_us_per_rot": 100, "churn_resume_ms": 12}`)
+	if err := run(oldP, newP, "churn_resume_ms", 10); err != nil {
+		t.Fatalf("metric absent from baseline must pass with a note: %v", err)
+	}
+	// The reverse — the candidate lost a metric the baseline has — stays an
+	// error: that is instrumentation lost, not gained.
+	if err := run(newP, oldP, "churn_resume_ms", 10); err == nil ||
+		!strings.Contains(err.Error(), "no numeric field") {
+		t.Fatalf("metric missing from candidate must error, got %v", err)
+	}
+}
+
+func TestRunContextMismatch(t *testing.T) {
+	oldP := writeRec(t, "old.json", `{"logN": 13, "batch_us_per_rot": 100}`)
+	newP := writeRec(t, "new.json", `{"logN": 14, "batch_us_per_rot": 100}`)
+	if err := run(oldP, newP, "batch_us_per_rot", 10); err == nil ||
+		!strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("context mismatch must error, got %v", err)
+	}
+}

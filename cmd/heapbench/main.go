@@ -7,6 +7,12 @@
 //	heapbench -keys      # §III-C key-traffic accounting
 //	heapbench -sweep     # FPGA-count scaling sweep for the bootstrap
 //	heapbench -cluster   # fault-tolerant distributed bootstrap demo
+//	heapbench -cluster -churn
+//	                     # self-healing elastic cluster demo: hedged dispatch
+//	                     # around a stalled node, a cold node joining mid-run,
+//	                     # a kill mid-key-upload with a chunk-exact resume
+//	                     # after rejoin, and a graceful drain — each run
+//	                     # checked bit-exact against a local bootstrap
 //	heapbench -benchjson BENCH_repack.json
 //	                     # time the repack/Finish tail serial vs parallel
 //	                     # at the paper ring and write the numbers as JSON
@@ -36,6 +42,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/big"
 	"net"
@@ -64,6 +71,7 @@ func main() {
 	area := flag.Bool("area", false, "print the §VI-B area/power comparison")
 	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
+	churn := flag.Bool("churn", false, "with -cluster: elastic membership churn demo (join/leave/kill mid-key-upload/hedge)")
 	benchJSON := flag.String("benchjson", "", "benchmark at the paper ring and write JSON to this file (basename BENCH_blindrotate* selects the blind-rotate mode, anything else the repack/Finish tail)")
 	brCount := flag.Int("brcount", 256, "blind-rotate mode: batch size n_br")
 	brTile := flag.Int("brtile", tfhe.DefaultTile, "blind-rotate mode: key-major tile size")
@@ -112,6 +120,11 @@ func main() {
 			err = runBenchJSON(*benchJSON)
 		}
 		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *chaos && *churn:
+		if err := runChurn(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -430,6 +443,225 @@ func runTraceLocal(tracePath string) error {
 	fmt.Printf("local bootstrap: %v; slot0 = %.3f (want 0.400)\n",
 		wall.Round(time.Millisecond), real(ctx.Decrypt(out)[0]))
 	return writeTraceAndSnapshot(tracePath, tracer, met, wall)
+}
+
+// runChurn demonstrates the self-healing elastic cluster in three acts, each
+// checked bit-exact against a purely local bootstrap of the same ciphertext:
+//
+//  1. Hedged dispatch: a node wedges right after its handshake, its shard
+//     ages past HedgeAfter, and the hedge monitor speculatively re-dispatches
+//     the indices (the local workers win every claim).
+//  2. Kill mid-key-upload: a key-cold node joins through the membership
+//     listener, the chunked BRK upload starts, and its link is cut a few
+//     chunks in. The primary's health machinery marks the member dead and
+//     the run completes without it.
+//  3. Resume + graceful drain: the dead node rejoins under the same name —
+//     its key stash survived the connection, so the upload resumes from the
+//     last acked chunk instead of restarting — while another node joins with
+//     a pending leave request and is drained. The receiver-side unique-chunk
+//     counters prove no byte of the key was re-received.
+func runChurn() error {
+	mk := func(coldStart bool) (*heap.Context, error) {
+		cfg := heap.TestContextConfig()
+		cfg.Bootstrap.ColdStart = coldStart
+		return heap.NewContext(cfg)
+	}
+	primary, err := mk(false)
+	if err != nil {
+		return err
+	}
+	v := make([]complex128, primary.Params.Slots)
+	for i := range v {
+		v[i] = complex(0.4, 0)
+	}
+	ct := primary.Client.EncryptAtLevel(v, 1)
+	reference := primary.Boot.Bootstrap(ct.CopyNew())
+	check := func(tag string, out *rlwe.Ciphertext) error {
+		for i := 0; i < out.Level(); i++ {
+			for j, c := range out.C0.Limbs[i] {
+				if c != reference.C0.Limbs[i][j] || out.C1.Limbs[i][j] != reference.C1.Limbs[i][j] {
+					return fmt.Errorf("%s: limb %d coeff %d differs from local bootstrap", tag, i, j)
+				}
+			}
+		}
+		fmt.Printf("%s: bit-identical to the local bootstrap\n", tag)
+		return nil
+	}
+	met := obs.NewMetrics()
+	primary.Boot.SetRecorder(met)
+	defer primary.Boot.SetRecorder(nil)
+	pri := &cluster.Primary{Boot: primary.Boot}
+
+	// Act 1: a wedged node and hedged dispatch.
+	fmt.Println("--- act 1: hedged dispatch around a stalled node ---")
+	wedged, err := mk(false)
+	if err != nil {
+		return err
+	}
+	cp, cs := net.Pipe()
+	stall := cluster.NewFaultConn(cs, cluster.FaultPlan{Seed: 3, StallWriteAfter: 48})
+	servWedged := make(chan error, 1)
+	go func() { servWedged <- (&cluster.Secondary{Boot: wedged.Boot}).Serve(stall) }()
+	hopts := cluster.DefaultOptions()
+	hopts.HedgeAfter = 150 * time.Millisecond
+	out, stats, err := pri.BootstrapCluster(context.Background(), ct.CopyNew(),
+		[]*cluster.Node{{Conn: cp, Name: "fpga-wedged"}}, hopts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d of %d indices hedged away from the stalled node (%d hedge-race losers)\n%s",
+		stats.Hedged, stats.Total, stats.HedgeWasted, stats)
+	if err := check("hedged run", out); err != nil {
+		return err
+	}
+	_ = stall.Close()
+	_ = cp.Close()
+	_ = cs.Close()
+	<-servWedged
+
+	// Act 2: elastic membership — a warm node and a cold node join, the cold
+	// node's link is cut mid-key-upload.
+	fmt.Println("--- act 2: cold join, link cut mid-key-upload ---")
+	m := cluster.NewMembership()
+	l := cluster.NewPipeListener()
+	acceptDone := make(chan struct{})
+	go func() { _ = pri.AcceptJoins(m, l); close(acceptDone) }()
+	waitState := func(name string, want cluster.MemberState) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if st, ok := m.State(name); ok && st == want {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %q never became %v", name, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	closeRW := func(conn io.ReadWriter) {
+		if c, ok := conn.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+
+	warm, err := mk(false)
+	if err != nil {
+		return err
+	}
+	warmConn, err := l.Dial()
+	if err != nil {
+		return err
+	}
+	servWarm := make(chan error, 1)
+	go func() { servWarm <- (&cluster.Secondary{Boot: warm.Boot}).JoinAndServe(warmConn, "fpga-warm") }()
+
+	cold, err := mk(true)
+	if err != nil {
+		return err
+	}
+	coldMet := obs.NewMetrics()
+	cold.Boot.SetRecorder(coldMet)
+	coldSec := &cluster.Secondary{Boot: cold.Boot}
+	const chunkBytes = 64 << 10
+	blobSize := tfhe.BRKBlobBytes(primary.Params.Parameters, primary.Params.N())
+	conn1, err := l.Dial()
+	if err != nil {
+		return err
+	}
+	cut := cluster.NewFaultConn(conn1, cluster.FaultPlan{Seed: 13, CutReadAfter: 3*chunkBytes + 4096})
+	servCold1 := make(chan error, 1)
+	go func() { servCold1 <- coldSec.JoinAndServe(cut, "fpga-cold") }()
+	if err := waitState("fpga-warm", cluster.MemberActive); err != nil {
+		return err
+	}
+	if err := waitState("fpga-cold", cluster.MemberActive); err != nil {
+		return err
+	}
+
+	eopts := cluster.DefaultOptions()
+	eopts.LocalWorkers = 1
+	eopts.ProbeInterval = 25 * time.Millisecond
+	eopts.ProbeTimeout = time.Second
+	eopts.KeyChunkBytes = chunkBytes
+	out, stats, err = pri.BootstrapElastic(context.Background(), ct.CopyNew(), m, eopts)
+	if err != nil {
+		return err
+	}
+	if err := <-servCold1; err == nil {
+		return fmt.Errorf("the injected link cut never fired")
+	}
+	_ = cut.Close()
+	if err := waitState("fpga-cold", cluster.MemberDead); err != nil {
+		return err
+	}
+	fmt.Printf("link cut after %d unique chunks (%d of %d key bytes received); member marked dead\n%s",
+		coldMet.Counter(obs.CounterKeyChunks), coldMet.Counter(obs.CounterKeyChunkBytes), blobSize, stats)
+	if err := check("churn run", out); err != nil {
+		return err
+	}
+
+	// Act 3: the dead node rejoins under the same name and the upload resumes
+	// from the last acked chunk; a third node joins mid-run with a pending
+	// leave request and is drained without completing work.
+	fmt.Println("--- act 3: rejoin + resumed upload, graceful drain ---")
+	conn2, err := l.Dial()
+	if err != nil {
+		return err
+	}
+	servCold2 := make(chan error, 1)
+	go func() { servCold2 <- coldSec.JoinAndServe(conn2, "fpga-cold") }()
+	leaverCtx, err := mk(false)
+	if err != nil {
+		return err
+	}
+	leaver := &cluster.Secondary{Boot: leaverCtx.Boot}
+	leaver.RequestLeave()
+	lconn, err := l.Dial()
+	if err != nil {
+		return err
+	}
+	servLeaver := make(chan error, 1)
+	go func() { servLeaver <- leaver.JoinAndServe(lconn, "fpga-leaver") }()
+	if err := waitState("fpga-cold", cluster.MemberActive); err != nil {
+		return err
+	}
+	if err := waitState("fpga-leaver", cluster.MemberActive); err != nil {
+		return err
+	}
+	out, stats, err = pri.BootstrapElastic(context.Background(), ct.CopyNew(), m, eopts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats)
+	if err := check("resume run", out); err != nil {
+		return err
+	}
+
+	// The resume accounting: across both connections every unique chunk was
+	// received exactly once; stop-and-wait leaves at most one chunk of
+	// sender-side overlap.
+	uniq := coldMet.Counter(obs.CounterKeyChunks)
+	uniqBytes := coldMet.Counter(obs.CounterKeyChunkBytes)
+	resent := met.Counter(obs.CounterKeyChunkResent)
+	fmt.Printf("key streaming: %d unique chunks, %d of %d bytes (%.0f%% warm), %d bytes re-sent across the kill\n",
+		uniq, uniqBytes, blobSize, 100*float64(uniqBytes)/float64(blobSize), resent)
+	if uniqBytes == uint64(blobSize) && resent <= chunkBytes {
+		fmt.Println("resume OK: the kill cost at most one in-flight chunk, no full re-send")
+	}
+	for _, name := range []string{"fpga-warm", "fpga-cold", "fpga-leaver"} {
+		st, _ := m.State(name)
+		fmt.Printf("  member %-12s %v\n", name, st)
+	}
+
+	closeRW(lconn)
+	closeRW(conn2)
+	closeRW(warmConn)
+	<-servCold2
+	<-servLeaver
+	<-servWarm
+	_ = l.Close()
+	<-acceptDone
+	return nil
 }
 
 // runCluster runs the parallelized bootstrap (§V) across three in-process

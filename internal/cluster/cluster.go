@@ -6,22 +6,40 @@
 // and stream their accumulator ciphertexts back as soon as each completes,
 // and the primary repacks and finishes the bootstrap.
 //
-// The layer is fault-tolerant: because the n extracted LWE ciphertexts are
-// mutually independent (the property §V exploits for parallelism), a lost
-// node costs only its unfinished shard. The wire protocol is framed and
+// The layer is fault-tolerant and, since protocol v3, elastic and
+// self-healing. Because the n extracted LWE ciphertexts are mutually
+// independent (the property §V exploits for parallelism), a lost node costs
+// only its unfinished shard. The wire protocol is framed and
 // CRC32-checksummed with a version/params handshake (frame.go), batches
 // carry per-shard sequence numbers so partial accumulator streams are
 // detected, failed or wedged secondaries are retried with exponential
 // backoff and their pending LWE indices reassigned to healthy nodes or the
-// primary's own BlindRotateOne (scheduler.go), and the whole failure matrix
-// is exercised deterministically by the FaultConn chaos wrapper (chaos.go).
+// primary's own compute (scheduler.go), and the whole failure matrix is
+// exercised deterministically by the FaultConn chaos wrapper (chaos.go).
+//
+// On top of that, v3 adds:
+//   - Membership (membership.go): secondaries join through a listener
+//     mid-run and immediately start draining the work queue; nodes that
+//     leave gracefully or miss K health probes are drained, their pending
+//     indices reassigned.
+//   - Hedged dispatch: when an in-flight index ages past an obs-derived
+//     per-node p99 latency estimate, it is speculatively re-queued; the
+//     first result wins an atomic per-index claim and the loser's stream is
+//     cancelled at completion.
+//   - Chunked resumable key streaming (keystream.go): a cold joiner
+//     receives the blind-rotate key in CRC-framed acked chunks, resumes
+//     from the last acked chunk after a mid-upload kill, and can serve
+//     prefix-bounded shards while the tail is still in flight.
+//
 // A bootstrap therefore always completes — bit-identical to local execution
 // — as long as the primary itself survives, degrading gracefully to pure
 // local compute with zero live peers.
 //
 // Key material is generated offline on every node from the shared seed,
 // matching the paper's "brk public keys can be computed offline and must be
-// generated in advance" — no secret ever crosses a connection.
+// generated in advance" — except for cold elastic joiners, which receive
+// the (public) brk over the key-streaming channel; no secret ever crosses a
+// connection.
 package cluster
 
 import (
@@ -30,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heap/internal/core"
@@ -39,10 +58,33 @@ import (
 )
 
 // Secondary serves blind-rotation work over a connection. It owns a full
-// bootstrapper (keys generated offline from the shared seed) but only ever
-// executes BlindRotateOne.
+// bootstrapper (keys generated offline from the shared seed, or streamed in
+// over the cluster's key channel for ColdStart nodes).
 type Secondary struct {
 	Boot *core.Bootstrapper
+
+	// stash is the resumable key-upload state; it survives connections, so
+	// a node killed mid-upload resumes from its last acked chunk after
+	// rejoining.
+	stash keyStash
+	// leaving requests a graceful drain: the next frame that would start
+	// work is answered with a leave frame instead.
+	leaving atomic.Bool
+}
+
+// RequestLeave asks the secondary to drain gracefully: the next batch or
+// probe it receives is answered with a leave frame, the primary requeues
+// whatever was pending, and the serve loop exits.
+func (s *Secondary) RequestLeave() { s.leaving.Store(true) }
+
+// localHello is the node's hello with the key-warm flag reflecting the
+// stash state (a node mid-upload holds a partial key but is not warm).
+func (s *Secondary) localHello() hello {
+	h := helloFor(s.Boot)
+	if !s.fullyWarm() {
+		h.Flags &^= helloFlagKeyWarm
+	}
+	return h
 }
 
 // Serve processes batches until shutdown or connection close. The first
@@ -55,23 +97,8 @@ type Secondary struct {
 // paper's "a secondary FPGA starts sending the resultant ciphertext ... as
 // soon as the BlindRotate operation is completed".
 func (s *Secondary) Serve(conn io.ReadWriter) error {
-	p := s.Boot.Params.Parameters
-	rec := s.Boot.Recorder()
-	local := helloFor(s.Boot)
-	maxBatch := p.N()
-	dim := lweDim(s.Boot)
-	maxPayload := maxInt(helloPayloadSize, batchPayloadBound(maxBatch, dim))
-
-	fail := func(err error) error {
-		// Best-effort structured error so the primary fails fast instead of
-		// waiting out its deadline; the connection is dead either way.
-		msg := err.Error()
-		if len(msg) > maxErrorPayload {
-			msg = msg[:maxErrorPayload]
-		}
-		_ = writeFrame(conn, &frame{Kind: frameError, Payload: []byte(msg)})
-		return err
-	}
+	local := s.localHello()
+	maxPayload := s.maxServePayload()
 
 	// Handshake: hello in, hello out. A bare shutdown of a never-used
 	// connection is also accepted.
@@ -88,16 +115,59 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 	case frameHello:
 		peer, err := decodeHello(f.Payload)
 		if err != nil {
-			return fail(err)
+			return s.failConn(conn, err)
 		}
 		if err := local.check(peer); err != nil {
-			return fail(err)
+			return s.failConn(conn, err)
 		}
 		if err := writeFrame(conn, &frame{Kind: frameHello, Payload: local.encode()}); err != nil {
 			return err
 		}
 	default:
-		return fail(fmt.Errorf("cluster: expected hello, got frame kind %#x", f.Kind))
+		return s.failConn(conn, fmt.Errorf("cluster: expected hello, got frame kind %#x", f.Kind))
+	}
+	return s.serveLoop(conn)
+}
+
+// maxServePayload bounds the frames a serving secondary accepts: batches,
+// hellos, probes, and key chunks.
+func (s *Secondary) maxServePayload() int {
+	p := s.Boot.Params.Parameters
+	maxBatch := p.N()
+	dim := lweDim(s.Boot)
+	return maxInt(maxInt(helloPayloadSize, batchPayloadBound(maxBatch, dim)), maxKeyChunkPayload)
+}
+
+// failConn sends a best-effort structured error so the primary fails fast
+// instead of waiting out its deadline; the connection is dead either way.
+func (s *Secondary) failConn(conn io.ReadWriter, err error) error {
+	msg := err.Error()
+	if len(msg) > maxErrorPayload {
+		msg = msg[:maxErrorPayload]
+	}
+	_ = writeFrame(conn, &frame{Kind: frameError, Payload: []byte(msg)})
+	return err
+}
+
+// serveLoop is the post-handshake serving loop, shared by Serve (classic
+// hello connections) and JoinAndServe (membership joiners). It handles
+// batches, health probes, graceful leave, and the chunked key upload.
+func (s *Secondary) serveLoop(conn io.ReadWriter) error {
+	p := s.Boot.Params.Parameters
+	rec := s.Boot.Recorder()
+	maxBatch := p.N()
+	dim := lweDim(s.Boot)
+	maxPayload := s.maxServePayload()
+	twoN := uint64(2 * p.N())
+	fail := func(err error) error { return s.failConn(conn, err) }
+
+	sendLeave := func() error {
+		payload := encodeLeave("leave requested")
+		err := writeFrame(conn, &frame{Kind: frameLeave, Payload: payload})
+		if err == nil {
+			rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
+		}
+		return err
 	}
 
 	// Recycled accumulators, reused across batches for the connection's
@@ -135,13 +205,56 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 		switch f.Kind {
 		case frameShutdown:
 			return nil
-		case frameBatch:
-			if f.Seq != 0 {
-				return fail(fmt.Errorf("cluster: batch frame with seq %d", f.Seq))
+		case frameProbe:
+			if s.leaving.Load() {
+				return sendLeave()
 			}
-			idxs, lwes, err := decodeBatch(f.Payload, maxBatch, dim, uint64(2*p.N()))
+			if _, err := decodeProbe(f.Payload); err != nil {
+				return fail(err)
+			}
+			if err := writeFrame(conn, &frame{Kind: frameProbeAck, Payload: f.Payload}); err != nil {
+				return err
+			}
+			rec.Add(obs.CounterBytesFramed, wireSize(len(f.Payload)))
+		case frameKeyOffer:
+			if err := s.handleKeyOffer(conn, f, rec); err != nil {
+				return fail(err)
+			}
+		case frameKeyChunk:
+			if err := s.handleKeyChunk(conn, f, rec); err != nil {
+				return fail(err)
+			}
+		case frameKeyDone:
+			if err := s.handleKeyDone(conn, f, rec); err != nil {
+				return fail(err)
+			}
+		case frameBatch:
+			if s.leaving.Load() {
+				return sendLeave()
+			}
+			idxs, lwes, err := decodeBatch(f.Payload, maxBatch, dim, twoN)
 			if err != nil {
 				return fail(err)
+			}
+			// Warm gating: a batch whose masks reach past the streamed key
+			// prefix is refused (not failed) — the primary requeues it and
+			// keeps prefix-bounded work coming while the upload continues.
+			if need := batchNeedDim(lwes, twoN); need > s.warmRecords() {
+				payload := make([]byte, 4)
+				putU32(payload, uint32(s.warmRecords()))
+				if err := writeFrame(conn, &frame{Kind: frameBatchRefused, Shard: f.Shard, Payload: payload}); err != nil {
+					return err
+				}
+				rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
+				continue
+			}
+			// The batch frame's seq field carries the primary's deadline
+			// budget in milliseconds (0 = none): work the node cannot finish
+			// in time is abandoned here instead of wasting compute on a
+			// result the primary will have re-dispatched anyway.
+			var deadline time.Time
+			if f.Seq != 0 {
+				deadline = time.Now().Add(time.Duration(f.Seq) * time.Millisecond)
 			}
 			// The whole dispatch batch runs through the key-major engine as
 			// one batch (§V: one shared key, many shards), so the BRK streams
@@ -169,6 +282,10 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 					if sendErr != nil {
 						return sendErr
 					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						sendErr = fmt.Errorf("cluster: batch %d deadline budget of %dms exceeded", f.Shard, f.Seq)
+						return sendErr
+					}
 					for j := lo; j < hi; j++ {
 						payload, err := encodeAcc(idxs[j], accs[j])
 						if err == nil {
@@ -188,7 +305,7 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 			})
 			rec.End(obs.StageBlindRotate, 0, tok)
 			if err != nil {
-				if sendErr != nil {
+				if sendErr != nil && !errors.Is(err, sendErr) {
 					return sendErr // the link itself is dead; no error frame can reach the primary
 				}
 				return fail(fmt.Errorf("cluster: batch %d: %w", f.Shard, err))
@@ -205,11 +322,51 @@ func (s *Secondary) Serve(conn io.ReadWriter) error {
 	}
 }
 
+// batchNeedDim is the minimal key coverage a batch needs: the largest LWE
+// mask index with a nonzero coefficient, plus one. The blind-rotate kernel
+// skips zero mask coefficients, so a node whose streamed key prefix covers
+// this much can serve the batch while the rest of the key is in flight.
+func batchNeedDim(lwes []*rlwe.LWECiphertext, twoN uint64) int {
+	need := 0
+	for _, lwe := range lwes {
+		for i := len(lwe.A) - 1; i >= need; i-- {
+			if lwe.A[i]%twoN != 0 {
+				need = i + 1
+				break
+			}
+		}
+	}
+	return need
+}
+
+// lweNeedDim is batchNeedDim for a single prepared ciphertext.
+func lweNeedDim(lwe *rlwe.LWECiphertext, twoN uint64) int {
+	for i := len(lwe.A) - 1; i >= 0; i-- {
+		if lwe.A[i]%twoN != 0 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// DefaultWatchdog is the conservative per-batch deadline the seed-compatible
+// Primary.Bootstrap applies so a wedged peer can no longer block a bootstrap
+// forever. It is deliberately far above any sane batch round-trip: it exists
+// to unwedge, not to tune latency.
+const DefaultWatchdog = 2 * time.Minute
+
 // Primary drives a distributed bootstrap over a set of connections to
 // secondaries. With zero connections (or zero healthy ones) it degrades to
 // local execution.
 type Primary struct {
 	Boot *core.Bootstrapper
+
+	// Watchdog bounds each batch round-trip of the seed-compatible
+	// Bootstrap entry point. 0 selects DefaultWatchdog; a negative value
+	// opts out entirely, restoring the seed's original semantics where a
+	// wedged peer blocks indefinitely. BootstrapCluster callers tune
+	// Options.BatchTimeout instead.
+	Watchdog time.Duration
 }
 
 // Bootstrap distributes the blind rotations across the secondaries (plus
@@ -224,10 +381,18 @@ func (p *Primary) Bootstrap(ct *rlwe.Ciphertext, conns []io.ReadWriter) (*rlwe.C
 	for i, c := range conns {
 		nodes[i] = &Node{Conn: c, Name: fmt.Sprintf("secondary-%d", i)}
 	}
-	// Seed-compatible semantics: no per-batch deadline (a wedged peer blocks,
-	// as it always did here). Callers who want timeouts use BootstrapCluster.
 	opts := DefaultOptions()
-	opts.BatchTimeout = 0
+	// The seed ran this path with no per-batch deadline, so a wedged peer
+	// blocked forever. The watchdog closes that hole with a deadline far
+	// above any healthy round-trip; Watchdog < 0 restores the old behavior.
+	switch {
+	case p.Watchdog < 0:
+		opts.BatchTimeout = 0
+	case p.Watchdog == 0:
+		opts.BatchTimeout = DefaultWatchdog
+	default:
+		opts.BatchTimeout = p.Watchdog
+	}
 	out, stats, err := p.BootstrapCluster(context.Background(), ct, nodes, opts)
 	if err != nil {
 		return nil, err
@@ -238,37 +403,154 @@ func (p *Primary) Bootstrap(ct *rlwe.Ciphertext, conns []io.ReadWriter) (*rlwe.C
 	return out, nil
 }
 
-// BootstrapCluster is the fault-tolerant distributed bootstrap. The LWE
-// indices start as contiguous shards, one per node plus one for the
-// primary; any shard a secondary cannot finish — connection error, frame
-// corruption, timeout, death mid-stream — is retried (with exponential
-// backoff and reconnect when the node has a Dial function) and then
-// reassigned to the remaining healthy nodes or the primary's local
-// BlindRotateOne. The returned Stats say where every rotation actually ran.
-// The error is non-nil only when the bootstrap itself could not complete
+// BootstrapCluster is the fault-tolerant distributed bootstrap over a fixed
+// node set. The LWE indices start as contiguous shards, one per node plus
+// one for the primary; any shard a secondary cannot finish — connection
+// error, frame corruption, timeout, death mid-stream — is retried (with
+// exponential backoff and reconnect when the node has a Dial function) and
+// then reassigned to the remaining healthy nodes or the primary's local
+// compute. The returned Stats say where every rotation actually ran. The
+// error is non-nil only when the bootstrap itself could not complete
 // (context cancelled, local compute panicked, bad input); per-node failures
 // are reported via Stats.NodeErrors.
 func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nodes []*Node, opts Options) (*rlwe.Ciphertext, *Stats, error) {
+	return p.bootstrap(ctx, ct, nodes, nil, opts)
+}
+
+// BootstrapElastic is BootstrapCluster over an elastic membership instead
+// of a fixed node set: every node currently queued in m (and every node
+// that joins while the bootstrap runs) is picked up and starts draining the
+// work queue; nodes that leave or miss health probes are drained with their
+// pending indices reassigned. Work is cut into tile-sized tasks so a
+// mid-run joiner always finds queued work to steal.
+func (p *Primary) BootstrapElastic(ctx context.Context, ct *rlwe.Ciphertext, m *Membership, opts Options) (*rlwe.Ciphertext, *Stats, error) {
+	return p.bootstrap(ctx, ct, nil, m, opts)
+}
+
+// runState is the shared state of one distributed bootstrap run.
+type runState struct {
+	ctx   context.Context
+	prep  *core.PreparedBootstrap
+	accs  []*rlwe.Ciphertext
+	stats *Stats
+	q     *workQueue
+	sink  *accSink
+	rec   obs.Recorder
+	opts  Options
+	m     *Membership // nil for fixed-set runs
+
+	// claims dedups hedged work: exactly one worker wins each index, and
+	// only the winner stores the accumulator, advances the queue, and feeds
+	// the merge sink. Losers are counted as wasted hedges.
+	claims []atomic.Bool
+	// needDim[i] is the minimal key coverage index i's rotation needs — the
+	// prefix-dispatch bound for partially warm joiners.
+	needDim []int
+
+	mu          sync.Mutex // guards stats, flights, ests, activeConns, keyHigh
+	flights     map[int]*flight
+	hedgedIdx   map[int]bool
+	ests        map[*NodeStats]*latEstimator
+	activeConns map[io.ReadWriter]int // non-nil only when hedging is enabled
+	keyHigh     map[string]uint32     // per-name high-water of pushed key chunks
+
+	keyOnce sync.Once
+	keyBlob []byte
+	keyCRC  uint32
+	keyErr  error
+}
+
+// flight is one in-flight LWE index: who it was dispatched to and when.
+type flight struct {
+	ns    *NodeStats
+	conn  io.ReadWriter
+	start time.Time
+}
+
+// complete claims idx and records its accumulator. It returns false when
+// another worker already claimed the index — the hedge-race loser, whose
+// result is discarded.
+func (rs *runState) complete(idx int, acc *rlwe.Ciphertext) bool {
+	if !rs.claims[idx].CompareAndSwap(false, true) {
+		rs.mu.Lock()
+		rs.stats.HedgeWasted++
+		rs.mu.Unlock()
+		rs.rec.Add(obs.CounterHedgeWasted, 1)
+		return false
+	}
+	rs.accs[idx] = acc
+	rs.q.done(1)
+	return true
+}
+
+// claimed reports whether idx has a winning result already.
+func (rs *runState) claimed(idx int) bool { return rs.claims[idx].Load() }
+
+// pendingOf returns the indices of task not yet claimed by any worker —
+// the set a failing node's retry or reassignment must cover.
+func (rs *runState) pendingOf(task []int) []int {
+	pending := make([]int, 0, len(task))
+	for _, idx := range task {
+		if !rs.claimed(idx) {
+			pending = append(pending, idx)
+		}
+	}
+	return pending
+}
+
+// estFor returns (lazily creating) the latency estimator for a node.
+func (rs *runState) estFor(ns *NodeStats) *latEstimator {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	est := rs.ests[ns]
+	if est == nil {
+		est = &latEstimator{}
+		rs.ests[ns] = est
+	}
+	return est
+}
+
+// down marks a membership node's terminal state (no-op for fixed-set runs).
+func (rs *runState) down(name string, st MemberState) {
+	if rs.m != nil {
+		rs.m.markDown(name, st)
+	}
+}
+
+func (p *Primary) bootstrap(ctx context.Context, ct *rlwe.Ciphertext, nodes []*Node, m *Membership, opts Options) (*rlwe.Ciphertext, *Stats, error) {
 	opts = opts.withDefaults()
 	prep, err := p.prepare(ct)
 	if err != nil {
 		return nil, nil, err
 	}
 	n := len(prep.LWEs)
-	accs := make([]*rlwe.Ciphertext, n)
-	stats := &Stats{Nodes: make([]NodeStats, len(nodes)), Total: n}
-	for k := range nodes {
-		stats.Nodes[k].Name = nodes[k].Name
-		if stats.Nodes[k].Name == "" {
-			stats.Nodes[k].Name = fmt.Sprintf("secondary-%d", k)
+	rec := p.Boot.Recorder()
+	if m != nil {
+		m.SetRecorder(rec)
+		// Pick up every node already waiting in the membership.
+		for {
+			select {
+			case node := <-m.joinCh:
+				nodes = append(nodes, node)
+				continue
+			default:
+			}
+			break
 		}
 	}
 
-	// Contiguous shards as in the paper's Figure 4: node k is pinned to
-	// shard k, the primary's own share goes on the queue. The queue also
-	// receives every reassigned index; all workers (secondaries included)
-	// drain it once their pinned shard is done, so a fast healthy node
-	// picks up a dead node's work.
+	stats := &Stats{Nodes: make([]*NodeStats, len(nodes)), Total: n}
+	for k := range nodes {
+		name := nodes[k].Name
+		if name == "" {
+			name = fmt.Sprintf("secondary-%d", k)
+		}
+		stats.Nodes[k] = &NodeStats{Name: name, Joined: nodes[k].joined}
+		if nodes[k].joined {
+			stats.Joined++
+		}
+	}
+
 	q := newWorkQueue(n)
 	// Streaming repack (§V): every accumulator is fed to the merge collector
 	// the moment it arrives — from the network read loops and the local
@@ -278,26 +560,82 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 	if err != nil {
 		return nil, nil, err
 	}
-	rec := p.Boot.Recorder()
 	q.rec = rec
 	sink := &accSink{mc: mc, q: q}
-	parts := len(nodes) + 1
-	chunk := (n + parts - 1) / parts
-	shard := func(k int) []int {
-		lo, hi := k*chunk, (k+1)*chunk
+
+	rs := &runState{
+		ctx:       ctx,
+		prep:      prep,
+		accs:      make([]*rlwe.Ciphertext, n),
+		stats:     stats,
+		q:         q,
+		sink:      sink,
+		rec:       rec,
+		opts:      opts,
+		m:         m,
+		claims:    make([]atomic.Bool, n),
+		needDim:   make([]int, n),
+		flights:   make(map[int]*flight),
+		hedgedIdx: make(map[int]bool),
+		ests:      make(map[*NodeStats]*latEstimator),
+		keyHigh:   make(map[string]uint32),
+	}
+	twoN := uint64(2 * p.Boot.Params.N())
+	for i, lwe := range prep.LWEs {
+		rs.needDim[i] = lweNeedDim(lwe, twoN)
+	}
+	if opts.HedgeAfter > 0 {
+		rs.activeConns = make(map[io.ReadWriter]int)
+	}
+
+	if m == nil {
+		// Contiguous shards as in the paper's Figure 4: node k is pinned to
+		// shard k, the primary's own share goes on the queue. The queue also
+		// receives every reassigned index; all workers (secondaries
+		// included) drain it once their pinned shard is done, so a fast
+		// healthy node picks up a dead node's work.
+		parts := len(nodes) + 1
+		chunk := (n + parts - 1) / parts
+		shard := func(k int) []int {
+			lo, hi := k*chunk, (k+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				return nil
+			}
+			idxs := make([]int, hi-lo)
+			for i := range idxs {
+				idxs[i] = lo + i
+			}
+			return idxs
+		}
+		q.push(shard(len(nodes)))
+		return p.runBootstrap(rs, nodes, shard, mc)
+	}
+
+	// Elastic: no pinned shards — the whole index space goes on the queue
+	// in tile-sized tasks, so a node that joins mid-run always finds work
+	// left to steal.
+	tile := p.Boot.TileSize()
+	for lo := 0; lo < n; lo += tile {
+		hi := lo + tile
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			return nil
+		task := make([]int, hi-lo)
+		for i := range task {
+			task[i] = lo + i
 		}
-		idxs := make([]int, hi-lo)
-		for i := range idxs {
-			idxs[i] = lo + i
-		}
-		return idxs
+		q.push(task)
 	}
-	q.push(shard(len(nodes)))
+	return p.runBootstrap(rs, nodes, func(int) []int { return nil }, mc)
+}
+
+// runBootstrap runs the fan-out phase over the initial nodes (plus any
+// membership joiners), waits for completion, and finishes the repack.
+func (p *Primary) runBootstrap(rs *runState, nodes []*Node, shard func(int) []int, mc *core.MergeCollector) (*rlwe.Ciphertext, *Stats, error) {
+	ctx, q, rec, stats, opts := rs.ctx, rs.q, rs.rec, rs.stats, rs.opts
 
 	// Propagate cancellation into the queue.
 	stop := make(chan struct{})
@@ -311,6 +649,27 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 			}
 		}()
 	}
+	// Hedge monitor and loser cancellation (only when hedging is on: in a
+	// hedge-free run no connection can be mid-stream once the queue drains,
+	// so there is nothing to cancel).
+	if opts.HedgeAfter > 0 {
+		go rs.hedgeMonitor(stop)
+		go func() {
+			select {
+			case <-q.doneCh:
+				rs.mu.Lock()
+				conns := make([]io.ReadWriter, 0, len(rs.activeConns))
+				for c := range rs.activeConns {
+					conns = append(conns, c)
+				}
+				rs.mu.Unlock()
+				for _, c := range conns {
+					closeConn(c)
+				}
+			case <-stop:
+			}
+		}()
+	}
 
 	// The whole fan-out — network dispatch, remote rotations, local fallback
 	// compute, and the streamed portion of the merge tree — is the pipeline's
@@ -318,12 +677,11 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 	// lanes inside it (nodes on lanes 0..len(nodes)-1, local workers after).
 	brTok := rec.Begin(obs.StageBlindRotate, obs.LanePipeline)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards stats
 	for k := range nodes {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			p.runNode(ctx, nodes[k], &stats.Nodes[k], k, shard(k), prep, accs, q, sink, stats, &mu, opts)
+			p.runNode(ctx, nodes[k], stats.Nodes[k], k, shard(k), rs)
 		}(k)
 	}
 
@@ -339,12 +697,48 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			localErrs[w] = p.runLocal(len(nodes)+w, prep, accs, q, sink, stats, &mu)
+			localErrs[w] = p.runLocal(len(nodes)+w, rs)
 		}(w)
 	}
+
+	// Membership joiners: consumed for as long as the run has work left.
+	var joinWG sync.WaitGroup
+	if rs.m != nil {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			lane := len(nodes) + lw
+			for {
+				select {
+				case node := <-rs.m.joinCh:
+					ns := &NodeStats{Name: node.Name, Joined: true}
+					rs.mu.Lock()
+					stats.Nodes = append(stats.Nodes, ns)
+					stats.Joined++
+					rs.mu.Unlock()
+					joinWG.Add(1)
+					go func(node *Node, ns *NodeStats, lane int) {
+						defer joinWG.Done()
+						p.runNode(ctx, node, ns, lane, nil, rs)
+					}(node, ns, lane)
+					lane++
+				case <-q.doneCh:
+					return
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
+	joinWG.Wait()
+	// Discard hedged duplicates still queued (their indices all completed
+	// elsewhere), balancing the queue-depth gauge.
+	q.drain()
 	rec.End(obs.StageBlindRotate, obs.LanePipeline, brTok)
 
+	prep, accs, sink, n := rs.prep, rs.accs, rs.sink, rs.stats.Total
 	if missing := prep.Missing(accs); len(missing) != 0 {
 		errs := []error{fmt.Errorf("cluster: bootstrap incomplete: %d of %d rotations missing", len(missing), n)}
 		if cerr := ctx.Err(); cerr != nil {
@@ -375,6 +769,52 @@ func (p *Primary) BootstrapCluster(ctx context.Context, ct *rlwe.Ciphertext, nod
 		return nil, stats, err
 	}
 	return out, stats, nil
+}
+
+// hedgeMonitor watches in-flight indices and speculatively requeues any
+// that age past max(HedgeAfter, HedgeMultiplier × the owning node's p99
+// per-index latency). Each index is hedged at most once per run; the claim
+// table arbitrates the race.
+func (rs *runState) hedgeMonitor(stop <-chan struct{}) {
+	tick := rs.opts.HedgeAfter / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rs.q.doneCh:
+			return
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var hedged []int
+		rs.mu.Lock()
+		for idx, fl := range rs.flights {
+			if rs.hedgedIdx[idx] || rs.claimed(idx) {
+				continue
+			}
+			thr := rs.opts.HedgeAfter
+			if est := rs.ests[fl.ns]; est != nil {
+				if byP99 := time.Duration(rs.opts.HedgeMultiplier) * est.p99(); byP99 > thr {
+					thr = byP99
+				}
+			}
+			if now.Sub(fl.start) > thr {
+				rs.hedgedIdx[idx] = true
+				hedged = append(hedged, idx)
+			}
+		}
+		rs.stats.Hedged += len(hedged)
+		rs.mu.Unlock()
+		if len(hedged) > 0 {
+			rs.rec.Add(obs.CounterHedges, uint64(len(hedged)))
+			rs.q.push(hedged)
+		}
+	}
 }
 
 // accSink feeds arriving accumulators into the merge collector from the
@@ -414,34 +854,100 @@ func (s *accSink) takeErr() error {
 	return s.err
 }
 
-// runNode feeds one secondary until the queue drains or the node
-// permanently fails, reassigning whatever it could not finish.
-func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane int, initial []int, prep *core.PreparedBootstrap,
-	accs []*rlwe.Ciphertext, q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex, opts Options) {
+// Dispatch sentinels: conditions runNode handles as drains rather than
+// failures.
+var (
+	errNodeLeft     = errors.New("cluster: node requested leave")
+	errBatchRefused = errors.New("cluster: node refused batch (not key-warm enough)")
+)
 
+// runNode feeds one secondary until the queue drains or the node
+// permanently fails, reassigning whatever it could not finish. For cold
+// membership joiners it first streams the blind-rotate key (resumable,
+// interleaving prefix-bounded work between chunks); on idle connections it
+// exchanges health probes, draining the node after K consecutive misses.
+func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane int, initial []int, rs *runState) {
+	q, opts := rs.q, rs.opts
 	conn := node.Conn
-	handshaken := false
+	handshaken := node.joined // join handshake already covered params
 	rng := &splitmix{s: opts.JitterSeed ^ hashName(ns.Name)}
 	var batch uint32
 	attempts := 0
+	probeMisses := 0
 	resend := false
 
 	giveUp := func(task []int, err error) {
-		pending := pendingOf(task, accs)
-		mu.Lock()
+		pending := rs.pendingOf(task)
+		rs.mu.Lock()
 		ns.Failed = true
 		ns.Err = fmt.Errorf("cluster: shard %q: %w", ns.Name, err)
-		stats.Reassigned += len(pending)
-		mu.Unlock()
+		rs.stats.Reassigned += len(pending)
+		rs.mu.Unlock()
+		rs.down(ns.Name, MemberDead)
+		if conn != nil {
+			closeConn(conn)
+		}
+		q.push(pending)
+	}
+	leave := func(task []int) {
+		pending := rs.pendingOf(task)
+		rs.mu.Lock()
+		ns.Left = true
+		rs.stats.Reassigned += len(pending)
+		rs.mu.Unlock()
+		rs.down(ns.Name, MemberLeft)
 		if conn != nil {
 			closeConn(conn)
 		}
 		q.push(pending)
 	}
 
+	// pop draws the next task; with probing enabled it wakes up on idle
+	// ticks to exchange a health probe first.
+	pop := func() []int {
+		if opts.ProbeInterval <= 0 || conn == nil {
+			return q.pop()
+		}
+		for {
+			task, done := q.popTimeout(opts.ProbeInterval)
+			if done || task != nil {
+				return task
+			}
+			err := p.probeNode(conn, rng, opts)
+			switch {
+			case err == nil:
+				probeMisses = 0
+				rs.rec.Add(obs.CounterProbes, 1)
+			case errors.Is(err, errNodeLeft):
+				leave(nil)
+				return nil
+			default:
+				probeMisses++
+				rs.rec.Add(obs.CounterProbeMisses, 1)
+				if probeMisses >= opts.ProbeMisses {
+					giveUp(nil, fmt.Errorf("missed %d health probes: %w", probeMisses, err))
+					return nil
+				}
+			}
+		}
+	}
+
+	// Cold joiners: stream the key before (and interleaved with) work.
+	if node.needsKey && conn != nil {
+		if err := p.uploadKey(node, ns, lane, conn, rs, &batch); err != nil {
+			if errors.Is(err, errNodeLeft) {
+				leave(nil)
+			} else {
+				giveUp(nil, fmt.Errorf("key upload: %w", err))
+			}
+			return
+		}
+		node.needsKey = false
+	}
+
 	task := initial
 	if len(task) == 0 {
-		task = q.pop()
+		task = pop()
 	}
 	for task != nil {
 		// Ensure a live, handshaken connection, dialing if needed.
@@ -453,9 +959,9 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 			c, err := node.Dial()
 			if err != nil {
 				attempts++
-				mu.Lock()
+				rs.mu.Lock()
 				ns.Retries++
-				mu.Unlock()
+				rs.mu.Unlock()
 				if attempts > opts.MaxRetries {
 					giveUp(task, fmt.Errorf("dial failed after %d attempts: %w", attempts, err))
 					return
@@ -481,9 +987,9 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 					giveUp(task, err)
 					return
 				}
-				mu.Lock()
+				rs.mu.Lock()
 				ns.Retries++
-				mu.Unlock()
+				rs.mu.Unlock()
 				if !sleepBackoff(ctx, q, backoff(opts, attempts, rng)) {
 					giveUp(task, ctx.Err())
 					return
@@ -493,12 +999,27 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 			handshaken = true
 		}
 
-		err := p.dispatchBatch(conn, batch, lane, resend, task, prep, accs, q, sink, ns, mu, opts)
+		err := p.dispatchBatch(conn, batch, lane, resend, task, ns, rs)
 		batch++
 		if err == nil {
 			attempts = 0
 			resend = false
-			task = q.pop()
+			task = pop()
+			continue
+		}
+		if errors.Is(err, errNodeLeft) {
+			leave(task)
+			return
+		}
+		if errors.Is(err, errBatchRefused) {
+			// The node is not key-warm enough for this task. Requeue it for
+			// someone else and back off briefly — the connection is fine.
+			q.push(rs.pendingOf(task))
+			if !sleepBackoff(ctx, q, backoff(opts, 1, rng)) {
+				return
+			}
+			resend = false
+			task = pop()
 			continue
 		}
 
@@ -507,12 +1028,12 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 		closeConn(conn)
 		conn = nil
 		handshaken = false
-		task = pendingOf(task, accs)
+		task = rs.pendingOf(task)
 		if len(task) == 0 {
 			// Every accumulator arrived before the stream broke (e.g. a
 			// corrupted batch-end frame) — nothing to retry.
 			resend = false
-			task = q.pop()
+			task = pop()
 			continue
 		}
 		resend = true
@@ -521,14 +1042,106 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 			giveUp(task, err)
 			return
 		}
-		mu.Lock()
+		rs.mu.Lock()
 		ns.Retries++
-		mu.Unlock()
+		rs.mu.Unlock()
 		if !sleepBackoff(ctx, q, backoff(opts, attempts, rng)) {
 			giveUp(task, ctx.Err())
 			return
 		}
 	}
+}
+
+// probeNode sends one health probe and waits for its ack (skipping stale
+// acks from previous rounds).
+func (p *Primary) probeNode(conn io.ReadWriter, rng *splitmix, opts Options) error {
+	rec := p.Boot.Recorder()
+	disarm := armTimeout(conn, opts.ProbeTimeout)
+	defer disarm()
+	nonce := rng.next()
+	payload := encodeProbe(nonce)
+	if err := writeFrame(conn, &frame{Kind: frameProbe, Payload: payload}); err != nil {
+		return fmt.Errorf("cluster: probe send: %w", err)
+	}
+	rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
+	for {
+		f, err := readFrame(conn, maxErrorPayload)
+		if err != nil {
+			return fmt.Errorf("cluster: probe reply: %w", err)
+		}
+		rec.Add(obs.CounterBytesFramed, wireSize(len(f.Payload)))
+		switch f.Kind {
+		case frameProbeAck:
+			got, err := decodeProbe(f.Payload)
+			if err != nil {
+				return err
+			}
+			if got == nonce {
+				return nil
+			}
+			// Stale ack from a timed-out round; keep waiting for ours.
+		case frameLeave:
+			return errNodeLeft
+		case frameError:
+			return fmt.Errorf("cluster: probe refused: %s", f.Payload)
+		default:
+			return fmt.Errorf("cluster: unexpected frame kind %#x in probe exchange", f.Kind)
+		}
+	}
+}
+
+// uploadKey streams the blind-rotate key to a cold joiner, resuming from
+// the receiver's last acked chunk, and dispatches prefix-bounded tasks
+// between chunks so the joiner serves shards for the keys it already holds
+// while the rest of the key is in flight.
+func (p *Primary) uploadKey(node *Node, ns *NodeStats, lane int, conn io.ReadWriter, rs *runState, batch *uint32) error {
+	blob, crc, err := rs.keyBlobBytes(p)
+	if err != nil {
+		return err
+	}
+	params := p.Boot.Params.Parameters
+	recSize := tfhe.BRKRecordBytes(params)
+	hdrSize := tfhe.BRKBlobBytes(params, 0)
+	dim := lweDim(p.Boot)
+
+	rs.mu.Lock()
+	high := rs.keyHigh[ns.Name]
+	rs.mu.Unlock()
+	defer func() {
+		rs.mu.Lock()
+		rs.keyHigh[ns.Name] = high
+		rs.mu.Unlock()
+	}()
+
+	onAck := func(ackedChunks int) error {
+		ackedBytes := ackedChunks * rs.opts.KeyChunkBytes
+		if ackedBytes > len(blob) {
+			ackedBytes = len(blob)
+		}
+		warm := (ackedBytes - hdrSize) / recSize
+		if warm < 0 {
+			warm = 0
+		}
+		if warm > dim {
+			warm = dim
+		}
+		for {
+			task := rs.q.popBounded(rs.needDim, warm)
+			if task == nil {
+				return nil
+			}
+			err := p.dispatchBatch(conn, *batch, lane, false, task, ns, rs)
+			*batch++
+			if err != nil {
+				rs.q.push(rs.pendingOf(task))
+				if errors.Is(err, errBatchRefused) {
+					return nil // keep uploading; the bound was optimistic
+				}
+				return err
+			}
+		}
+	}
+	return sendKey(conn, blob, crc, rs.opts, p.Boot.Recorder(), &high, onAck)
 }
 
 // runLocal is the primary's own compute: it drains queue tasks through the
@@ -538,17 +1151,14 @@ func (p *Primary) runNode(ctx context.Context, node *Node, ns *NodeStats, lane i
 // accumulators reach the streaming merge sink tile by tile, preserving the
 // repack overlap. A panic here is recovered, surfaced, and aborts the
 // bootstrap (the primary cannot fall back to anyone else).
-func (p *Primary) runLocal(lane int, prep *core.PreparedBootstrap, accs []*rlwe.Ciphertext,
-	q *workQueue, sink *accSink, stats *Stats, mu *sync.Mutex) error {
-
-	// The retained accumulators must be fresh per index, but the tile
-	// buffers and the kernel scratch are this worker's alone and live for
-	// the whole drain.
+func (p *Primary) runLocal(lane int, rs *runState) error {
+	prep, q, sink := rs.prep, rs.q, rs.sink
 	rec := p.Boot.Recorder()
 	bsc := p.Boot.NewBatchScratch()
 	tile := p.Boot.TileSize()
 	accTile := make([]*rlwe.Ciphertext, tile)
 	lweTile := make([]*rlwe.LWECiphertext, tile)
+	idxTile := make([]int, tile)
 	for {
 		task := q.pop()
 		if task == nil {
@@ -562,28 +1172,38 @@ func (p *Primary) runLocal(lane int, prep *core.PreparedBootstrap, accs []*rlwe.
 			if hi > len(task) {
 				hi = len(task)
 			}
-			idxs := task[lo:hi]
-			for k, idx := range idxs {
-				accTile[k] = p.Boot.NewAccumulator()
-				lweTile[k] = prep.LWEs[idx]
+			// Skip indices a hedge race already resolved.
+			cnt := 0
+			for _, idx := range task[lo:hi] {
+				if rs.claimed(idx) {
+					continue
+				}
+				idxTile[cnt] = idx
+				accTile[cnt] = p.Boot.NewAccumulator()
+				lweTile[cnt] = prep.LWEs[idx]
+				cnt++
 			}
+			if cnt == 0 {
+				continue
+			}
+			idxs := idxTile[:cnt]
 			tok := rec.Begin(obs.StageBlindRotate, lane)
-			err := safeRotateTile(p.Boot, accTile[:len(idxs)], lweTile[:len(idxs)], bsc)
+			err := safeRotateTile(p.Boot, accTile[:cnt], lweTile[:cnt], bsc)
 			rec.End(obs.StageBlindRotate, lane, tok)
 			if err != nil {
 				q.abort()
 				return fmt.Errorf("cluster: local blind rotation of indices %v: %w", idxs, err)
 			}
+			won := 0
 			for k, idx := range idxs {
-				accs[idx] = accTile[k]
+				if rs.complete(idx, accTile[k]) {
+					won++
+					sink.deliver(idx, accTile[k])
+				}
 			}
-			q.done(len(idxs))
-			mu.Lock()
-			stats.Local += len(idxs)
-			mu.Unlock()
-			for k, idx := range idxs {
-				sink.deliver(idx, accTile[k])
-			}
+			rs.mu.Lock()
+			rs.stats.Local += won
+			rs.mu.Unlock()
 		}
 	}
 }
@@ -616,11 +1236,14 @@ func (p *Primary) handshake(conn io.ReadWriter, opts Options) error {
 
 // dispatchBatch sends one LWE batch and collects the accumulator stream,
 // marking every index complete as its accumulator arrives, so that a
-// failure mid-stream loses only the not-yet-received indices.
-func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, resend bool, idxs []int, prep *core.PreparedBootstrap,
-	accs []*rlwe.Ciphertext, q *workQueue, sink *accSink, ns *NodeStats, mu *sync.Mutex, opts Options) error {
-
+// failure mid-stream loses only the not-yet-received indices. The batch
+// frame carries the primary's deadline budget (BatchTimeout and any context
+// deadline, whichever is tighter) so the secondary can abandon work it
+// cannot finish in time.
+func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, resend bool, idxs []int, ns *NodeStats, rs *runState) error {
+	prep, sink, opts := rs.prep, rs.sink, rs.opts
 	rec := p.Boot.Recorder()
+	est := rs.estFor(ns)
 	disarm := armTimeout(conn, opts.BatchTimeout)
 	timedOut := false
 	defer func() {
@@ -635,13 +1258,30 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, rese
 		return err
 	}
 
+	// Deadline budget threaded to the secondary via the batch frame's seq
+	// field (milliseconds; 0 = unbounded).
+	budget := opts.BatchTimeout
+	if dl, ok := rs.ctx.Deadline(); ok {
+		if rem := time.Until(dl); budget <= 0 || rem < budget {
+			budget = rem
+		}
+	}
+	var budgetMs uint32
+	if budget > 0 {
+		if ms := budget / time.Millisecond; ms > 0 {
+			budgetMs = uint32(ms)
+		} else {
+			budgetMs = 1
+		}
+	}
+
 	sendTok := rec.Begin(obs.StageNetSend, lane)
 	payload, err := encodeBatch(idxs, prep.LWEs)
 	if err != nil {
 		rec.End(obs.StageNetSend, lane, sendTok)
 		return err
 	}
-	werr := writeFrame(conn, &frame{Kind: frameBatch, Shard: shard, Seq: 0, Payload: payload})
+	werr := writeFrame(conn, &frame{Kind: frameBatch, Shard: shard, Seq: budgetMs, Payload: payload})
 	rec.End(obs.StageNetSend, lane, sendTok)
 	rec.Add(obs.CounterBytesFramed, wireSize(len(payload)))
 	if resend {
@@ -650,9 +1290,32 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, rese
 	if werr != nil {
 		return wrap(fmt.Errorf("cluster: batch send: %w", werr))
 	}
-	mu.Lock()
+	start := time.Now()
+	rs.mu.Lock()
 	ns.Dispatched += len(idxs)
-	mu.Unlock()
+	for _, idx := range idxs {
+		rs.flights[idx] = &flight{ns: ns, conn: conn, start: start}
+	}
+	if rs.activeConns != nil {
+		rs.activeConns[conn]++
+	}
+	rs.mu.Unlock()
+	defer func() {
+		rs.mu.Lock()
+		for _, idx := range idxs {
+			if fl := rs.flights[idx]; fl != nil && fl.ns == ns {
+				delete(rs.flights, idx)
+			}
+		}
+		if rs.activeConns != nil {
+			if rs.activeConns[conn] <= 1 {
+				delete(rs.activeConns, conn)
+			} else {
+				rs.activeConns[conn]--
+			}
+		}
+		rs.mu.Unlock()
+	}()
 
 	params := p.Boot.Params.Parameters
 	maxPayload := maxInt(accPayloadBound(params), maxErrorPayload)
@@ -666,22 +1329,35 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, rese
 	defer func() { rec.Gauge(obs.GaugeInFlightShards, -int64(len(want))) }()
 	recvTok := rec.Begin(obs.StageNetRecv, lane)
 	defer func() { rec.End(obs.StageNetRecv, lane, recvTok) }()
-	for seq := 0; ; seq++ {
+	for seq := 0; ; {
 		f, err := readFrame(conn, maxPayload)
 		if err != nil {
 			return wrap(err)
 		}
 		rec.Add(obs.CounterBytesFramed, wireSize(len(f.Payload)))
+		if f.Kind == frameProbeAck {
+			// Stale ack from a probe round that timed out; harmless.
+			continue
+		}
+		if f.Kind == frameLeave {
+			return errNodeLeft
+		}
 		if f.Shard != shard {
 			return fmt.Errorf("cluster: frame for shard %d while awaiting shard %d", f.Shard, shard)
 		}
 		switch f.Kind {
 		case frameError:
 			return fmt.Errorf("cluster: remote failure: %s", f.Payload)
+		case frameBatchRefused:
+			if seq != 0 {
+				return fmt.Errorf("cluster: batch refused after %d accumulators", seq)
+			}
+			return errBatchRefused
 		case frameAcc:
 			if int(f.Seq) != seq {
 				return fmt.Errorf("cluster: partial accumulator stream: seq %d, want %d", f.Seq, seq)
 			}
+			seq++
 			if len(want) == 0 {
 				return errors.New("cluster: accumulator after batch complete")
 			}
@@ -694,12 +1370,18 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, rese
 			}
 			delete(want, idx)
 			rec.Gauge(obs.GaugeInFlightShards, -1)
-			accs[idx] = acc
-			q.done(1)
-			mu.Lock()
-			ns.Completed++
-			mu.Unlock()
-			sink.deliver(idx, acc)
+			est.add(time.Since(start))
+			rs.mu.Lock()
+			if fl := rs.flights[idx]; fl != nil && fl.ns == ns {
+				delete(rs.flights, idx)
+			}
+			rs.mu.Unlock()
+			if rs.complete(idx, acc) {
+				rs.mu.Lock()
+				ns.Completed++
+				rs.mu.Unlock()
+				sink.deliver(idx, acc)
+			}
 		case frameBatchEnd:
 			if int(f.Seq) != seq {
 				return fmt.Errorf("cluster: partial accumulator stream: end at seq %d, want %d", f.Seq, seq)
@@ -749,18 +1431,6 @@ func safeRotateTile(bt *core.Bootstrapper, accs []*rlwe.Ciphertext, lwes []*rlwe
 	}()
 	bt.BlindRotateTile(accs, lwes, bsc)
 	return nil
-}
-
-// pendingOf returns the indices of task whose accumulators are still
-// missing (only this node worked these indices, so the read is race-free).
-func pendingOf(task []int, accs []*rlwe.Ciphertext) []int {
-	pending := make([]int, 0, len(task))
-	for _, idx := range task {
-		if accs[idx] == nil {
-			pending = append(pending, idx)
-		}
-	}
-	return pending
 }
 
 // sleepBackoff waits d, returning false if the context aborts first.

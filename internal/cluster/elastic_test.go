@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heap/internal/core"
+	"heap/internal/obs"
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+// The elastic chaos suite: joins mid-run, graceful leaves, kills mid-key-
+// upload, probe-missed drains, and hedged dispatch under injected stalls.
+// Every scenario must end bit-exact against the local reference bootstrap
+// and leak no goroutines.
+
+// assertNoGoroutineLeak polls (GC between samples, to let conn finalizers
+// and timer goroutines retire) until the goroutine count is back to the
+// baseline, failing with a full stack dump if it never gets there.
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// coldNode builds a bootstrapper from the same seeds and parameters as the
+// shared fixture but with ColdStart set: no blind-rotate key material, so it
+// must receive the (public) key over the cluster's streaming channel. The
+// params digest still matches — cold is a key state, not a parameter set.
+func coldNode(t *testing.T) *core.Bootstrapper {
+	t.Helper()
+	fixture(t)
+	kg := rlwe.NewKeyGenerator(fx.params.Parameters, 90)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cfg := core.DefaultConfig()
+	cfg.NT = 0
+	cfg.Workers = 1
+	cfg.ColdStart = true
+	bt, err := core.NewBootstrapper(fx.params, kg, sk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+type runResult struct {
+	out   *rlwe.Ciphertext
+	stats *Stats
+	err   error
+}
+
+// TestElasticJoinMidRunStealsWork starts an elastic bootstrap with zero
+// secondaries, joins a key-warm node through the listener while the run is
+// in flight, and requires that the joiner demonstrably stole work from the
+// shared queue — with health probing live on its idle gaps.
+func TestElasticJoinMidRunStealsWork(t *testing.T) {
+	fixture(t)
+	before := runtime.NumGoroutine()
+
+	m := NewMembership()
+	l := NewPipeListener()
+	pr := &Primary{Boot: fx.bt}
+	acceptDone := make(chan struct{})
+	go func() { _ = pr.AcceptJoins(m, l); close(acceptDone) }()
+
+	opts := testOptions()
+	opts.LocalWorkers = 1 // leave plenty of queue for the joiner to steal
+	opts.ProbeInterval = 20 * time.Millisecond
+	opts.ProbeTimeout = 2 * time.Second
+	resCh := make(chan runResult, 1)
+	go func() {
+		out, stats, err := pr.BootstrapElastic(context.Background(), fx.ct.CopyNew(), m, opts)
+		resCh <- runResult{out, stats, err}
+	}()
+
+	// Join mid-run: the work queue holds many tile tasks and the single
+	// local worker needs milliseconds per tile, while the join handshake is
+	// two tiny frames — the joiner always finds work left.
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	servDone := make(chan error, 1)
+	go func() { servDone <- (&Secondary{Boot: fx.bt}).JoinAndServe(conn, "joiner") }()
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var joiner *NodeStats
+	for _, ns := range r.stats.Nodes {
+		if ns.Name == "joiner" {
+			joiner = ns
+		}
+	}
+	if joiner == nil {
+		t.Fatalf("joiner missing from stats:\n%s", r.stats)
+	}
+	if !joiner.Joined || joiner.Failed {
+		t.Fatalf("joiner state wrong: %+v", joiner)
+	}
+	if joiner.Completed == 0 {
+		t.Fatalf("joiner stole no work:\n%s", r.stats)
+	}
+	if r.stats.Joined == 0 {
+		t.Fatalf("stats.Joined = 0, want > 0")
+	}
+	if joiner.Completed+r.stats.Local != r.stats.Total {
+		t.Fatalf("rotations unaccounted:\n%s", r.stats)
+	}
+	if st, ok := m.State("joiner"); !ok || st != MemberActive {
+		t.Fatalf("joiner membership state %v, want active", st)
+	}
+	assertBitExact(t, r.out)
+
+	closeConn(conn)
+	<-servDone // pipe closed; the serve loop is done either way
+	_ = l.Close()
+	<-acceptDone
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestGracefulLeaveDrains joins a node, asks it to leave before the run
+// starts, and requires the primary to drain it — leave frame honored, no
+// failure recorded, pending work reassigned, membership transitioned —
+// while the bootstrap still completes bit-exact.
+func TestGracefulLeaveDrains(t *testing.T) {
+	fixture(t)
+	before := runtime.NumGoroutine()
+
+	m := NewMembership()
+	l := NewPipeListener()
+	pr := &Primary{Boot: fx.bt}
+	acceptDone := make(chan struct{})
+	go func() { _ = pr.AcceptJoins(m, l); close(acceptDone) }()
+
+	sec := &Secondary{Boot: fx.bt}
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	servDone := make(chan error, 1)
+	go func() { servDone <- sec.JoinAndServe(conn, "leaver") }()
+	// The very first frame the node receives after joining is answered with
+	// a leave — deterministic: the request lands before any work can.
+	sec.RequestLeave()
+	// Wait for the registry to hold the joiner before starting the run.
+	for {
+		if _, ok := m.State("leaver"); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	out, stats, err := pr.BootstrapElastic(context.Background(), fx.ct.CopyNew(), m, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaver *NodeStats
+	for _, ns := range stats.Nodes {
+		if ns.Name == "leaver" {
+			leaver = ns
+		}
+	}
+	if leaver == nil {
+		t.Fatalf("leaver missing from stats:\n%s", stats)
+	}
+	if !leaver.Left || leaver.Failed {
+		t.Fatalf("leaver should be drained, not failed: %+v", leaver)
+	}
+	if leaver.Completed != 0 {
+		t.Fatalf("leaver completed work after requesting leave: %+v", leaver)
+	}
+	if stats.Reassigned == 0 {
+		t.Fatal("the leaver's batch was never reassigned")
+	}
+	if st, _ := m.State("leaver"); st != MemberLeft {
+		t.Fatalf("membership state %v, want left", st)
+	}
+	if stats.NodeErrors() != nil {
+		t.Fatalf("a graceful leave must not surface as a node error: %v", stats.NodeErrors())
+	}
+	assertBitExact(t, out)
+
+	if err := <-servDone; err != nil {
+		t.Fatalf("leaving secondary: %v", err)
+	}
+	closeConn(conn)
+	_ = l.Close()
+	<-acceptDone
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestKillMidKeyUploadResumes is the headline key-streaming scenario: a
+// cold node joins, its link dies partway through the chunked BRK upload,
+// it rejoins under the same name, and the upload resumes from the last
+// acked chunk. The receiver-side unique-chunk counters must account the
+// blob exactly once — no full re-send — and the node must end fully warm.
+func TestKillMidKeyUploadResumes(t *testing.T) {
+	fixture(t)
+	before := runtime.NumGoroutine()
+
+	coldBoot := coldNode(t)
+	coldMet := obs.NewMetrics()
+	coldBoot.SetRecorder(coldMet)
+	cold := &Secondary{Boot: coldBoot}
+
+	priMet := obs.NewMetrics()
+	fx.bt.SetRecorder(priMet)
+	defer fx.bt.SetRecorder(nil)
+
+	m := NewMembership()
+	l := NewPipeListener()
+	pr := &Primary{Boot: fx.bt}
+	acceptDone := make(chan struct{})
+	go func() { _ = pr.AcceptJoins(m, l); close(acceptDone) }()
+
+	const chunkBytes = 64 << 10
+	blobSize := tfhe.BRKBlobBytes(fx.bt.Params.Parameters, lweDim(fx.bt))
+	chunkCount := (blobSize + chunkBytes - 1) / chunkBytes
+	if chunkCount < 8 {
+		t.Fatalf("fixture blob of %d bytes gives only %d chunks — too few to kill mid-upload", blobSize, chunkCount)
+	}
+
+	// First join: the connection dies after ~3 chunks have been read.
+	conn1, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := NewFaultConn(conn1, FaultPlan{Seed: 13, CutReadAfter: 3*chunkBytes + 4096})
+	serv1 := make(chan error, 1)
+	go func() { serv1 <- cold.JoinAndServe(fc, "cold") }()
+	for {
+		if _, ok := m.State("cold"); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	opts := testOptions()
+	opts.LocalWorkers = 1
+	opts.KeyChunkBytes = chunkBytes
+	resCh := make(chan runResult, 1)
+	go func() {
+		out, stats, err := pr.BootstrapElastic(context.Background(), fx.ct.CopyNew(), m, opts)
+		resCh <- runResult{out, stats, err}
+	}()
+
+	if err := <-serv1; err == nil {
+		t.Fatal("the injected cut never fired")
+	}
+	_ = fc.Close()
+	// The primary notices the dead link and marks the member down; only then
+	// may the same name rejoin.
+	for {
+		if st, _ := m.State("cold"); st == MemberDead {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := int(coldMet.Counter(obs.CounterKeyChunks)); got == 0 || got >= chunkCount {
+		t.Fatalf("kill-mid-upload landed outside the upload: %d of %d chunks received", got, chunkCount)
+	}
+
+	// Rejoin under the same name: the stash on the Secondary survived the
+	// connection, so the resume point is whatever was acked.
+	conn2, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serv2 := make(chan error, 1)
+	go func() { serv2 <- cold.JoinAndServe(conn2, "cold") }()
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	assertBitExact(t, r.out)
+	// The rejoin races the tail of the run; if the queue drained before the
+	// join consumer saw it, the node is still waiting in the membership —
+	// a second elastic run picks it up and completes the resumed upload.
+	if !cold.fullyWarm() {
+		r2 := <-func() chan runResult {
+			ch := make(chan runResult, 1)
+			go func() {
+				out, stats, err := pr.BootstrapElastic(context.Background(), fx.ct.CopyNew(), m, opts)
+				ch <- runResult{out, stats, err}
+			}()
+			return ch
+		}()
+		if r2.err != nil {
+			t.Fatal(r2.err)
+		}
+		assertBitExact(t, r2.out)
+	}
+	if !cold.fullyWarm() {
+		t.Fatal("cold node never became key-warm")
+	}
+
+	// Resume accounting: every unique chunk was received exactly once across
+	// both connections — the kill did not trigger a full re-send.
+	if got := int(coldMet.Counter(obs.CounterKeyChunks)); got != chunkCount {
+		t.Fatalf("receiver counted %d unique chunks, want exactly %d", got, chunkCount)
+	}
+	if got := int(coldMet.Counter(obs.CounterKeyChunkBytes)); got != blobSize {
+		t.Fatalf("receiver counted %d unique chunk bytes, want exactly the %d-byte blob", got, blobSize)
+	}
+	// Stop-and-wait leaves at most the single unacked chunk to overlap.
+	if resent := int(priMet.Counter(obs.CounterKeyChunkResent)); resent > chunkBytes {
+		t.Fatalf("sender re-sent %d bytes, want at most one chunk (%d)", resent, chunkBytes)
+	}
+	if st, _ := m.State("cold"); st != MemberActive {
+		t.Fatalf("rejoined node state %v, want active", st)
+	}
+
+	closeConn(conn2)
+	<-serv2
+	_ = l.Close()
+	<-acceptDone
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestStalledNodeTriggersHedge wedges the only secondary after its
+// handshake: its shard's indices age past HedgeAfter, the hedge monitor
+// re-queues them, the local workers win every claim, and the loser's
+// connection is cancelled at completion — bit-exact, no goroutine leaks,
+// and no double-counted rotations.
+func TestStalledNodeTriggersHedge(t *testing.T) {
+	fixture(t)
+	before := runtime.NumGoroutine()
+
+	cp, cs := net.Pipe()
+	fc := NewFaultConn(cs, FaultPlan{Seed: 3, StallWriteAfter: 48}) // wedge after the hello reply
+	servDone := make(chan error, 1)
+	go func() { servDone <- (&Secondary{Boot: fx.bt}).Serve(fc) }()
+
+	opts := testOptions()
+	opts.HedgeAfter = 100 * time.Millisecond
+	nodes := []*Node{{Conn: cp, Name: "wedged"}}
+	out, stats, err := (&Primary{Boot: fx.bt}).BootstrapCluster(context.Background(), fx.ct.CopyNew(), nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hedged == 0 {
+		t.Fatalf("stall never triggered a hedge:\n%s", stats)
+	}
+	ns := stats.Nodes[0]
+	if ns.Completed != 0 {
+		t.Fatalf("wedged node cannot have completed work: %+v", ns)
+	}
+	if stats.Local != stats.Total {
+		t.Fatalf("hedged indices must all complete locally:\n%s", stats)
+	}
+	if stats.HedgeWasted != 0 {
+		t.Fatalf("a fully wedged node cannot produce hedge-race losers: %d wasted", stats.HedgeWasted)
+	}
+	assertBitExact(t, out)
+
+	_ = fc.Close()
+	cp.Close()
+	cs.Close()
+	<-servDone
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestProbeMissesDrainIdleNode drives runNode directly against a mute peer:
+// the queue is idle (work in flight elsewhere), so the worker falls into
+// probe ticks; the peer swallows every probe, and after K consecutive
+// misses the node must be drained — failed, membership-dead, connection
+// closed — without touching the rest of the run.
+func TestProbeMissesDrainIdleNode(t *testing.T) {
+	fixture(t)
+	before := runtime.NumGoroutine()
+
+	cp, cs := net.Pipe()
+	// Mute peer: consumes frames so probe writes complete, never answers.
+	var swallowed atomic.Int32
+	muteDone := make(chan struct{})
+	go func() {
+		defer close(muteDone)
+		for {
+			if _, err := readFrame(cs, maxErrorPayload); err != nil {
+				return
+			}
+			swallowed.Add(1)
+		}
+	}()
+
+	m := NewMembership()
+	node := &Node{Conn: cp, Name: "mute", joined: true}
+	if err := m.Join(node); err != nil {
+		t.Fatal(err)
+	}
+	<-m.joinCh // consumed by the test, standing in for the scheduler
+
+	met := obs.NewMetrics()
+	opts := DefaultOptions()
+	opts.ProbeInterval = 10 * time.Millisecond
+	opts.ProbeTimeout = 50 * time.Millisecond
+	opts.ProbeMisses = 3
+	opts = opts.withDefaults()
+	q := newWorkQueue(1) // 1 outstanding index, never queued here: permanently idle
+	rs := &runState{
+		ctx:       context.Background(),
+		stats:     &Stats{Nodes: []*NodeStats{{Name: "mute", Joined: true}}, Total: 1},
+		q:         q,
+		rec:       met,
+		opts:      opts,
+		m:         m,
+		claims:    make([]atomic.Bool, 1),
+		flights:   make(map[int]*flight),
+		hedgedIdx: make(map[int]bool),
+		ests:      make(map[*NodeStats]*latEstimator),
+		keyHigh:   make(map[string]uint32),
+	}
+	ns := rs.stats.Nodes[0]
+	done := make(chan struct{})
+	go func() {
+		(&Primary{Boot: fx.bt}).runNode(context.Background(), node, ns, 0, nil, rs)
+		close(done)
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("probe misses never drained the mute node")
+	}
+	if !ns.Failed || ns.Err == nil {
+		t.Fatalf("mute node not failed: %+v", ns)
+	}
+	if st, _ := m.State("mute"); st != MemberDead {
+		t.Fatalf("membership state %v, want dead", st)
+	}
+	if got := int(met.Counter(obs.CounterProbeMisses)); got < opts.ProbeMisses {
+		t.Fatalf("probe_misses = %d, want >= %d", got, opts.ProbeMisses)
+	}
+	if swallowed.Load() < int32(opts.ProbeMisses) {
+		t.Fatalf("mute peer swallowed %d probes, want >= %d", swallowed.Load(), opts.ProbeMisses)
+	}
+	q.done(1)
+	cp.Close()
+	cs.Close()
+	<-muteDone
+	assertNoGoroutineLeak(t, before)
+}

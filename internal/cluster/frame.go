@@ -34,7 +34,11 @@ const (
 	// ProtocolVersion is the cluster wire-protocol version exchanged in the
 	// hello handshake. Version 2 is the framed, checksummed protocol; the
 	// seed's unframed protocol is retroactively version 1 and is rejected.
-	ProtocolVersion = uint32(2)
+	// Version 3 adds elastic membership (join/leave/health-probe frames),
+	// per-batch deadline budgets (carried in the batch frame's seq field,
+	// which v2 required to be zero), a key-warm hello flag, and the chunked
+	// resumable blind-rotate key streaming channel.
+	ProtocolVersion = uint32(3)
 
 	frameHeaderSize  = 20
 	frameTrailerSize = 4
@@ -53,11 +57,26 @@ func wireSize(payloadLen int) uint64 {
 // Frame kinds.
 const (
 	frameHello    = uint32(0x4845_4C4F) // "HELO"
-	frameBatch    = uint32(0xB007_0001) // primary → secondary: LWE batch
+	frameBatch    = uint32(0xB007_0001) // primary → secondary: LWE batch (seq = deadline budget, ms)
 	frameAcc      = uint32(0xB007_0002) // secondary → primary: one accumulator
 	frameBatchEnd = uint32(0xB007_0003) // secondary → primary: batch complete
 	frameError    = uint32(0xB007_000E) // secondary → primary: structured failure
 	frameShutdown = uint32(0xB007_00FF)
+
+	// Elastic membership (v3).
+	frameProbe        = uint32(0xB007_0010) // either way: liveness probe (8-byte nonce)
+	frameProbeAck     = uint32(0xB007_0011) // echo of a probe's nonce
+	frameJoin         = uint32(0xB007_0012) // secondary → primary: hello + node name
+	frameJoinAck      = uint32(0xB007_0013) // primary → secondary: hello reply, join accepted
+	frameLeave        = uint32(0xB007_0014) // secondary → primary: graceful leave (reason string)
+	frameBatchRefused = uint32(0xB007_0015) // secondary → primary: not key-warm enough (warm count)
+
+	// Chunked resumable key streaming (v3).
+	frameKeyOffer  = uint32(0xB007_0020) // primary → secondary: blob size/chunking/CRC
+	frameKeyResume = uint32(0xB007_0021) // secondary → primary: contiguous chunks already held
+	frameKeyChunk  = uint32(0xB007_0022) // primary → secondary: one chunk (seq = chunk index)
+	frameKeyAck    = uint32(0xB007_0023) // secondary → primary: contiguous chunks now held
+	frameKeyDone   = uint32(0xB007_0024) // primary → secondary: upload complete (blob CRC)
 )
 
 // frame is one protocol message.
@@ -125,6 +144,9 @@ func readFrame(r io.Reader, maxPayload int) (*frame, error) {
 // hello is the connection-setup handshake: both ends must agree on the
 // protocol version and on the parameter set (the digest covers every Q and
 // P limb), the LWE dimension the batches will carry, and the batch bound.
+// Flags carries per-node status (key-warm) and is deliberately excluded
+// from the compatibility check: a cold node and a warm node are protocol-
+// compatible, they just differ in what work they can accept.
 type hello struct {
 	Version  uint32
 	LogN     uint32
@@ -132,13 +154,17 @@ type hello struct {
 	LWEDim   uint32
 	MaxBatch uint32
 	Digest   uint32
+	Flags    uint32
 }
 
-const helloPayloadSize = 24
+// helloFlagKeyWarm marks a node that holds its full blind-rotate key.
+const helloFlagKeyWarm = uint32(1)
+
+const helloPayloadSize = 28
 
 func helloFor(bt *core.Bootstrapper) hello {
 	p := bt.Params.Parameters
-	return hello{
+	h := hello{
 		Version:  ProtocolVersion,
 		LogN:     uint32(p.LogN),
 		MaxLevel: uint32(p.MaxLevel()),
@@ -146,6 +172,10 @@ func helloFor(bt *core.Bootstrapper) hello {
 		MaxBatch: uint32(p.N()),
 		Digest:   paramsDigest(p),
 	}
+	if bt.HasBlindRotateKey() {
+		h.Flags |= helloFlagKeyWarm
+	}
+	return h
 }
 
 // lweDim is the dimension of the LWE ciphertexts Prepare emits: N in exact
@@ -183,6 +213,7 @@ func (h hello) encode() []byte {
 	le.PutUint32(buf[12:], h.LWEDim)
 	le.PutUint32(buf[16:], h.MaxBatch)
 	le.PutUint32(buf[20:], h.Digest)
+	le.PutUint32(buf[24:], h.Flags)
 	return buf
 }
 
@@ -198,15 +229,18 @@ func decodeHello(payload []byte) (hello, error) {
 		LWEDim:   le.Uint32(payload[12:]),
 		MaxBatch: le.Uint32(payload[16:]),
 		Digest:   le.Uint32(payload[20:]),
+		Flags:    le.Uint32(payload[24:]),
 	}, nil
 }
 
-// check verifies a peer hello against the local one.
+// check verifies a peer hello against the local one. Flags are status, not
+// compatibility, and are not compared.
 func (h hello) check(peer hello) error {
 	if peer.Version != h.Version {
 		return fmt.Errorf("cluster: protocol version mismatch: local v%d, peer v%d", h.Version, peer.Version)
 	}
-	if peer != h {
+	if peer.LogN != h.LogN || peer.MaxLevel != h.MaxLevel || peer.LWEDim != h.LWEDim ||
+		peer.MaxBatch != h.MaxBatch || peer.Digest != h.Digest {
 		return fmt.Errorf("cluster: parameter mismatch: local %+v, peer %+v", h, peer)
 	}
 	return nil
@@ -318,4 +352,166 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- elastic membership payloads (v3) ---
+
+// probePayloadSize is the fixed probe/probe-ack payload: an 8-byte nonce
+// the ack must echo, so a stale ack from a previous probe round is never
+// mistaken for a live answer.
+const probePayloadSize = 8
+
+func encodeProbe(nonce uint64) []byte {
+	buf := make([]byte, probePayloadSize)
+	binary.LittleEndian.PutUint64(buf, nonce)
+	return buf
+}
+
+// decodeProbe validates a probe or probe-ack payload and returns its nonce.
+func decodeProbe(payload []byte) (uint64, error) {
+	if len(payload) != probePayloadSize {
+		return 0, fmt.Errorf("cluster: probe payload is %d bytes, want %d", len(payload), probePayloadSize)
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// maxNodeName bounds the node name a join frame may carry.
+const maxNodeName = 256
+
+// joinPayloadBound is the largest join payload: hello + length-prefixed name.
+const joinPayloadBound = helloPayloadSize + 4 + maxNodeName
+
+// encodeJoin serializes a join request: the joiner's hello followed by its
+// length-prefixed name (the identity key of the membership registry, which
+// is how a node killed mid-key-upload resumes as itself after rejoining).
+func encodeJoin(h hello, name string) []byte {
+	if len(name) > maxNodeName {
+		name = name[:maxNodeName]
+	}
+	buf := make([]byte, helloPayloadSize+4+len(name))
+	copy(buf, h.encode())
+	binary.LittleEndian.PutUint32(buf[helloPayloadSize:], uint32(len(name)))
+	copy(buf[helloPayloadSize+4:], name)
+	return buf
+}
+
+// decodeJoin parses and bounds a join payload before anything is allocated
+// from attacker-controlled lengths.
+func decodeJoin(payload []byte) (hello, string, error) {
+	if len(payload) < helloPayloadSize+4 {
+		return hello{}, "", fmt.Errorf("cluster: join payload is %d bytes, want at least %d", len(payload), helloPayloadSize+4)
+	}
+	h, err := decodeHello(payload[:helloPayloadSize])
+	if err != nil {
+		return hello{}, "", err
+	}
+	nameLen := int(binary.LittleEndian.Uint32(payload[helloPayloadSize:]))
+	if nameLen > maxNodeName {
+		return hello{}, "", fmt.Errorf("cluster: join name length %d exceeds bound %d", nameLen, maxNodeName)
+	}
+	if len(payload) != helloPayloadSize+4+nameLen {
+		return hello{}, "", fmt.Errorf("cluster: join payload %d bytes, want %d", len(payload), helloPayloadSize+4+nameLen)
+	}
+	return h, string(payload[helloPayloadSize+4:]), nil
+}
+
+// encodeLeave serializes a graceful-leave reason (bounded like error frames).
+func encodeLeave(reason string) []byte {
+	if len(reason) > maxErrorPayload {
+		reason = reason[:maxErrorPayload]
+	}
+	buf := make([]byte, 4+len(reason))
+	binary.LittleEndian.PutUint32(buf, uint32(len(reason)))
+	copy(buf[4:], reason)
+	return buf
+}
+
+// decodeLeave parses a bounded leave payload.
+func decodeLeave(payload []byte) (string, error) {
+	if len(payload) < 4 {
+		return "", fmt.Errorf("cluster: leave payload is %d bytes, want at least 4", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if n > maxErrorPayload {
+		return "", fmt.Errorf("cluster: leave reason length %d exceeds bound %d", n, maxErrorPayload)
+	}
+	if len(payload) != 4+n {
+		return "", fmt.Errorf("cluster: leave payload %d bytes, want %d", len(payload), 4+n)
+	}
+	return string(payload[4:]), nil
+}
+
+// --- chunked resumable key streaming payloads (v3) ---
+
+// keyOffer describes a blind-rotate key blob the sender is about to stream:
+// total serialized size, the fixed chunk size (the last chunk may be short),
+// the chunk count, and the CRC32 of the whole blob. A receiver holding a
+// partial stash from a previous connection answers with the number of
+// contiguous chunks it already has — the resume point.
+type keyOffer struct {
+	TotalSize  uint64
+	ChunkSize  uint32
+	ChunkCount uint32
+	BlobCRC    uint32
+}
+
+const keyOfferPayloadSize = 20
+
+// maxKeyChunkPayload bounds a single key chunk (and therefore the one
+// allocation a key-chunk frame can force).
+const maxKeyChunkPayload = 4 << 20
+
+func (o keyOffer) encode() []byte {
+	buf := make([]byte, keyOfferPayloadSize)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], o.TotalSize)
+	le.PutUint32(buf[8:], o.ChunkSize)
+	le.PutUint32(buf[12:], o.ChunkCount)
+	le.PutUint32(buf[16:], o.BlobCRC)
+	return buf
+}
+
+// decodeKeyOffer parses and cross-validates an offer: the chunk geometry
+// must exactly tile the total size, and both are bounded before the
+// receiver sizes anything from them.
+func decodeKeyOffer(payload []byte) (keyOffer, error) {
+	if len(payload) != keyOfferPayloadSize {
+		return keyOffer{}, fmt.Errorf("cluster: key offer payload is %d bytes, want %d", len(payload), keyOfferPayloadSize)
+	}
+	le := binary.LittleEndian
+	o := keyOffer{
+		TotalSize:  le.Uint64(payload[0:]),
+		ChunkSize:  le.Uint32(payload[8:]),
+		ChunkCount: le.Uint32(payload[12:]),
+		BlobCRC:    le.Uint32(payload[16:]),
+	}
+	if o.TotalSize == 0 || o.TotalSize > 1<<40 {
+		return keyOffer{}, fmt.Errorf("cluster: key offer size %d out of range", o.TotalSize)
+	}
+	if o.ChunkSize == 0 || o.ChunkSize > maxKeyChunkPayload {
+		return keyOffer{}, fmt.Errorf("cluster: key chunk size %d outside (0, %d]", o.ChunkSize, maxKeyChunkPayload)
+	}
+	want := (o.TotalSize + uint64(o.ChunkSize) - 1) / uint64(o.ChunkSize)
+	if uint64(o.ChunkCount) != want {
+		return keyOffer{}, fmt.Errorf("cluster: key offer chunk count %d, want %d for %d bytes in %d-byte chunks",
+			o.ChunkCount, want, o.TotalSize, o.ChunkSize)
+	}
+	return o, nil
+}
+
+// encodeKeyResume serializes the receiver's resume point: the number of
+// contiguous chunks it already holds and the blob CRC it holds them for.
+func encodeKeyResume(have uint32, blobCRC uint32) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:], have)
+	binary.LittleEndian.PutUint32(buf[4:], blobCRC)
+	return buf
+}
+
+// decodeKeyResume parses a resume/ack payload.
+func decodeKeyResume(payload []byte) (have uint32, blobCRC uint32, err error) {
+	if len(payload) != 8 {
+		return 0, 0, fmt.Errorf("cluster: key resume payload is %d bytes, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload[0:]), binary.LittleEndian.Uint32(payload[4:]), nil
 }

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"io"
+	"runtime"
+	"testing"
+
+	"heap/internal/obs"
+)
+
+// Fuzz targets for the v3 membership/health/key-streaming payload decoders,
+// mirroring FuzzReadFrame/FuzzDecodeBatch: arbitrary bytes must never panic
+// a decoder, every accepted value must satisfy the decoder's documented
+// bounds, and accepted values must round-trip through their encoder.
+
+func FuzzDecodeJoin(f *testing.F) {
+	h := hello{Version: ProtocolVersion, LogN: 6, MaxLevel: 3, LWEDim: 64, MaxBatch: 64, Digest: 0xDEAD, Flags: helloFlagKeyWarm}
+	f.Add(encodeJoin(h, "node-a"))
+	f.Add(encodeJoin(h, ""))
+	// A lying length prefix: nameLen = 2^32−1 with no name bytes behind it.
+	lie := encodeJoin(h, "x")
+	binary.LittleEndian.PutUint32(lie[helloPayloadSize:], 0xFFFF_FFFF)
+	f.Add(lie)
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, name, err := decodeJoin(data)
+		if err != nil {
+			return
+		}
+		if len(name) > maxNodeName {
+			t.Fatalf("accepted join name of %d bytes, bound is %d", len(name), maxNodeName)
+		}
+		re, name2, err := decodeJoin(encodeJoin(got, name))
+		if err != nil || re != got || name2 != name {
+			t.Fatalf("join round trip unstable: %v %+v/%q vs %+v/%q", err, re, name2, got, name)
+		}
+	})
+}
+
+func FuzzDecodeLeave(f *testing.F) {
+	f.Add(encodeLeave("leave requested"))
+	f.Add(encodeLeave(""))
+	lie := make([]byte, 4)
+	binary.LittleEndian.PutUint32(lie, 0xFFFF_FFFF)
+	f.Add(lie)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reason, err := decodeLeave(data)
+		if err != nil {
+			return
+		}
+		if len(reason) > maxErrorPayload {
+			t.Fatalf("accepted leave reason of %d bytes, bound is %d", len(reason), maxErrorPayload)
+		}
+		if re, err := decodeLeave(encodeLeave(reason)); err != nil || re != reason {
+			t.Fatalf("leave round trip unstable: %v %q vs %q", err, re, reason)
+		}
+	})
+}
+
+func FuzzDecodeProbe(f *testing.F) {
+	f.Add(encodeProbe(0))
+	f.Add(encodeProbe(0xDEADBEEF_00C0FFEE))
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nonce, err := decodeProbe(data)
+		if err != nil {
+			return
+		}
+		if re, err := decodeProbe(encodeProbe(nonce)); err != nil || re != nonce {
+			t.Fatalf("probe round trip unstable: %v %d vs %d", err, re, nonce)
+		}
+	})
+}
+
+func FuzzDecodeKeyOffer(f *testing.F) {
+	f.Add(keyOffer{TotalSize: 1 << 20, ChunkSize: 64 << 10, ChunkCount: 16, BlobCRC: 0xABCD}.encode())
+	f.Add(keyOffer{TotalSize: 1, ChunkSize: 1, ChunkCount: 1}.encode())
+	// Geometry lies: count does not tile the total.
+	bad := keyOffer{TotalSize: 1 << 20, ChunkSize: 64 << 10, ChunkCount: 3}.encode()
+	f.Add(bad)
+	f.Add([]byte{0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := decodeKeyOffer(data)
+		if err != nil {
+			return
+		}
+		if o.TotalSize == 0 || o.TotalSize > 1<<40 || o.ChunkSize == 0 || o.ChunkSize > maxKeyChunkPayload {
+			t.Fatalf("accepted out-of-bounds offer %+v", o)
+		}
+		want := (o.TotalSize + uint64(o.ChunkSize) - 1) / uint64(o.ChunkSize)
+		if uint64(o.ChunkCount) != want {
+			t.Fatalf("accepted non-tiling offer %+v (want %d chunks)", o, want)
+		}
+		if re, err := decodeKeyOffer(o.encode()); err != nil || re != o {
+			t.Fatalf("offer round trip unstable: %v %+v vs %+v", err, re, o)
+		}
+	})
+}
+
+func FuzzDecodeKeyResume(f *testing.F) {
+	f.Add(encodeKeyResume(0, 0))
+	f.Add(encodeKeyResume(41, 0xDEADBEEF))
+	f.Add([]byte{9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		have, crc, err := decodeKeyResume(data)
+		if err != nil {
+			return
+		}
+		h2, c2, err := decodeKeyResume(encodeKeyResume(have, crc))
+		if err != nil || h2 != have || c2 != crc {
+			t.Fatalf("resume round trip unstable: %v %d/%#x vs %d/%#x", err, h2, c2, have, crc)
+		}
+	})
+}
+
+// discardRW is a connection stub for handler paths that must fail before
+// ever writing (or allocating from) anything.
+type discardRW struct{}
+
+func (discardRW) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardRW) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestDecodersBoundAllocationOnLies feeds each new decoder a payload whose
+// embedded length fields claim enormous sizes and measures actual heap
+// allocation: a malformed input must cost error-formatting bytes, never a
+// buffer sized from attacker-controlled fields. The key-offer case goes one
+// layer deeper: even a well-formed offer claiming a 1 GiB key must be
+// rejected by the receiving Secondary (which sizes buffers from its own
+// parameters) before any stash allocation.
+func TestDecodersBoundAllocationOnLies(t *testing.T) {
+	fixture(t)
+	h := hello{Version: ProtocolVersion, LogN: 6}
+	joinLie := encodeJoin(h, "x")
+	binary.LittleEndian.PutUint32(joinLie[helloPayloadSize:], 0xFFFF_FFF0)
+	joinLie = joinLie[:helloPayloadSize+4]
+	leaveLie := make([]byte, 4)
+	binary.LittleEndian.PutUint32(leaveLie, 0xFFFF_FFF0)
+	giant := keyOffer{TotalSize: 1 << 30, ChunkSize: 1 << 20, ChunkCount: 1 << 10, BlobCRC: 1}
+	sec := &Secondary{Boot: fx.bt}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"join", func() error { _, _, err := decodeJoin(joinLie); return err }},
+		{"leave", func() error { _, err := decodeLeave(leaveLie); return err }},
+		{"offer-geometry", func() error {
+			bad := giant
+			bad.ChunkCount--
+			_, err := decodeKeyOffer(bad.encode())
+			return err
+		}},
+		{"offer-oversized-for-params", func() error {
+			return sec.handleKeyOffer(discardRW{}, &frame{Kind: frameKeyOffer, Payload: giant.encode()}, obs.Nop{})
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err == nil {
+			t.Fatalf("%s: lying payload accepted", tc.name)
+		}
+		const rounds = 64
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < rounds; i++ {
+			_ = tc.run()
+		}
+		runtime.ReadMemStats(&m1)
+		if per := (m1.TotalAlloc - m0.TotalAlloc) / rounds; per > 4096 {
+			t.Errorf("%s: %d bytes allocated per malformed decode — size fields must not drive allocation", tc.name, per)
+		}
+	}
+}
+
+// TestJoinLeaveProbeRoundTrip pins the happy-path codecs (the fuzzers only
+// check stability of whatever the fuzzer happens to accept).
+func TestJoinLeaveProbeRoundTrip(t *testing.T) {
+	h := hello{Version: ProtocolVersion, LogN: 13, MaxLevel: 7, LWEDim: 500, MaxBatch: 8192, Digest: 0xABCD1234, Flags: helloFlagKeyWarm}
+	got, name, err := decodeJoin(encodeJoin(h, "fpga-07"))
+	if err != nil || got != h || name != "fpga-07" {
+		t.Fatalf("join: %v %+v %q", err, got, name)
+	}
+	if reason, err := decodeLeave(encodeLeave("draining")); err != nil || reason != "draining" {
+		t.Fatalf("leave: %v %q", err, reason)
+	}
+	if nonce, err := decodeProbe(encodeProbe(42)); err != nil || nonce != 42 {
+		t.Fatalf("probe: %v %d", err, nonce)
+	}
+	o := keyOffer{TotalSize: 2_629_656, ChunkSize: 64 << 10, ChunkCount: 41, BlobCRC: 7}
+	if re, err := decodeKeyOffer(o.encode()); err != nil || re != o {
+		t.Fatalf("offer: %v %+v", err, re)
+	}
+	// A warm and a cold hello differ only in flags and must stay compatible.
+	cold := h
+	cold.Flags = 0
+	if err := h.check(cold); err != nil {
+		t.Fatalf("key-warm flag must not break the params handshake: %v", err)
+	}
+}

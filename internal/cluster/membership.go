@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"heap/internal/obs"
+)
+
+// Elastic membership (§V, ROADMAP items 3 and 5): the secondary set is no
+// longer fixed at startup. Nodes join through a listener by completing the
+// params-digest handshake (frameJoin/frameJoinAck), a running elastic
+// bootstrap picks them up mid-run and they start draining the shared work
+// queue, and nodes that leave gracefully (frameLeave) or miss K health
+// probes are drained with their pending LWE indices reassigned through the
+// existing retry machinery.
+
+// MemberState is a node's lifecycle state in the membership registry.
+type MemberState int
+
+const (
+	// MemberActive nodes receive work.
+	MemberActive MemberState = iota
+	// MemberLeft nodes drained gracefully; the name may rejoin.
+	MemberLeft
+	// MemberDead nodes failed (probe misses, exhausted retries); the name
+	// may rejoin — which is how a node killed mid-key-upload resumes.
+	MemberDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case MemberActive:
+		return "active"
+	case MemberLeft:
+		return "left"
+	case MemberDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Membership is the registry an elastic bootstrap reads each dispatch
+// round. Joins arrive through AcceptJoins (or a direct Join call); the
+// scheduler consumes them from joinCh and spawns a node worker per joiner.
+// A name whose previous instance failed or left may rejoin — the rejoining
+// connection inherits nothing from the old one except whatever key-stash
+// its Secondary process kept, which is exactly what makes a kill-mid-upload
+// resume work.
+type Membership struct {
+	mu     sync.Mutex
+	rec    obs.Recorder
+	state  map[string]MemberState
+	joinCh chan *Node
+}
+
+// NewMembership returns an empty registry.
+func NewMembership() *Membership {
+	return &Membership{
+		rec:    obs.Nop{},
+		state:  make(map[string]MemberState),
+		joinCh: make(chan *Node, 64),
+	}
+}
+
+// SetRecorder installs the recorder for the cluster-members gauge.
+func (m *Membership) SetRecorder(r obs.Recorder) {
+	m.mu.Lock()
+	m.rec = obs.OrNop(r)
+	m.mu.Unlock()
+}
+
+// recorder snapshots the current recorder under the registry lock.
+func (m *Membership) recorder() obs.Recorder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rec
+}
+
+// Join registers a node as active and queues it for the running (or next)
+// elastic bootstrap. A name that is currently active is rejected; a name
+// whose previous instance left or died rejoins.
+func (m *Membership) Join(node *Node) error {
+	if node.Name == "" {
+		return errors.New("cluster: joining node needs a name")
+	}
+	m.mu.Lock()
+	if st, ok := m.state[node.Name]; ok && st == MemberActive {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: node %q is already an active member", node.Name)
+	}
+	m.state[node.Name] = MemberActive
+	m.mu.Unlock()
+	select {
+	case m.joinCh <- node:
+	default:
+		m.mu.Lock()
+		m.state[node.Name] = MemberDead
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: join backlog full, node %q rejected", node.Name)
+	}
+	m.recorder().Gauge(obs.GaugeClusterMembers, 1)
+	return nil
+}
+
+// markDown transitions an active member to Left or Dead.
+func (m *Membership) markDown(name string, st MemberState) {
+	if name == "" {
+		return
+	}
+	m.mu.Lock()
+	cur, ok := m.state[name]
+	m.state[name] = st
+	rec := m.rec
+	m.mu.Unlock()
+	if ok && cur == MemberActive {
+		rec.Gauge(obs.GaugeClusterMembers, -1)
+	}
+}
+
+// State reports a member's lifecycle state.
+func (m *Membership) State(name string) (MemberState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.state[name]
+	return st, ok
+}
+
+// ActiveCount returns the number of active members.
+func (m *Membership) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.state {
+		if st == MemberActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Listener accepts join connections. net.Listener satisfies it through
+// ListenerFrom; PipeListener provides the in-memory form tests and the
+// churn demo use.
+type Listener interface {
+	Accept() (io.ReadWriter, error)
+}
+
+// PipeListener is an in-memory listener: every Dial produces a net.Pipe
+// whose far end comes out of Accept.
+type PipeListener struct {
+	ch     chan io.ReadWriter
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewPipeListener returns an open in-memory listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan io.ReadWriter), closed: make(chan struct{})}
+}
+
+// Dial connects a new pipe through the listener, returning the client end.
+func (l *PipeListener) Dial() (io.ReadWriter, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, errors.New("cluster: listener closed")
+	}
+}
+
+// Accept returns the server end of the next dialed pipe.
+func (l *PipeListener) Accept() (io.ReadWriter, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, errors.New("cluster: listener closed")
+	}
+}
+
+// Close unblocks Accept and fails future Dials.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+// AcceptJoins runs the join side of the membership: it accepts connections
+// from l, performs the join handshake (params digest included, so an alien
+// parameter set is refused at the door exactly like a v2 hello mismatch),
+// and registers each joiner with m. It returns when the listener closes.
+// Run it in its own goroutine alongside BootstrapElastic.
+func (p *Primary) AcceptJoins(m *Membership, l Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil
+		}
+		go func(conn io.ReadWriter) {
+			if err := p.acceptJoin(m, conn); err != nil {
+				closeConn(conn)
+			}
+		}(conn)
+	}
+}
+
+// acceptJoin validates one join handshake and registers the node.
+func (p *Primary) acceptJoin(m *Membership, conn io.ReadWriter) error {
+	local := helloFor(p.Boot)
+	refuse := func(err error) error {
+		msg := err.Error()
+		if len(msg) > maxErrorPayload {
+			msg = msg[:maxErrorPayload]
+		}
+		_ = writeFrame(conn, &frame{Kind: frameError, Payload: []byte(msg)})
+		return err
+	}
+	f, err := readFrame(conn, joinPayloadBound)
+	if err != nil {
+		return err
+	}
+	if f.Kind != frameJoin {
+		return refuse(fmt.Errorf("cluster: expected join, got frame kind %#x", f.Kind))
+	}
+	peer, name, err := decodeJoin(f.Payload)
+	if err != nil {
+		return refuse(err)
+	}
+	if err := local.check(peer); err != nil {
+		return refuse(err)
+	}
+	node := &Node{Conn: conn, Name: name, joined: true, needsKey: peer.Flags&helloFlagKeyWarm == 0}
+	if err := m.Join(node); err != nil {
+		return refuse(err)
+	}
+	if err := writeFrame(conn, &frame{Kind: frameJoinAck, Payload: local.encode()}); err != nil {
+		m.markDown(name, MemberDead)
+		return err
+	}
+	return nil
+}
+
+// Join performs the secondary side of the join handshake on conn: it sends
+// the node's hello (with its key-warm flag) plus its name and waits for the
+// primary's acknowledgement.
+func (s *Secondary) Join(conn io.ReadWriter, name string) error {
+	local := s.localHello()
+	if err := writeFrame(conn, &frame{Kind: frameJoin, Payload: encodeJoin(local, name)}); err != nil {
+		return fmt.Errorf("cluster: join send: %w", err)
+	}
+	f, err := readFrame(conn, maxInt(helloPayloadSize, maxErrorPayload))
+	if err != nil {
+		return fmt.Errorf("cluster: join reply: %w", err)
+	}
+	switch f.Kind {
+	case frameJoinAck:
+	case frameError:
+		return fmt.Errorf("cluster: join rejected: %s", f.Payload)
+	default:
+		return fmt.Errorf("cluster: expected join ack, got frame kind %#x", f.Kind)
+	}
+	peer, err := decodeHello(f.Payload)
+	if err != nil {
+		return err
+	}
+	return local.check(peer)
+}
+
+// JoinAndServe joins the cluster through conn and then serves blind-rotation
+// work on it — the whole life of an elastic secondary. A cold node receives
+// its blind-rotate key over the same connection (chunked and resumable)
+// before, and interleaved with, batch work.
+func (s *Secondary) JoinAndServe(conn io.ReadWriter, name string) error {
+	if err := s.Join(conn, name); err != nil {
+		return err
+	}
+	return s.serveLoop(conn)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,8 +19,18 @@ type Node struct {
 	// the first connection error permanently fails the node and its
 	// unfinished work is reassigned.
 	Dial func() (io.ReadWriter, error)
-	// Name labels the node in stats and errors.
+	// Name labels the node in stats and errors; for membership joiners it is
+	// the registry identity a killed node rejoins under.
 	Name string
+
+	// joined marks a node that arrived through the elastic membership: its
+	// connection already completed the join handshake, so the hello exchange
+	// is skipped.
+	joined bool
+	// needsKey marks a joiner that announced itself key-cold; the scheduler
+	// streams the blind-rotate key (chunked, resumable) before handing it
+	// unrestricted work.
+	needsKey bool
 }
 
 // Options tunes the fault-tolerant dispatch.
@@ -41,17 +52,42 @@ type Options struct {
 	// queue alongside the secondaries (fallback compute). 0 selects the
 	// bootstrapper's Cfg.Workers.
 	LocalWorkers int
+	// ProbeInterval is how long a node connection may sit idle (no batch to
+	// dispatch) before the primary sends a health probe on it. 0 disables
+	// probing.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip; 0 selects ProbeInterval.
+	ProbeTimeout time.Duration
+	// ProbeMisses is K: a node that misses this many consecutive probes is
+	// drained and its pending work reassigned. 0 selects 3.
+	ProbeMisses int
+	// HedgeAfter enables hedged dispatch: an in-flight LWE index older than
+	// max(HedgeAfter, HedgeMultiplier × node p99 latency) is speculatively
+	// re-queued for another worker, and the first bit-exact result wins
+	// (dedup by an atomic per-index claim). 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMultiplier scales the observed per-node p99 per-index latency
+	// into the hedge threshold. 0 selects 4.
+	HedgeMultiplier int
+	// KeyChunkBytes is the chunk size of the resumable blind-rotate key
+	// upload to cold joiners. 0 selects 256 KiB.
+	KeyChunkBytes int
 }
 
 // DefaultOptions returns production-leaning defaults.
 func DefaultOptions() Options {
 	return Options{
-		BatchTimeout: 30 * time.Second,
-		MaxRetries:   2,
-		BackoffBase:  5 * time.Millisecond,
-		BackoffMax:   250 * time.Millisecond,
-		JitterSeed:   0xC1A05,
-		LocalWorkers: 0,
+		BatchTimeout:    30 * time.Second,
+		MaxRetries:      2,
+		BackoffBase:     5 * time.Millisecond,
+		BackoffMax:      250 * time.Millisecond,
+		JitterSeed:      0xC1A05,
+		LocalWorkers:    0,
+		ProbeInterval:   0,
+		ProbeMisses:     3,
+		HedgeAfter:      0,
+		HedgeMultiplier: 4,
+		KeyChunkBytes:   256 << 10,
 	}
 }
 
@@ -63,6 +99,18 @@ func (o Options) withDefaults() Options {
 	if o.BackoffMax < o.BackoffBase {
 		o.BackoffMax = o.BackoffBase
 	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbeInterval
+	}
+	if o.ProbeMisses <= 0 {
+		o.ProbeMisses = d.ProbeMisses
+	}
+	if o.HedgeMultiplier <= 0 {
+		o.HedgeMultiplier = d.HedgeMultiplier
+	}
+	if o.KeyChunkBytes <= 0 {
+		o.KeyChunkBytes = d.KeyChunkBytes
+	}
 	return o
 }
 
@@ -70,28 +118,35 @@ func (o Options) withDefaults() Options {
 type NodeStats struct {
 	Name       string
 	Dispatched int   // LWE indices sent to the node
-	Completed  int   // accumulators received back
+	Completed  int   // accumulators received back (claim winners)
 	Retries    int   // reconnect attempts
 	Failed     bool  // node permanently failed during this bootstrap
+	Left       bool  // node left gracefully (drained, not failed)
+	Joined     bool  // node joined mid-run through the membership
 	Err        error // the failure, wrapped with the node name
 }
 
 // Stats aggregates one distributed bootstrap: where every blind rotation
-// ran and how much work moved because of failures.
+// ran and how much work moved because of failures. Nodes holds pointers so
+// that entries appended for mid-run joiners never invalidate the NodeStats
+// a running worker already updates.
 type Stats struct {
-	Nodes      []NodeStats
-	Local      int // indices blind-rotated on the primary
-	Reassigned int // indices requeued after a failure or timeout
-	Total      int // total LWE indices
+	Nodes       []*NodeStats
+	Local       int // indices blind-rotated on the primary
+	Reassigned  int // indices requeued after a failure or timeout
+	Hedged      int // indices speculatively re-dispatched past the p99 threshold
+	HedgeWasted int // accumulators that lost the hedge race
+	Joined      int // nodes that joined mid-run
+	Total       int // total LWE indices
 }
 
 // NodeErrors joins the per-node failures (nil when every node stayed
 // healthy), naming each failed shard owner.
 func (s *Stats) NodeErrors() error {
 	var errs []error
-	for i := range s.Nodes {
-		if s.Nodes[i].Err != nil {
-			errs = append(errs, s.Nodes[i].Err)
+	for _, ns := range s.Nodes {
+		if ns.Err != nil {
+			errs = append(errs, ns.Err)
 		}
 	}
 	return errors.Join(errs...)
@@ -99,12 +154,24 @@ func (s *Stats) NodeErrors() error {
 
 // String renders a per-shard summary table.
 func (s *Stats) String() string {
-	out := fmt.Sprintf("bootstrap: %d rotations, %d local, %d reassigned\n", s.Total, s.Local, s.Reassigned)
-	for i := range s.Nodes {
-		ns := &s.Nodes[i]
+	out := fmt.Sprintf("bootstrap: %d rotations, %d local, %d reassigned", s.Total, s.Local, s.Reassigned)
+	if s.Hedged > 0 || s.HedgeWasted > 0 {
+		out += fmt.Sprintf(", %d hedged (%d wasted)", s.Hedged, s.HedgeWasted)
+	}
+	if s.Joined > 0 {
+		out += fmt.Sprintf(", %d joined", s.Joined)
+	}
+	out += "\n"
+	for _, ns := range s.Nodes {
 		state := "ok"
-		if ns.Failed {
+		switch {
+		case ns.Failed:
 			state = "failed"
+		case ns.Left:
+			state = "left"
+		}
+		if ns.Joined {
+			state += " (joined)"
 		}
 		out += fmt.Sprintf("  %-14s sent=%-5d done=%-5d retries=%-2d %s\n",
 			ns.Name, ns.Dispatched, ns.Completed, ns.Retries, state)
@@ -122,11 +189,13 @@ type workQueue struct {
 	tasks     [][]int
 	remaining int
 	aborted   bool
-	rec       obs.Recorder // queue-depth gauge; set before workers start
+	finished  bool          // doneCh closed (remaining hit 0 or abort)
+	doneCh    chan struct{} // closed when no work remains or the run aborts
+	rec       obs.Recorder  // queue-depth gauge; set before workers start
 }
 
 func newWorkQueue(total int) *workQueue {
-	q := &workQueue{remaining: total, rec: obs.Nop{}}
+	q := &workQueue{remaining: total, rec: obs.Nop{}, doneCh: make(chan struct{})}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -161,13 +230,72 @@ func (q *workQueue) pop() []int {
 	}
 }
 
+// popTimeout is pop with an idle bound: it returns (task, false) when work
+// arrives, (nil, true) once everything is complete or aborted, and
+// (nil, false) when d elapses first — the idle tick a node worker uses to
+// exchange health probes on an otherwise-quiet connection.
+func (q *workQueue) popTimeout(d time.Duration) ([]int, bool) {
+	deadline := time.Now().Add(d)
+	wake := time.AfterFunc(d, func() { q.cond.Broadcast() })
+	defer wake.Stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.aborted || q.remaining == 0 {
+			return nil, true
+		}
+		if len(q.tasks) > 0 {
+			t := q.tasks[0]
+			q.tasks = q.tasks[1:]
+			q.rec.Gauge(obs.GaugeQueueDepth, -int64(len(t)))
+			return t, false
+		}
+		if !time.Now().Before(deadline) {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popBounded non-blockingly pops the first queued task whose every index
+// needs at most maxDim key records — the prefix-dispatch draw a partially
+// key-warm joiner can serve mid-upload. Returns nil when no such task is
+// queued (or the run is complete/aborted).
+func (q *workQueue) popBounded(needDim []int, maxDim int) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.aborted || q.remaining == 0 {
+		return nil
+	}
+	for ti, t := range q.tasks {
+		ok := true
+		for _, idx := range t {
+			if needDim[idx] > maxDim {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		q.tasks = append(q.tasks[:ti], q.tasks[ti+1:]...)
+		q.rec.Gauge(obs.GaugeQueueDepth, -int64(len(t)))
+		return t
+	}
+	return nil
+}
+
 // done marks k indices complete.
 func (q *workQueue) done(k int) {
 	q.mu.Lock()
 	q.remaining -= k
-	fin := q.remaining <= 0
+	fin := q.remaining <= 0 && !q.finished
+	if fin {
+		q.finished = true
+	}
 	q.mu.Unlock()
 	if fin {
+		close(q.doneCh)
 		q.cond.Broadcast()
 	}
 }
@@ -176,7 +304,14 @@ func (q *workQueue) done(k int) {
 func (q *workQueue) abort() {
 	q.mu.Lock()
 	q.aborted = true
+	fin := !q.finished
+	if fin {
+		q.finished = true
+	}
 	q.mu.Unlock()
+	if fin {
+		close(q.doneCh)
+	}
 	q.cond.Broadcast()
 }
 
@@ -184,6 +319,18 @@ func (q *workQueue) isAborted() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.aborted
+}
+
+// drain discards any tasks still queued after completion (hedged duplicates
+// whose every index was already claimed elsewhere), balancing the
+// queue-depth gauge.
+func (q *workQueue) drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, t := range q.tasks {
+		q.rec.Gauge(obs.GaugeQueueDepth, -int64(len(t)))
+	}
+	q.tasks = nil
 }
 
 // splitmix is the deterministic jitter PRNG.
@@ -256,4 +403,39 @@ func closeConn(conn io.ReadWriter) {
 	if c, ok := conn.(io.Closer); ok {
 		_ = c.Close()
 	}
+}
+
+// latEstimator tracks one node's per-index completion latencies (dispatch
+// write to accumulator arrival) in a bounded ring and derives the p99
+// estimate the hedge monitor compares in-flight ages against.
+type latEstimator struct {
+	mu      sync.Mutex
+	samples [256]time.Duration
+	n       int // valid samples (≤ len(samples))
+	next    int // ring write cursor
+}
+
+func (e *latEstimator) add(d time.Duration) {
+	e.mu.Lock()
+	e.samples[e.next] = d
+	e.next = (e.next + 1) % len(e.samples)
+	if e.n < len(e.samples) {
+		e.n++
+	}
+	e.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile latency, or 0 with fewer than 8 samples
+// (not enough signal to hedge on).
+func (e *latEstimator) p99() time.Duration {
+	e.mu.Lock()
+	n := e.n
+	buf := make([]time.Duration, n)
+	copy(buf, e.samples[:n])
+	e.mu.Unlock()
+	if n < 8 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(n*99)/100]
 }

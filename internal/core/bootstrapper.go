@@ -49,6 +49,12 @@ type Config struct {
 	Tile int
 	// Seed drives deterministic key generation.
 	Seed uint64
+	// ColdStart skips blind-rotate key generation: the node starts key-cold
+	// and receives its brk over the cluster's chunked key-streaming channel
+	// (SetBlindRotateKey). Everything else — secret keys, key-switching and
+	// packing keys, parameter digest — is generated as usual, so a cold node
+	// handshakes identically to a warm one.
+	ColdStart bool
 }
 
 // DefaultConfig mirrors the paper's parameter choices.
@@ -128,11 +134,15 @@ func NewBootstrapper(params *ckks.Parameters, kg *rlwe.KeyGenerator, sk *rlwe.Se
 	if cfg.NT == 0 {
 		// Exact mode: blind-rotate directly under the RLWE secret.
 		bt.lweSK = &rlwe.LWESecretKey{Signed: sk.Signed}
-		bt.brk = tfhe.GenBlindRotateKey(kg, bt.lweSK, sk)
+		if !cfg.ColdStart {
+			bt.brk = tfhe.GenBlindRotateKey(kg, bt.lweSK, sk)
+		}
 	} else {
 		sampler := ring.NewSampler(cfg.Seed)
 		bt.lweSK = kg.GenLWESecretKey(cfg.NT, rlwe.SecretBinary)
-		bt.brk = tfhe.GenBlindRotateKey(kg, bt.lweSK, sk)
+		if !cfg.ColdStart {
+			bt.brk = tfhe.GenBlindRotateKey(kg, bt.lweSK, sk)
+		}
 		kskMod := twoN << cfg.ScaleUpBits
 		bt.lweKSK = rlwe.GenLWEKeySwitchKey(sk.Signed, bt.lweSK.Signed, kskMod, cfg.LWELogBase, sampler, params.Sigma)
 	}
@@ -281,6 +291,38 @@ func (bt *Bootstrapper) NewAccumulator() *rlwe.Ciphertext {
 // state.
 func (bt *Bootstrapper) BlindRotateOneInto(out *rlwe.Ciphertext, lwe *rlwe.LWECiphertext, sc *tfhe.Scratch) {
 	bt.tfheEv.BlindRotateInto(out, lwe, bt.lut, bt.brk, sc)
+}
+
+// HasBlindRotateKey reports whether the bootstrapper holds a blind-rotate
+// key (generated locally or installed via SetBlindRotateKey). A ColdStart
+// node serves no rotations until one is installed.
+func (bt *Bootstrapper) HasBlindRotateKey() bool { return bt.brk != nil }
+
+// BlindRotateKey returns the node's blind-rotate key (nil on a cold node).
+// The cluster's key-streaming sender serializes it for distribution; the key
+// is public material ("brk public keys can be computed offline", §II-B), so
+// exposing it leaks no secret.
+func (bt *Bootstrapper) BlindRotateKey() *tfhe.BlindRotateKey { return bt.brk }
+
+// SetBlindRotateKey installs a received blind-rotate key. The key's
+// dimension must match the LWE dimension the bootstrapper extracts to (N in
+// exact mode, n_t otherwise). A partially warm key — full-length slices
+// with nil entries past the warm prefix — is accepted; callers gate
+// rotations on the indices they actually hold.
+func (bt *Bootstrapper) SetBlindRotateKey(k *tfhe.BlindRotateKey) error {
+	dim := bt.Cfg.NT
+	if dim == 0 {
+		dim = bt.Params.N()
+	}
+	if k == nil || k.NumKeys() != dim {
+		got := 0
+		if k != nil {
+			got = k.NumKeys()
+		}
+		return fmt.Errorf("core: blind-rotate key covers %d indices, want %d", got, dim)
+	}
+	bt.brk = k
+	return nil
 }
 
 // TileSize returns the key-major tile size of the batched blind-rotate

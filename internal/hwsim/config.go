@@ -91,6 +91,18 @@ func (p ParamSet) BRKKeyBytes() int64 {
 // paper's 1.76 GB.
 func (p ParamSet) BRKTotalBytes() int64 { return int64(p.NT) * p.BRKKeyBytes() }
 
+// BRKWireBlobBytes is the size of the serialized blind-rotate key blob the
+// cluster streams to a cold elastic joiner: a 24-byte blob header plus, per
+// LWE key index, one record holding the b=0 and b=1 RGSW ciphertexts. Each
+// record carries twice BRKKeyBytes of coefficient data (the paper's per-key
+// figure counts one (h+1)d × (h+1) matrix; the wire form ships both gadgets
+// of each RGSW) plus four 32-byte gadget headers. The software serializer's
+// tfhe.BRKBlobBytes must agree exactly for a mirrored parameter set —
+// locked by TestBRKWireBlobMatchesSerializer.
+func (p ParamSet) BRKWireBlobBytes() int64 {
+	return 24 + int64(p.NT)*(2*p.BRKKeyBytes()+128)
+}
+
 // KeyTraffic returns the BRK bytes one node pulls from memory to
 // blind-rotate a batch of ciphertexts under the two software schedules:
 // ciphertext-major (the full key set streamed once per ciphertext — the

@@ -1,0 +1,65 @@
+package hwsim
+
+import (
+	"bytes"
+	"testing"
+
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+// TestBRKWireBlobMatchesSerializer cross-checks the model's key-streaming
+// traffic formula against the real serializer: BRKWireBlobBytes for a
+// ParamSet mirroring a software parameter set must equal both
+// tfhe.BRKBlobBytes (the arithmetic bound the cluster's chunked upload
+// validates offers against) and the byte length an actual serialized
+// blind-rotate key produces. This is the wire analog of
+// TestKeyReuseMatchesSoftwareCounters: if the serializer format drifts, the
+// model's cold-join traffic predictions drift with it, and this test pins
+// the two together.
+func TestBRKWireBlobMatchesSerializer(t *testing.T) {
+	const (
+		logN   = 6
+		limbs  = 2
+		aux    = 2
+		dnum   = 2
+		lweDim = 12
+	)
+	q := ring.GenerateNTTPrimes(40, logN, limbs)
+	up := ring.GenerateNTTPrimesUp(40, logN, aux)
+	params := rlwe.MustParameters(logN, q, up, ring.DefaultSigma, dnum)
+
+	// The mirrored model ParamSet: h=1 ternary-style RGSW rows, d=dnum
+	// gadget digits, 64-bit storage words — the same storage convention
+	// BRKKeyBytes documents.
+	ps := ParamSet{LogN: logN, Limbs: limbs, LimbBits: 40, AuxLimbs: aux, NT: lweDim, D: dnum, H: 1}
+
+	if got, want := tfhe.BRKBlobBytes(params, lweDim), int(ps.BRKWireBlobBytes()); got != want {
+		t.Fatalf("tfhe.BRKBlobBytes = %d, model BRKWireBlobBytes = %d", got, want)
+	}
+	if got, want := tfhe.BRKRecordBytes(params), int(2*ps.BRKKeyBytes()+128); got != want {
+		t.Fatalf("tfhe.BRKRecordBytes = %d, model per-record bytes = %d", got, want)
+	}
+
+	// And against a real key, not just the arithmetic.
+	kg := rlwe.NewKeyGenerator(params, 7)
+	rsk := kg.GenSecretKey(rlwe.SecretTernary)
+	lweSK := kg.GenLWESecretKey(lweDim, rlwe.SecretBinary)
+	brk := tfhe.GenBlindRotateKey(kg, lweSK, rsk)
+	var buf bytes.Buffer
+	if _, err := brk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), int(ps.BRKWireBlobBytes()); got != want {
+		t.Fatalf("serialized BRK is %d bytes, model predicts %d", got, want)
+	}
+
+	// Paper-scale sanity: the full blob is BRKTotalBytes plus bounded framing
+	// overhead (headers only — under 0.01% at n_t=500).
+	pp := PaperParams()
+	overhead := pp.BRKWireBlobBytes() - 2*pp.BRKTotalBytes()
+	if overhead != 24+int64(pp.NT)*128 {
+		t.Fatalf("paper-scale framing overhead %d bytes, want headers only", overhead)
+	}
+}

@@ -113,14 +113,40 @@ const (
 	// the batched blind-rotate engine (the unit shard-lane BlindRotate spans
 	// are recorded at).
 	CounterBlindRotateTile
+	// CounterProbes counts health probes answered by the peer in time.
+	CounterProbes
+	// CounterProbeMisses counts health probes that timed out or failed; K
+	// consecutive misses drain the node from the membership.
+	CounterProbeMisses
+	// CounterHedges counts speculative re-dispatches issued because a shard's
+	// latency exceeded the per-node p99 estimate.
+	CounterHedges
+	// CounterHedgeWasted counts accumulators that lost the hedge race: work
+	// completed by a node whose result arrived after another copy had already
+	// been claimed.
+	CounterHedgeWasted
+	// CounterKeyChunks counts unique blind-rotate key chunks accepted and
+	// stored by a receiving node. A resumed upload re-counts nothing: the
+	// counter equals ceil(blob/chunk) after any number of kill/resume cycles.
+	CounterKeyChunks
+	// CounterKeyChunkBytes counts the unique key payload bytes behind
+	// CounterKeyChunks — the receiver-side measure the hwsim key-traffic
+	// cross-check compares against BRK blob size.
+	CounterKeyChunkBytes
+	// CounterKeyChunkResent counts sender-side key chunk payload bytes
+	// re-sent across resume cycles (overlap between what the sender pushed
+	// and what the receiver had already acked).
+	CounterKeyChunkResent
 
-	NumCounters = int(CounterBlindRotateTile) + 1
+	NumCounters = int(CounterKeyChunkResent) + 1
 )
 
 var counterNames = [NumCounters]string{
 	"ntt_limb_transforms", "external_products", "key_switches",
 	"blind_rotates", "merges", "bytes_framed", "bytes_retried",
 	"brk_bytes_streamed", "blind_rotate_tiles",
+	"health_probes", "probe_misses", "hedged_dispatches", "hedge_wasted",
+	"key_chunks", "key_chunk_bytes", "key_chunk_resent_bytes",
 }
 
 func (c Counter) String() string {
@@ -140,11 +166,14 @@ const (
 	// GaugeQueueDepth is the number of LWE indices sitting in the cluster
 	// work queue awaiting a worker.
 	GaugeQueueDepth
+	// GaugeClusterMembers is the number of nodes currently active in the
+	// elastic membership (joined and not yet drained/left/dead).
+	GaugeClusterMembers
 
-	NumGauges = int(GaugeQueueDepth) + 1
+	NumGauges = int(GaugeClusterMembers) + 1
 )
 
-var gaugeNames = [NumGauges]string{"in_flight_shards", "queue_depth"}
+var gaugeNames = [NumGauges]string{"in_flight_shards", "queue_depth", "cluster_members"}
 
 func (g Gauge) String() string {
 	if int(g) < NumGauges {

@@ -1,0 +1,118 @@
+package tfhe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"heap/internal/rlwe"
+)
+
+// Blind-rotate key serialization — the unit of the cluster's chunked key
+// distribution channel. The layout is strictly fixed-size for a given
+// parameter set: a 24-byte header followed by NumKeys records, each the
+// Plus and Minus RGSW ciphertexts of one LWE secret coefficient. Fixed
+// records let a streaming receiver install complete key indices
+// incrementally (becoming key-warm one prefix at a time) and let a resumed
+// upload compute exactly which byte offset to continue from.
+
+const magicBRK = 0x4845_4252 // "HEBR"
+
+// brkHeaderSize is the serialized header: magic, key count, binary flag
+// (all uint64, little-endian).
+const brkHeaderSize = 24
+
+// BRKRecordBytes returns the exact serialized size of one key index's
+// record (Plus + Minus RGSW, four gadget ciphertexts with their headers)
+// for the parameter set.
+func BRKRecordBytes(p *rlwe.Parameters) int {
+	rows := p.DigitsAtLevel(p.MaxLevel())
+	limbs := p.MaxLevel() + len(p.P)
+	gadget := 32 + rows*2*limbs*p.N()*8
+	return 4 * gadget
+}
+
+// BRKBlobBytes returns the full serialized size of a blind-rotate key with
+// n key indices under the parameter set.
+func BRKBlobBytes(p *rlwe.Parameters, n int) int {
+	return brkHeaderSize + n*BRKRecordBytes(p)
+}
+
+// WriteTo serializes the key: header, then one fixed-size record per index.
+func (k *BlindRotateKey) WriteTo(w io.Writer) (int64, error) {
+	var bin uint64
+	if k.Binary {
+		bin = 1
+	}
+	hdr := []uint64{magicBRK, uint64(len(k.Plus)), bin}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return 0, err
+	}
+	n := int64(brkHeaderSize)
+	for i := range k.Plus {
+		m, err := k.Plus[i].WriteTo(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+		m, err = k.Minus[i].WriteTo(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadBRKHeader reads and validates the blob header, returning the key
+// count and binary flag. It is the entry point of the streaming receiver,
+// which then calls ReadBRKRecord once per index.
+func ReadBRKHeader(r io.Reader) (numKeys int, isBinary bool, err error) {
+	hdr := make([]uint64, 3)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return 0, false, err
+	}
+	if hdr[0] != magicBRK {
+		return 0, false, fmt.Errorf("tfhe: bad blind-rotate key magic %x", hdr[0])
+	}
+	if hdr[1] == 0 || hdr[1] > 1<<20 {
+		return 0, false, fmt.Errorf("tfhe: blind-rotate key count %d out of range", hdr[1])
+	}
+	if hdr[2] > 1 {
+		return 0, false, fmt.Errorf("tfhe: blind-rotate key binary flag %d", hdr[2])
+	}
+	return int(hdr[1]), hdr[2] == 1, nil
+}
+
+// ReadBRKRecord deserializes one key index's Plus and Minus RGSW pair.
+func ReadBRKRecord(r io.Reader, p *rlwe.Parameters) (plus, minus *rlwe.RGSWCiphertext, err error) {
+	plus, err = rlwe.ReadRGSWCiphertext(r, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	minus, err = rlwe.ReadRGSWCiphertext(r, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plus, minus, nil
+}
+
+// ReadBlindRotateKey deserializes a complete key.
+func ReadBlindRotateKey(r io.Reader, p *rlwe.Parameters) (*BlindRotateKey, error) {
+	n, bin, err := ReadBRKHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	k := &BlindRotateKey{
+		Plus:   make([]*rlwe.RGSWCiphertext, n),
+		Minus:  make([]*rlwe.RGSWCiphertext, n),
+		Binary: bin,
+	}
+	for i := 0; i < n; i++ {
+		k.Plus[i], k.Minus[i], err = ReadBRKRecord(r, p)
+		if err != nil {
+			return nil, fmt.Errorf("tfhe: blind-rotate key record %d: %w", i, err)
+		}
+	}
+	return k, nil
+}
