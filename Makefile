@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft
+.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft serve-smoke
 
 build:
 	$(GO) build ./...
@@ -50,9 +50,19 @@ bench-smoke:
 benchdiff:
 	$(GO) run ./cmd/heapbench -benchjson /tmp/BENCH_blindrotate.json -brcount 32 -brruns 2
 	$(GO) run ./cmd/benchdiff BENCH_blindrotate.json /tmp/BENCH_blindrotate.json
+	$(GO) run ./cmd/heapbench -benchmode serve -benchjson /tmp/BENCH_service.json
+	$(GO) run ./cmd/benchdiff -metric p99_ms -max-regress 75 BENCH_service.json /tmp/BENCH_service.json
 
 benchdiff-soft:
 	@$(MAKE) benchdiff || echo "WARNING: benchdiff regression vs committed baseline (soft gate; not failing check)"
+
+# Service-layer smoke: build the daemon, then run the in-process acceptance
+# test under the race detector — two tenants on two connections each, with
+# same-key coalescing asserted via the jobs_coalesced counter and bit-exact
+# results against local rotations.
+serve-smoke:
+	$(GO) build ./cmd/heapd
+	$(GO) test -race -count=1 -run 'TestServiceCoalescesAcrossConnections|TestServiceAdmissionIsolatesTenants' ./internal/serve/
 
 # Per-package statement-coverage gate over the packages that carry the
 # correctness burden. Floors sit ~2 points under measured head (core 90.8%,
@@ -74,9 +84,10 @@ cover:
 # detector (the cluster chaos tests plus the concurrent-automorphism and
 # shared-key-switcher tests are the concurrency exercise), survive the
 # fault-injection suite, run every fuzz seed corpus, keep the hot kernels
-# allocation-free, hold the coverage floors, and hold the committed
-# blind-rotate trajectory (soft: warns on regression).
-check: build vet race chaos fuzz-smoke bench-smoke cover benchdiff-soft
+# allocation-free, prove the serving layer coalesces correctly, hold the
+# coverage floors, and hold the committed blind-rotate and service
+# trajectories (soft: warns on regression).
+check: build vet race chaos fuzz-smoke bench-smoke serve-smoke cover benchdiff-soft
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.

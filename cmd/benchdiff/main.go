@@ -51,8 +51,17 @@ func run(oldPath, newPath, metric string, maxRegress float64) error {
 	for _, key := range []string{"logN", "q_limbs", "tile", "n_t"} {
 		ov, oOK := number(oldRec, key)
 		nv, nOK := number(newRec, key)
-		if oOK && nOK && ov != nv {
+		switch {
+		case oOK && nOK && ov != nv:
 			return fmt.Errorf("benchdiff: %s differs (%v vs %v); the records are not comparable", key, ov, nv)
+		case oOK && !nOK:
+			// One-sided context is as incomparable as mismatched context: a
+			// record that dropped (or never had) the key was produced by a
+			// different benchmark shape, and silently skipping the check here
+			// let e.g. a repack record gate a blind-rotate baseline.
+			return fmt.Errorf("benchdiff: %s has context key %q (%v) but %s lacks it; the records are not comparable", oldPath, key, ov, newPath)
+		case nOK && !oOK:
+			return fmt.Errorf("benchdiff: %s has context key %q (%v) but %s lacks it; the records are not comparable", newPath, key, nv, oldPath)
 		}
 	}
 	nv, ok := number(newRec, metric)

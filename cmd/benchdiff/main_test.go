@@ -54,3 +54,55 @@ func TestRunContextMismatch(t *testing.T) {
 		t.Fatalf("context mismatch must error, got %v", err)
 	}
 }
+
+// TestRunContextKeyOneSided locks the fix for the silent skip: the old check
+// was `oOK && nOK && ov != nv`, so a context key carried by exactly one
+// record — say a repack record gating a blind-rotate baseline — was never
+// compared and the diff proceeded as if the records were comparable. Every
+// context key is exercised missing from each side.
+func TestRunContextKeyOneSided(t *testing.T) {
+	full := `{"logN": 13, "q_limbs": 7, "tile": 32, "n_t": 500, "batch_us_per_rot": 100}`
+	without := map[string]string{
+		"logN":    `{"q_limbs": 7, "tile": 32, "n_t": 500, "batch_us_per_rot": 100}`,
+		"q_limbs": `{"logN": 13, "tile": 32, "n_t": 500, "batch_us_per_rot": 100}`,
+		"tile":    `{"logN": 13, "q_limbs": 7, "n_t": 500, "batch_us_per_rot": 100}`,
+		"n_t":     `{"logN": 13, "q_limbs": 7, "tile": 32, "batch_us_per_rot": 100}`,
+	}
+	for key, partial := range without {
+		for _, missing := range []string{"old", "new"} {
+			t.Run(key+"_missing_in_"+missing, func(t *testing.T) {
+				oldBody, newBody := full, partial
+				if missing == "old" {
+					oldBody, newBody = partial, full
+				}
+				oldP := writeRec(t, "old.json", oldBody)
+				newP := writeRec(t, "new.json", newBody)
+				err := run(oldP, newP, "batch_us_per_rot", 10)
+				if err == nil {
+					t.Fatalf("context key %q present on one side only must error", key)
+				}
+				if !strings.Contains(err.Error(), `"`+key+`"`) {
+					t.Fatalf("error must name the key %q: %v", key, err)
+				}
+				lackingPath := newP
+				if missing == "old" {
+					lackingPath = oldP
+				}
+				if !strings.Contains(err.Error(), lackingPath+" lacks it") {
+					t.Fatalf("error must name the side lacking the key (%s): %v", lackingPath, err)
+				}
+			})
+		}
+	}
+}
+
+// TestRunContextKeyAbsentBothSides keeps the repack records working: neither
+// BENCH_repack baseline carries tile/n_t, and both-missing stays comparable.
+func TestRunContextKeyAbsentBothSides(t *testing.T) {
+	rec := `{"logN": 13, "q_limbs": 7, "finish_parallel_ms": 50}`
+	oldP := writeRec(t, "old.json", rec)
+	newP := writeRec(t, "new.json", rec)
+	if err := run(oldP, newP, "finish_parallel_ms", 10); err != nil {
+		t.Fatalf("context keys absent from both records must stay comparable: %v", err)
+	}
+}

@@ -72,7 +72,14 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep bootstrap latency over FPGA counts")
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
 	churn := flag.Bool("churn", false, "with -cluster: elastic membership churn demo (join/leave/kill mid-key-upload/hedge)")
-	benchJSON := flag.String("benchjson", "", "benchmark at the paper ring and write JSON to this file (basename BENCH_blindrotate* selects the blind-rotate mode, anything else the repack/Finish tail)")
+	benchJSON := flag.String("benchjson", "", "benchmark and write JSON to this file (mode from -benchmode, falling back to the output basename)")
+	benchMode := flag.String("benchmode", "", "benchjson mode: repack | blindrotate | serve (empty = infer from the output basename: BENCH_blindrotate* → blindrotate, BENCH_service* → serve, else repack)")
+	serveFlag := flag.Bool("serve", false, "with -benchjson: shorthand for -benchmode serve (service-level load driver)")
+	svcTenants := flag.Int("svctenants", 2, "serve mode: tenants (distinct keys)")
+	svcConns := flag.Int("svcconns", 2, "serve mode: concurrent connections per tenant")
+	svcJobs := flag.Int("svcjobs", 8, "serve mode: jobs per connection")
+	svcBatch := flag.Int("svcbatch", 16, "serve mode: rotations per job")
+	svcWindow := flag.Duration("svcwindow", 20*time.Millisecond, "serve mode: coalescing window")
 	brCount := flag.Int("brcount", 256, "blind-rotate mode: batch size n_br")
 	brTile := flag.Int("brtile", tfhe.DefaultTile, "blind-rotate mode: key-major tile size")
 	brWorkers := flag.Int("brworkers", 1, "blind-rotate mode: batch workers (1 isolates the cache effect; >1 adds core scaling)")
@@ -113,11 +120,38 @@ func main() {
 
 	switch {
 	case *benchJSON != "":
+		// Mode selection: explicit flag wins; otherwise fall back to the
+		// output basename. The old basename-only dispatch silently ran the
+		// repack benchmark for any path not spelled BENCH_blindrotate*, so
+		// the selected mode (and what selected it) is now printed up front.
+		mode := *benchMode
+		if *serveFlag && mode == "" {
+			mode = "serve"
+		}
+		selectedBy := "-benchmode"
+		if mode == "" {
+			selectedBy = "output basename"
+			base := filepath.Base(*benchJSON)
+			switch {
+			case strings.HasPrefix(base, "BENCH_blindrotate"):
+				mode = "blindrotate"
+			case strings.HasPrefix(base, "BENCH_service"):
+				mode = "serve"
+			default:
+				mode = "repack"
+			}
+		}
+		fmt.Printf("benchjson mode: %s (selected by %s)\n", mode, selectedBy)
 		var err error
-		if strings.HasPrefix(filepath.Base(*benchJSON), "BENCH_blindrotate") {
+		switch mode {
+		case "blindrotate":
 			err = runBenchBlindRotate(*benchJSON, *brCount, *brTile, *brWorkers, *brNT, *brRuns)
-		} else {
+		case "serve":
+			err = runBenchServe(*benchJSON, *svcTenants, *svcConns, *svcJobs, *svcBatch, *svcWindow)
+		case "repack":
 			err = runBenchJSON(*benchJSON)
+		default:
+			err = fmt.Errorf("unknown -benchmode %q (repack|blindrotate|serve)", mode)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"heap/internal/ckks"
+	"heap/internal/cluster"
+	"heap/internal/core"
+	"heap/internal/obs"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/serve"
+)
+
+// svcBenchResult is the JSON record runBenchServe writes: the first
+// service-level numbers — job latency percentiles and throughput through a
+// full in-process heapd stack (frame protocol over pipes, registry, admission,
+// coalescer, key-major executor) — plus the coalescing counters that prove
+// cross-connection batching actually happened.
+type svcBenchResult struct {
+	LogN        int     `json:"logN"`
+	Limbs       int     `json:"q_limbs"`
+	NT          int     `json:"n_t"`
+	Tile        int     `json:"tile"`
+	Tenants     int     `json:"tenants"`
+	Conns       int     `json:"conns_per_tenant"`
+	JobsPerConn int     `json:"jobs_per_conn"`
+	RotPerJob   int     `json:"rot_per_job"`
+	WindowMs    float64 `json:"window_ms"`
+	Cores       int     `json:"cores"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	RotPerSec   float64 `json:"rot_per_sec"`
+	Coalesced   int64   `json:"coalesced_jobs"`
+	Batches     int64   `json:"serve_batches"`
+	BRKBytes    int64   `json:"brk_bytes_streamed"`
+}
+
+// benchServeNode builds one party at the small ring the cluster tests use
+// (N=64, three 30-bit limbs): cheap enough for a CI gate while still running
+// the real kernels end to end.
+func benchServeNode(seed uint64, cold bool) (*core.Bootstrapper, error) {
+	logN := 6
+	q := ring.GenerateNTTPrimes(30, logN, 3)
+	p := ring.GenerateNTTPrimesUp(31, logN, 2)
+	params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<28), 1<<(logN-1))
+	kg := rlwe.NewKeyGenerator(params.Parameters, seed)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cfg := core.DefaultConfig()
+	cfg.NT = 0
+	cfg.Workers = 1
+	cfg.ColdStart = cold
+	return core.NewBootstrapper(params, kg, sk, cfg)
+}
+
+// runBenchServe drives an in-process bootstrap service: a key-cold server,
+// `tenants` tenants each holding their own blind-rotate key, `conns`
+// concurrent connections per tenant, `jobs` sequential jobs per connection of
+// `batch` rotations each. Latency is measured per job at the client;
+// throughput over the whole run.
+func runBenchServe(path string, tenants, conns, jobs, batch int, window time.Duration) error {
+	if tenants <= 0 || conns <= 0 || jobs <= 0 || batch <= 0 {
+		return fmt.Errorf("heapbench: -svctenants/-svcconns/-svcjobs/-svcbatch must be positive")
+	}
+	boot, err := benchServeNode(200, true)
+	if err != nil {
+		return err
+	}
+	const tile = 8
+	srv := serve.NewServer(boot, serve.Config{Window: window, Executors: 1, Tile: tile, Workers: 1})
+	l := cluster.NewPipeListener()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(l)
+	}()
+
+	dim := cluster.LWEDim(boot)
+	twoN := uint64(2 * boot.Params.N())
+	fmt.Printf("service bench: %d tenant(s) x %d conn(s) x %d job(s) x %d rot (N=%d, window %v)\n",
+		tenants, conns, jobs, batch, boot.Params.N(), window)
+
+	clients := make([][]*serve.Client, tenants)
+	lwes := make([][]*rlwe.LWECiphertext, tenants)
+	for t := 0; t < tenants; t++ {
+		tboot, err := benchServeNode(300+uint64(t), false)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("tenant-%d", t)
+		clients[t] = make([]*serve.Client, conns)
+		for c := 0; c < conns; c++ {
+			conn, err := l.Dial()
+			if err != nil {
+				return err
+			}
+			cl, err := serve.NewClient(conn, tboot, name, nil)
+			if err != nil {
+				return err
+			}
+			clients[t][c] = cl
+		}
+		if err := clients[t][0].UploadKey(0, 0); err != nil {
+			return fmt.Errorf("heapbench: %s key upload: %w", name, err)
+		}
+		// Dense synthetic LWEs, seeded per tenant: the rotations are real
+		// work under the tenant's real key; only the plaintext is noise.
+		s := ring.NewSampler(400 + uint64(t))
+		lwes[t] = make([]*rlwe.LWECiphertext, batch)
+		for j := range lwes[t] {
+			lwe := &rlwe.LWECiphertext{A: make([]uint64, dim), Q: twoN}
+			for i := range lwe.A {
+				lwe.A[i] = 1 + s.UniformMod(twoN-1)
+			}
+			lwe.B = s.UniformMod(twoN)
+			lwes[t][j] = lwe
+		}
+		// Warm the registry pin and executor path before timing.
+		if _, err := clients[t][0].Rotate(lwes[t], 0); err != nil {
+			return fmt.Errorf("heapbench: %s warm-up job: %w", name, err)
+		}
+	}
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		lats  []time.Duration
+		first error
+	)
+	start := time.Now()
+	for t := 0; t < tenants; t++ {
+		for c := 0; c < conns; c++ {
+			wg.Add(1)
+			go func(cl *serve.Client, batch []*rlwe.LWECiphertext) {
+				defer wg.Done()
+				local := make([]time.Duration, 0, jobs)
+				for j := 0; j < jobs; j++ {
+					t0 := time.Now()
+					if _, err := cl.Rotate(batch, 0); err != nil {
+						mu.Lock()
+						if first == nil {
+							first = err
+						}
+						mu.Unlock()
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(clients[t][c], lwes[t])
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if first != nil {
+		return first
+	}
+
+	for t := range clients {
+		for _, cl := range clients[t] {
+			_ = cl.Close()
+		}
+	}
+	_ = l.Close()
+	<-served
+	srv.Close()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	n := len(lats)
+	met := srv.Metrics()
+	res := svcBenchResult{
+		LogN: 6, Limbs: 3, NT: dim, Tile: tile,
+		Tenants: tenants, Conns: conns, JobsPerConn: jobs, RotPerJob: batch,
+		WindowMs:   float64(window.Microseconds()) / 1e3,
+		Cores:      runtime.NumCPU(),
+		P50Ms:      float64(lats[n/2].Microseconds()) / 1e3,
+		P99Ms:      float64(lats[(n*99+99)/100-1].Microseconds()) / 1e3,
+		JobsPerSec: float64(n) / wall.Seconds(),
+		RotPerSec:  float64(n*batch) / wall.Seconds(),
+		Coalesced:  int64(met.Counter(obs.CounterJobsCoalesced)),
+		Batches:    int64(met.Counter(obs.CounterServeBatches)),
+		BRKBytes:   int64(met.Counter(obs.CounterBRKBytesStreamed)),
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d jobs in %.1f ms: p50 %.2f ms, p99 %.2f ms, %.0f jobs/s (%.0f rot/s), %d coalesced across %d batches -> %s\n",
+		n, float64(wall.Microseconds())/1e3, res.P50Ms, res.P99Ms, res.JobsPerSec, res.RotPerSec, res.Coalesced, res.Batches, path)
+	return nil
+}

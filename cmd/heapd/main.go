@@ -1,0 +1,118 @@
+// Command heapd is the bootstrap-as-a-service daemon: it listens for tenant
+// connections speaking the cluster's v3 frame protocol, resolves each
+// tenant's blind-rotate key from a concurrent-safe LRU registry (keys arrive
+// over the resumable chunked key-stream upload), and coalesces concurrent
+// same-tenant jobs into key-major batches so one BRK pass through cache
+// serves all of them.
+//
+//	heapd -addr 127.0.0.1:7901 -metrics 127.0.0.1:7902
+//
+// The daemon is key-cold by construction: it holds the public parameter set
+// and the params-only lookup table, never any tenant secret. Tenants run
+// Prepare/Finish locally and ship only the blind rotations (see
+// internal/serve and DESIGN.md "Serving layer").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"heap"
+	"heap/internal/ckks"
+	"heap/internal/cluster"
+	"heap/internal/core"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+	"heap/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7901", "frame-protocol listen address")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for the /metrics JSON snapshot (empty = disabled)")
+	scale := flag.String("scale", "test", "parameter scale: test (N=128, seconds) or paper (N=2^13, CPU heavy)")
+	window := flag.Duration("window", 10*time.Millisecond, "coalescing window: how long a tenant's first job waits for same-key company")
+	executors := flag.Int("executors", 1, "concurrent batch executors")
+	tile := flag.Int("tile", 0, "key-major tile size (0 = engine default)")
+	workers := flag.Int("workers", 0, "batch workers per executor (0 = bootstrapper default)")
+	rate := flag.Float64("rate", 0, "per-tenant admission rate in jobs/sec (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "per-tenant admission burst (0 = max(1, rate))")
+	queue := flag.Int("queue", 0, "server-wide queued-job cap, reject-on-full (0 = unbounded)")
+	maxKeyMB := flag.Int64("maxkeymb", 0, "registry key budget in MiB, LRU-evicted (0 = unbounded)")
+	flag.Parse()
+
+	boot, err := buildBootstrapper(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := serve.NewServer(boot, serve.Config{
+		MaxKeyBytes: *maxKeyMB << 20,
+		Admission:   serve.AdmissionConfig{QueueLimit: *queue, RatePerSec: *rate, Burst: *burst},
+		Window:      *window,
+		Executors:   *executors,
+		Tile:        *tile,
+		Workers:     *workers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "heapd: metrics listener:", err)
+			}
+		}()
+		fmt.Printf("heapd: metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("heapd: draining")
+		_ = ln.Close()
+	}()
+
+	fmt.Printf("heapd: serving %s-scale bootstraps on %s (window %v, executors %d)\n",
+		*scale, *addr, *window, *executors)
+	_ = srv.Serve(cluster.ListenerFrom(ln))
+	srv.Close()
+	fmt.Println("heapd: stopped")
+}
+
+// buildBootstrapper constructs the server-side engine: full parameter set,
+// params-only LUT and scratch pools, no blind-rotate key (ColdStart — tenant
+// keys live in the registry).
+func buildBootstrapper(scale string) (*core.Bootstrapper, error) {
+	var cfg heap.ContextConfig
+	switch scale {
+	case "test":
+		cfg = heap.TestContextConfig()
+	case "paper":
+		cfg = heap.PaperContextConfig()
+	default:
+		return nil, fmt.Errorf("heapd: unknown -scale %q (test|paper)", scale)
+	}
+	cfg.Bootstrap.ColdStart = true
+	q := ring.GenerateNTTPrimes(cfg.LimbBits, cfg.LogN, cfg.Limbs)
+	p := ring.GenerateNTTPrimesUp(cfg.LimbBits+1, cfg.LogN, cfg.PLimbs)
+	params, err := ckks.NewParameters(cfg.LogN, q, p, ring.DefaultSigma, cfg.Dnum,
+		float64(uint64(1)<<cfg.LogScale), cfg.Slots)
+	if err != nil {
+		return nil, err
+	}
+	kg := rlwe.NewKeyGenerator(params.Parameters, cfg.Seed)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	return core.NewBootstrapper(params, kg, sk, cfg.Bootstrap)
+}

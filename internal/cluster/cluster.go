@@ -1245,14 +1245,12 @@ func (p *Primary) dispatchBatch(conn io.ReadWriter, shard uint32, lane int, rese
 	rec := p.Boot.Recorder()
 	est := rs.estFor(ns)
 	disarm := armTimeout(conn, opts.BatchTimeout)
-	timedOut := false
-	defer func() {
-		if disarm() {
-			timedOut = true
-		}
-	}()
+	defer disarm()
+	// disarm is idempotent, so the error paths can consult it directly; the
+	// old code set a flag from the deferred call, which runs only after the
+	// return value is already built, so the timeout annotation was dead code.
 	wrap := func(err error) error {
-		if timedOut {
+		if disarm() {
 			return fmt.Errorf("cluster: batch %d timed out after %v: %w", shard, opts.BatchTimeout, err)
 		}
 		return err

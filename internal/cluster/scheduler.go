@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heap/internal/obs"
@@ -364,15 +365,22 @@ func backoff(o Options, attempt int, rng *splitmix) time.Duration {
 // armTimeout bounds one batch round-trip. It prefers SetDeadline (net.Conn,
 // net.Pipe, FaultConn); for plain ReadWriters that can at least be closed it
 // falls back to a watchdog that closes the conn when the timer fires. The
-// returned disarm func reports whether the watchdog fired.
+// returned disarm func is idempotent (safe to call from a defer and again
+// from an error-wrapping path) and reports whether the watchdog closed the
+// conn. Once any disarm call has returned false, the watchdog is guaranteed
+// never to close the conn afterwards: disarm publishes its intent before
+// stopping the timer and, when the timer already expired, waits for the
+// callback to finish so no Close can land after the caller has moved on to
+// reuse the conn.
 func armTimeout(conn io.ReadWriter, d time.Duration) (disarm func() bool) {
 	if d <= 0 {
 		return func() bool { return false }
 	}
 	if dl, ok := conn.(interface{ SetDeadline(time.Time) error }); ok {
 		_ = dl.SetDeadline(time.Now().Add(d))
+		var once sync.Once
 		return func() bool {
-			_ = dl.SetDeadline(time.Time{})
+			once.Do(func() { _ = dl.SetDeadline(time.Time{}) })
 			return false
 		}
 	}
@@ -380,20 +388,38 @@ func armTimeout(conn io.ReadWriter, d time.Duration) (disarm func() bool) {
 	if !ok {
 		return func() bool { return false }
 	}
-	fired := make(chan struct{})
+	var (
+		disarmed = make(chan struct{}) // closed by the first disarm call
+		finished = make(chan struct{}) // closed when the watchdog callback returns
+		closed   atomic.Bool           // did the watchdog actually Close the conn?
+		fired    atomic.Bool           // memoized disarm result
+		once     sync.Once
+	)
 	t := time.AfterFunc(d, func() {
-		close(fired)
+		defer close(finished)
+		select {
+		case <-disarmed:
+			// The round-trip completed first; the conn is live again and
+			// must not be closed out from under its next user.
+			return
+		default:
+		}
+		closed.Store(true)
 		_ = c.Close()
 	})
 	return func() bool {
-		if !t.Stop() {
-			select {
-			case <-fired:
-				return true
-			default:
+		once.Do(func() {
+			stopped := t.Stop()
+			close(disarmed)
+			if !stopped {
+				// The timer expired before Stop: the callback is running or
+				// queued. Wait it out so the caller observes the final state
+				// and no late Close races with conn reuse.
+				<-finished
+				fired.Store(closed.Load())
 			}
-		}
-		return false
+		})
+		return fired.Load()
 	}
 }
 
@@ -437,5 +463,9 @@ func (e *latEstimator) p99() time.Duration {
 		return 0
 	}
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	return buf[(n*99)/100]
+	// Nearest-rank percentile: the ceil(0.99·n)-th smallest sample,
+	// zero-indexed. The additive term rounds the rank up; plain (n*99)/100
+	// overshoots by one whenever 99·n is a multiple of 100 (n=100 → index
+	// 99, one past the nearest-rank 98).
+	return buf[(n*99+99)/100-1]
 }

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLatEstimatorP99 pins the nearest-rank percentile to exact indices at
+// the 8-sample arming boundary, at n=100 (where the old (n*99)/100 indexing
+// overshot by one whenever 99·n was a multiple of 100: n=100 picked the
+// maximum instead of the 99th of 100), and after the 256-slot ring wraps.
+func TestLatEstimatorP99(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	fill := func(count int) *latEstimator {
+		e := &latEstimator{}
+		for i := 0; i < count; i++ {
+			e.add(ms(i + 1))
+		}
+		return e
+	}
+
+	cases := []struct {
+		name string
+		adds int
+		want time.Duration
+	}{
+		// Below the arming threshold there is no signal to hedge on.
+		{"below_threshold_7", 7, 0},
+		// Boundary: exactly 8 samples arm the estimator. ceil(0.99*8)=8th
+		// smallest of 1..8 ms.
+		{"arming_boundary_8", 8, ms(8)},
+		// The case the old code got wrong: ceil(0.99*100)=99th smallest of
+		// 1..100 ms is 99ms; (100*99)/100 indexed sample 100.
+		{"exact_hundred", 100, ms(99)},
+		// ceil(0.99*200)=198th smallest of 1..200 ms.
+		{"two_hundred", 200, ms(198)},
+		// Ring wraparound: 264 adds keep the newest 256 samples, values
+		// 9..264 ms. ceil(0.99*256)=254th smallest → 9+253 = 262 ms.
+		{"ring_wraparound", 264, ms(262)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := fill(tc.adds).p99(); got != tc.want {
+				t.Fatalf("p99 after %d adds = %v, want %v", tc.adds, got, tc.want)
+			}
+		})
+	}
+}
+
+// rwcConn wraps one end of a net.Pipe exposing only Read/Write/Close, so
+// armTimeout cannot see SetDeadline and must take the watchdog-Close
+// fallback. Closes are counted to catch double-Close.
+type rwcConn struct {
+	inner  net.Conn
+	closes atomic.Int32
+}
+
+func (c *rwcConn) Read(p []byte) (int, error)  { return c.inner.Read(p) }
+func (c *rwcConn) Write(p []byte) (int, error) { return c.inner.Write(p) }
+func (c *rwcConn) Close() error {
+	c.closes.Add(1)
+	return c.inner.Close()
+}
+
+// TestArmTimeoutWatchdogDisarm locks the watchdog fallback's contract: a
+// disarm before the timer fires reports false and the conn is never closed —
+// not even by a callback already scheduled. The old code stopped the timer
+// but a callback that had already started could still Close after disarm
+// returned, killing the conn mid-use for the *next* round trip.
+func TestArmTimeoutWatchdogDisarm(t *testing.T) {
+	before := runtime.NumGoroutine()
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := &rwcConn{inner: a}
+
+	disarm := armTimeout(conn, time.Hour)
+	if disarm() {
+		t.Fatal("disarm before the deadline must report no timeout")
+	}
+	// The conn must stay usable after disarm: a write paired with a read on
+	// the far end succeeds only if nothing closed the pipe.
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 2)
+		_, err := io.ReadFull(b, buf)
+		done <- err
+	}()
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatalf("conn closed after disarm: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("far end read: %v", err)
+	}
+	if disarm() {
+		t.Fatal("disarm must be idempotent and stable")
+	}
+	if n := conn.closes.Load(); n != 0 {
+		t.Fatalf("watchdog closed a disarmed conn %d time(s)", n)
+	}
+	conn.Close()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestArmTimeoutWatchdogFires checks the fire path: the conn is closed
+// exactly once, disarm reports the timeout, and repeated disarm calls stay
+// stable without a second Close.
+func TestArmTimeoutWatchdogFires(t *testing.T) {
+	before := runtime.NumGoroutine()
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := &rwcConn{inner: a}
+
+	disarm := armTimeout(conn, time.Millisecond)
+	// A blocked read on the pipe unblocks with an error when the watchdog
+	// closes it — the same way a stuck secondary read is broken.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read should fail once the watchdog closes the conn")
+	}
+	if !disarm() {
+		t.Fatal("disarm after the watchdog fired must report the timeout")
+	}
+	if !disarm() {
+		t.Fatal("the fired verdict must be stable across repeated disarms")
+	}
+	if n := conn.closes.Load(); n != 1 {
+		t.Fatalf("watchdog closed the conn %d time(s), want exactly 1", n)
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestArmTimeoutWatchdogRace hammers the disarm-vs-fire race: whatever the
+// interleaving, the invariant is disarm()==true ⟺ exactly one Close, and
+// disarm()==false ⟹ zero Closes ever (checked after a settle delay so a
+// straggling callback would be caught).
+func TestArmTimeoutWatchdogRace(t *testing.T) {
+	before := runtime.NumGoroutine()
+	conns := make([]*rwcConn, 0, 200)
+	for i := 0; i < 200; i++ {
+		a, b := net.Pipe()
+		defer b.Close()
+		conn := &rwcConn{inner: a}
+		conns = append(conns, conn)
+		disarm := armTimeout(conn, time.Duration(1+i%5)*100*time.Microsecond)
+		if i%2 == 0 {
+			time.Sleep(time.Duration(i%7) * 50 * time.Microsecond)
+		}
+		timedOut := disarm()
+		if timedOut != disarm() {
+			t.Fatal("verdict flipped across disarm calls")
+		}
+		want := int32(0)
+		if timedOut {
+			want = 1
+		}
+		if got := conn.closes.Load(); got != want {
+			t.Fatalf("iteration %d: timedOut=%v but %d close(s)", i, timedOut, got)
+		}
+		if !timedOut {
+			// Remember for the settle check below: no late close may arrive.
+			continue
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // let any stray callback land
+	for i, conn := range conns {
+		if n := conn.closes.Load(); n > 1 {
+			t.Fatalf("conn %d closed %d times", i, n)
+		}
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// deadlineRecorder implements SetDeadline, so armTimeout must prefer the
+// deadline path and never Close.
+type deadlineRecorder struct {
+	mu    sync.Mutex
+	calls []time.Time
+}
+
+func (c *deadlineRecorder) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (c *deadlineRecorder) Write(p []byte) (int, error) { return len(p), nil }
+func (c *deadlineRecorder) Close() error                { panic("deadline path must never Close") }
+func (c *deadlineRecorder) SetDeadline(d time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls = append(c.calls, d)
+	return nil
+}
+
+func TestArmTimeoutPrefersDeadline(t *testing.T) {
+	conn := &deadlineRecorder{}
+	disarm := armTimeout(conn, time.Millisecond)
+	if disarm() {
+		t.Fatal("deadline path never reports a watchdog timeout")
+	}
+	disarm() // idempotent: no second clear
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if len(conn.calls) != 2 {
+		t.Fatalf("want arm+clear = 2 SetDeadline calls, got %d", len(conn.calls))
+	}
+	if conn.calls[0].IsZero() || !conn.calls[1].IsZero() {
+		t.Fatalf("want non-zero arm then zero clear, got %v", conn.calls)
+	}
+}
+
+func TestArmTimeoutZeroIsUnbounded(t *testing.T) {
+	a, _ := net.Pipe()
+	conn := &rwcConn{inner: a}
+	disarm := armTimeout(conn, 0)
+	time.Sleep(time.Millisecond)
+	if disarm() {
+		t.Fatal("zero timeout must never report a timeout")
+	}
+	if n := conn.closes.Load(); n != 0 {
+		t.Fatalf("zero timeout closed the conn %d time(s)", n)
+	}
+}

@@ -361,6 +361,35 @@ func (bt *Bootstrapper) BlindRotateBatch(accs []*rlwe.Ciphertext, lwes []*rlwe.L
 	return bt.tfheEv.BlindRotateBatchInto(accs, lwes, bt.lut, bt.brk, opts)
 }
 
+// BlindRotateBatchWithKey is BlindRotateBatch under an explicit blind-rotate
+// key instead of the installed one — the multi-tenant serving entry point:
+// the bootstrapper contributes the parameter set, the params-only lookup
+// table, and the scratch pools, while each request carries its tenant's key
+// resolved from a registry. The LUT depends only on the public parameters
+// (coef = q0·N⁻¹ mod Q) and a blind rotation is deterministic in
+// (lwe, lut, brk), so a ColdStart server computes accumulators bit-identical
+// to the tenant running the same rotation locally.
+func (bt *Bootstrapper) BlindRotateBatchWithKey(accs []*rlwe.Ciphertext, lwes []*rlwe.LWECiphertext, brk *tfhe.BlindRotateKey, opts tfhe.BatchOptions) error {
+	dim := bt.Cfg.NT
+	if dim == 0 {
+		dim = bt.Params.N()
+	}
+	if brk == nil || brk.NumKeys() != dim {
+		got := 0
+		if brk != nil {
+			got = brk.NumKeys()
+		}
+		return fmt.Errorf("core: blind-rotate key covers %d indices, want %d", got, dim)
+	}
+	if opts.Tile <= 0 {
+		opts.Tile = bt.TileSize()
+	}
+	if opts.NewAcc == nil {
+		opts.NewAcc = bt.NewAccumulator
+	}
+	return bt.tfheEv.BlindRotateBatchInto(accs, lwes, bt.lut, brk, opts)
+}
+
 // Missing returns the LWE indices whose accumulators have not been computed
 // yet (nil entries of accs). A prepared bootstrap is resumable: the blind
 // rotations are mutually independent, so after a partial distributed run —

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+func assertAccEqual(t *testing.T, idx int, got, want *rlwe.Ciphertext) {
+	t.Helper()
+	for i := range want.C0.Limbs {
+		for j := range want.C0.Limbs[i] {
+			if got.C0.Limbs[i][j] != want.C0.Limbs[i][j] || got.C1.Limbs[i][j] != want.C1.Limbs[i][j] {
+				t.Fatalf("accumulator %d differs at limb %d coeff %d", idx, i, j)
+			}
+		}
+	}
+}
+
+// TestBlindRotateBatchWithKeyMatchesLocal locks the multi-tenant serving
+// contract at the core layer: a ColdStart bootstrapper built from nothing
+// but the public parameter set computes, under a transplanted tenant
+// blind-rotate key, accumulators bit-identical to the tenant rotating
+// locally. The lookup table depends only on the parameters and a blind
+// rotation is deterministic in (lwe, lut, brk), so the server never needs
+// the tenant's secrets.
+func TestBlindRotateBatchWithKeyMatchesLocal(t *testing.T) {
+	params, cl, _, tenant := testSetup(t, 1)
+
+	v := testVector(params.Slots)
+	prep := tenant.PrepareSparse(cl.EncryptAtLevel(v, 1), 8)
+
+	// The tenant's local reference rotations, via both single-shot APIs.
+	want := make([]*rlwe.Ciphertext, len(prep.LWEs))
+	sc := tenant.NewRotateScratch()
+	for i, lwe := range prep.LWEs {
+		if i%2 == 0 {
+			want[i] = tenant.BlindRotateOne(lwe)
+		} else {
+			want[i] = tenant.NewAccumulator()
+			tenant.BlindRotateOneInto(want[i], lwe, sc)
+		}
+	}
+
+	// A key-cold server sharing only the public parameter set.
+	kg := rlwe.NewKeyGenerator(params.Parameters, 90)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cfg := DefaultConfig()
+	cfg.NT = tenant.Cfg.NT
+	cfg.Workers = 1
+	cfg.Tile = 4
+	cfg.ColdStart = true
+	srv, err := NewBootstrapper(params, kg, sk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.HasBlindRotateKey() {
+		t.Fatal("ColdStart server must boot key-cold")
+	}
+	if srv.TileSize() != 4 {
+		t.Fatalf("TileSize = %d, want the configured 4", srv.TileSize())
+	}
+
+	brk := tenant.BlindRotateKey()
+	if err := srv.BlindRotateBatchWithKey(nil, nil, nil, tfhe.BatchOptions{}); err == nil {
+		t.Fatal("nil key must be rejected")
+	}
+	if err := srv.BlindRotateBatchWithKey(nil, nil, &tfhe.BlindRotateKey{}, tfhe.BatchOptions{}); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+
+	accs := make([]*rlwe.Ciphertext, len(prep.LWEs))
+	if err := srv.BlindRotateBatchWithKey(accs, prep.LWEs, brk, tfhe.BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range accs {
+		assertAccEqual(t, i, accs[i], want[i])
+	}
+
+	// The tile building block against the same reference.
+	tile := make([]*rlwe.Ciphertext, 2)
+	for i := range tile {
+		tile[i] = tenant.NewAccumulator()
+	}
+	tenant.BlindRotateTile(tile, prep.LWEs[:2], tenant.NewBatchScratch())
+	for i := range tile {
+		assertAccEqual(t, i, tile[i], want[i])
+	}
+
+	// Installing the tenant key warms the server for the installed-key APIs.
+	if err := srv.SetBlindRotateKey(nil); err == nil {
+		t.Fatal("nil key must be rejected by SetBlindRotateKey")
+	}
+	if err := srv.SetBlindRotateKey(brk); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.HasBlindRotateKey() {
+		t.Fatal("server should hold a key after SetBlindRotateKey")
+	}
+	if got, wantB := srv.MeasuredBRKBytes(), tenant.MeasuredBRKBytes(); got != wantB {
+		t.Fatalf("MeasuredBRKBytes = %d after transplant, tenant holds %d", got, wantB)
+	}
+	assertAccEqual(t, 0, srv.BlindRotateOne(prep.LWEs[0]), want[0])
+}
+
+// TestPrepareCoversFullRing pins the dense Prepare wrapper: one LWE per
+// coefficient, each carrying the n_t-mode key-switched dimension.
+func TestPrepareCoversFullRing(t *testing.T) {
+	params, cl, _, bt := testSetup(t, 1)
+	prep := bt.Prepare(cl.EncryptAtLevel(testVector(params.Slots), 1))
+	if len(prep.LWEs) != params.N() {
+		t.Fatalf("Prepare extracted %d LWEs, want N = %d", len(prep.LWEs), params.N())
+	}
+	if dim := len(prep.LWEs[0].A); dim != bt.Cfg.NT {
+		t.Fatalf("prepared LWE dimension %d, want n_t = %d", dim, bt.Cfg.NT)
+	}
+}

@@ -137,8 +137,24 @@ const (
 	// re-sent across resume cycles (overlap between what the sender pushed
 	// and what the receiver had already acked).
 	CounterKeyChunkResent
+	// CounterJobsAdmitted counts service jobs accepted by admission control
+	// and handed to the coalescer.
+	CounterJobsAdmitted
+	// CounterJobsRejected counts service jobs turned away non-fatally
+	// (rate limit, queue full, deadline budget too small, missing key).
+	CounterJobsRejected
+	// CounterJobsCoalesced counts jobs that executed in a key-major batch
+	// shared with at least one other job of the same tenant — the jobs whose
+	// BRK pass through cache was amortized across requests.
+	CounterJobsCoalesced
+	// CounterServeBatches counts key-major service batches executed (one
+	// Acquire + one BlindRotateBatch per batch, regardless of job count).
+	CounterServeBatches
+	// CounterKeysEvicted counts unpinned tenant keys evicted from the
+	// registry to make room under the LRU byte bound.
+	CounterKeysEvicted
 
-	NumCounters = int(CounterKeyChunkResent) + 1
+	NumCounters = int(CounterKeysEvicted) + 1
 )
 
 var counterNames = [NumCounters]string{
@@ -147,6 +163,8 @@ var counterNames = [NumCounters]string{
 	"brk_bytes_streamed", "blind_rotate_tiles",
 	"health_probes", "probe_misses", "hedged_dispatches", "hedge_wasted",
 	"key_chunks", "key_chunk_bytes", "key_chunk_resent_bytes",
+	"jobs_admitted", "jobs_rejected", "jobs_coalesced",
+	"serve_batches", "keys_evicted",
 }
 
 func (c Counter) String() string {
@@ -169,11 +187,16 @@ const (
 	// GaugeClusterMembers is the number of nodes currently active in the
 	// elastic membership (joined and not yet drained/left/dead).
 	GaugeClusterMembers
+	// GaugeResidentTenants is the number of tenant blind-rotate keys
+	// currently resident in the serving registry.
+	GaugeResidentTenants
 
-	NumGauges = int(GaugeClusterMembers) + 1
+	NumGauges = int(GaugeResidentTenants) + 1
 )
 
-var gaugeNames = [NumGauges]string{"in_flight_shards", "queue_depth", "cluster_members"}
+var gaugeNames = [NumGauges]string{
+	"in_flight_shards", "queue_depth", "cluster_members", "resident_tenants",
+}
 
 func (g Gauge) String() string {
 	if int(g) < NumGauges {

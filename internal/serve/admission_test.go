@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable admission clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestAdmissionTokenBucketRefills(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := newAdmission(AdmissionConfig{RatePerSec: 1, Burst: 2}, clk.now)
+
+	if err := a.admit("t", 0, 0); err != nil {
+		t.Fatalf("burst token 1: %v", err)
+	}
+	if err := a.admit("t", 0, 0); err != nil {
+		t.Fatalf("burst token 2: %v", err)
+	}
+	if err := a.admit("t", 0, 0); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("empty bucket must rate-limit, got %v", err)
+	}
+	clk.advance(time.Second) // refill exactly one token
+	if err := a.admit("t", 0, 0); err != nil {
+		t.Fatalf("after 1s refill: %v", err)
+	}
+	if err := a.admit("t", 0, 0); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("the refill was one token, not two, got %v", err)
+	}
+	// Refill caps at burst: a long idle does not bank unbounded tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := a.admit("t", 0, 0); err != nil {
+			t.Fatalf("capped refill token %d: %v", i+1, err)
+		}
+	}
+	if err := a.admit("t", 0, 0); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("refill must cap at burst, got %v", err)
+	}
+}
+
+func TestAdmissionBucketsArePerTenant(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := newAdmission(AdmissionConfig{RatePerSec: 1, Burst: 1}, clk.now)
+	if err := a.admit("a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit("a", 0, 0); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("tenant a exhausted, got %v", err)
+	}
+	if err := a.admit("b", 0, 0); err != nil {
+		t.Fatalf("tenant b has its own bucket: %v", err)
+	}
+}
+
+func TestAdmissionQueueLimit(t *testing.T) {
+	a := newAdmission(AdmissionConfig{QueueLimit: 2}, nil)
+	if err := a.admit("t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit("t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit("t", 0, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue must reject, got %v", err)
+	}
+	if got := a.depth(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	a.release()
+	if err := a.admit("t", 0, 0); err != nil {
+		t.Fatalf("after release a slot is free: %v", err)
+	}
+	a.release()
+	a.release()
+	a.release() // extra releases never go negative
+	if got := a.depth(); got != 0 {
+		t.Fatalf("depth = %d, want 0", got)
+	}
+}
+
+func TestAdmissionDeadlineBudget(t *testing.T) {
+	a := newAdmission(AdmissionConfig{}, nil)
+	err := a.admit("t", 5*time.Millisecond, 20*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("budget below projected wait must reject, got %v", err)
+	}
+	if err := a.admit("t", 50*time.Millisecond, 20*time.Millisecond); err != nil {
+		t.Fatalf("budget above projected wait must pass: %v", err)
+	}
+	if err := a.admit("t", 0, 20*time.Millisecond); err != nil {
+		t.Fatalf("zero budget means unbounded: %v", err)
+	}
+}
+
+func TestCoalescerPoolsPerTenantFIFO(t *testing.T) {
+	c := newCoalescer(30 * time.Millisecond)
+	c.add(&job{tenant: "a", id: 1})
+	c.add(&job{tenant: "b", id: 2})
+	c.add(&job{tenant: "a", id: 3}) // joins a's pending pool
+
+	jobs, ok := c.next()
+	if !ok || len(jobs) != 2 || jobs[0].tenant != "a" {
+		t.Fatalf("first ripe pool = %v (ok=%v), want tenant a with 2 jobs", jobs, ok)
+	}
+	if jobs[0].id != 1 || jobs[1].id != 3 {
+		t.Fatalf("pool order = %d,%d, want arrival order 1,3", jobs[0].id, jobs[1].id)
+	}
+	jobs, ok = c.next()
+	if !ok || len(jobs) != 1 || jobs[0].tenant != "b" {
+		t.Fatalf("second ripe pool = %v, want tenant b", jobs)
+	}
+}
+
+func TestCoalescerWindowHoldsJobs(t *testing.T) {
+	window := 80 * time.Millisecond
+	c := newCoalescer(window)
+	start := time.Now()
+	c.add(&job{tenant: "a", id: 1})
+	jobs, ok := c.next()
+	if !ok || len(jobs) != 1 {
+		t.Fatalf("pool = %v", jobs)
+	}
+	if waited := time.Since(start); waited < window-5*time.Millisecond {
+		t.Fatalf("pool ripened after %v, want >= window %v", waited, window)
+	}
+}
+
+func TestCoalescerCloseDrainsImmediately(t *testing.T) {
+	c := newCoalescer(time.Hour) // would never ripen on its own
+	c.add(&job{tenant: "a", id: 1})
+	done := make(chan struct{})
+	var jobs []*job
+	var ok bool
+	go func() {
+		defer close(done)
+		jobs, ok = c.next()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close must ripen pending pools immediately")
+	}
+	if !ok || len(jobs) != 1 {
+		t.Fatalf("drained pool = %v (ok=%v)", jobs, ok)
+	}
+	if _, ok := c.next(); ok {
+		t.Fatal("a closed, drained coalescer must report done")
+	}
+}

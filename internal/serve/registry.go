@@ -1,0 +1,322 @@
+// Package serve is the bootstrap-as-a-service layer: a stdlib-only network
+// front end that accepts blind-rotate jobs from many concurrent tenants over
+// the cluster's v3 frame protocol, resolves each tenant's evaluation key
+// from a concurrent-safe registry, and coalesces same-key requests from
+// different connections into key-major batches so one BRK pass through cache
+// serves N users (the amortization HEAP's parallelized bootstrapping is
+// built around, lifted from "one ciphertext's rotations" to "one tenant's
+// concurrent requests").
+//
+// The split of labor mirrors the paper's trust model: blind rotation touches
+// only public material (the LWE ciphertexts, the params-only LUT, and the
+// tenant's public blind-rotate key), so the server computes the expensive
+// middle of Algorithm 2 bit-identically to the tenant running it locally,
+// while Prepare and Finish — which involve the tenant's own ciphertext
+// stream — stay client-side.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"heap/internal/cluster"
+	"heap/internal/obs"
+	"heap/internal/rlwe"
+	"heap/internal/tfhe"
+)
+
+// ErrNoKey reports a job for a tenant whose blind-rotate key is neither
+// resident nor loadable; the client should upload the key and retry.
+var ErrNoKey = errors.New("no blind-rotate key registered for tenant")
+
+// ErrRegistryFull reports that the registry byte budget is exhausted by
+// pinned (in-use) keys, so nothing can be evicted to make room.
+var ErrRegistryFull = errors.New("key registry full: byte budget exhausted by pinned keys")
+
+// Registry is the multi-tenant evaluation-key store (the role lattigo's
+// EvaluationKeySetInterface plays for its evaluators): ref-counted so a key
+// is never evicted while a batch streams it, LRU-bounded by total key bytes,
+// and optionally backed by a loader for lazily materialized keys. It also
+// owns the per-tenant upload stash of the chunked key-stream protocol, so a
+// tenant killed mid-upload resumes from its last acked chunk on a fresh
+// connection.
+type Registry struct {
+	params   *rlwe.Parameters
+	dim      int // LWE dimension every key must cover
+	maxBytes int64
+	loader   func(tenant string) (*tfhe.BlindRotateKey, error)
+	rec      obs.Recorder
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	loading map[string]chan struct{} // single-flight latches for loader calls
+	stash   map[string]*keyRecv
+	bytes   int64
+	clock   uint64 // LRU tick, bumped on every acquire
+}
+
+type regEntry struct {
+	key   *tfhe.BlindRotateKey
+	bytes int64
+	refs  int
+	used  uint64
+}
+
+// keyRecv is one tenant's in-flight chunked key upload (receiver side of the
+// cluster key-stream protocol, stop-and-wait).
+type keyRecv struct {
+	offer cluster.KeyOffer
+	buf   []byte
+	have  uint32 // contiguous chunks held
+}
+
+// NewRegistry builds a registry for keys of the given LWE dimension.
+// maxBytes ≤ 0 means unbounded; loader may be nil (keys then arrive only via
+// Put or the upload stash). rec may be nil.
+func NewRegistry(params *rlwe.Parameters, dim int, maxBytes int64, loader func(string) (*tfhe.BlindRotateKey, error), rec obs.Recorder) *Registry {
+	return &Registry{
+		params:   params,
+		dim:      dim,
+		maxBytes: maxBytes,
+		loader:   loader,
+		rec:      obs.OrNop(rec),
+		entries:  make(map[string]*regEntry),
+		loading:  make(map[string]chan struct{}),
+		stash:    make(map[string]*keyRecv),
+	}
+}
+
+// Acquire resolves and pins tenant's key. The returned release func is
+// idempotent and must be called when the batch is done streaming the key;
+// until then the key cannot be evicted. Concurrent acquires of a
+// loader-backed tenant load once (single flight).
+func (r *Registry) Acquire(tenant string) (*tfhe.BlindRotateKey, func(), error) {
+	r.mu.Lock()
+	for {
+		if e, ok := r.entries[tenant]; ok {
+			rel := r.pinLocked(e)
+			r.mu.Unlock()
+			return e.key, rel, nil
+		}
+		ch, inFlight := r.loading[tenant]
+		if !inFlight {
+			break
+		}
+		r.mu.Unlock()
+		<-ch
+		r.mu.Lock()
+	}
+	if r.loader == nil {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("serve: %w: %q", ErrNoKey, tenant)
+	}
+	ch := make(chan struct{})
+	r.loading[tenant] = ch
+	r.mu.Unlock()
+
+	key, err := r.loader(tenant)
+
+	r.mu.Lock()
+	delete(r.loading, tenant)
+	close(ch)
+	if err != nil {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("serve: loading key for %q: %w", tenant, err)
+	}
+	e, err := r.insertLocked(tenant, key)
+	if err != nil {
+		r.mu.Unlock()
+		return nil, nil, err
+	}
+	rel := r.pinLocked(e)
+	r.mu.Unlock()
+	return e.key, rel, nil
+}
+
+// pinLocked bumps the ref count and LRU tick of e (r.mu held) and returns
+// the matching idempotent release.
+func (r *Registry) pinLocked(e *regEntry) func() {
+	e.refs++
+	r.clock++
+	e.used = r.clock
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			e.refs--
+			r.mu.Unlock()
+		})
+	}
+}
+
+// Put installs (or replaces) tenant's key, evicting unpinned LRU keys as
+// needed to fit the byte budget.
+func (r *Registry) Put(tenant string, key *tfhe.BlindRotateKey) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.insertLocked(tenant, key)
+	return err
+}
+
+func (r *Registry) insertLocked(tenant string, key *tfhe.BlindRotateKey) (*regEntry, error) {
+	if key == nil || key.NumKeys() != r.dim {
+		got := 0
+		if key != nil {
+			got = key.NumKeys()
+		}
+		return nil, fmt.Errorf("serve: key for %q covers %d indices, want %d", tenant, got, r.dim)
+	}
+	size := int64(key.SizeBytes())
+	if old, ok := r.entries[tenant]; ok {
+		r.bytes -= old.bytes
+		delete(r.entries, tenant)
+		r.rec.Gauge(obs.GaugeResidentTenants, -1)
+	}
+	if r.maxBytes > 0 && size > r.maxBytes {
+		return nil, fmt.Errorf("serve: key for %q is %d bytes, registry budget is %d", tenant, size, r.maxBytes)
+	}
+	for r.maxBytes > 0 && r.bytes+size > r.maxBytes {
+		if !r.evictLRULocked() {
+			return nil, fmt.Errorf("serve: cannot admit %d-byte key for %q: %w", size, tenant, ErrRegistryFull)
+		}
+	}
+	e := &regEntry{key: key, bytes: size}
+	r.clock++
+	e.used = r.clock
+	r.entries[tenant] = e
+	r.bytes += size
+	r.rec.Gauge(obs.GaugeResidentTenants, +1)
+	return e, nil
+}
+
+// evictLRULocked removes the least-recently-used unpinned entry; false when
+// every resident key is pinned.
+func (r *Registry) evictLRULocked() bool {
+	victim := ""
+	var oldest uint64
+	for t, e := range r.entries {
+		if e.refs > 0 {
+			continue
+		}
+		if victim == "" || e.used < oldest {
+			victim, oldest = t, e.used
+		}
+	}
+	if victim == "" {
+		return false
+	}
+	r.bytes -= r.entries[victim].bytes
+	delete(r.entries, victim)
+	r.rec.Add(obs.CounterKeysEvicted, 1)
+	r.rec.Gauge(obs.GaugeResidentTenants, -1)
+	return true
+}
+
+// TenantKey describes one resident registry entry for the metrics snapshot.
+type TenantKey struct {
+	Tenant string `json:"tenant"`
+	Bytes  int64  `json:"bytes"`
+	Refs   int    `json:"refs"`
+}
+
+// Resident snapshots the resident keys (unspecified order).
+func (r *Registry) Resident() []TenantKey {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TenantKey, 0, len(r.entries))
+	for t, e := range r.entries {
+		out = append(out, TenantKey{Tenant: t, Bytes: e.bytes, Refs: e.refs})
+	}
+	return out
+}
+
+// Bytes returns the resident key bytes.
+func (r *Registry) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// --- chunked upload stash (receiver side of cluster's key-stream protocol) ---
+
+// stashOffer starts (or resumes) tenant's upload. The offered size must be
+// exactly the full-key blob size at the registry's parameters — the receiver
+// sizes its buffer from its own params, never the wire. Returns the resume
+// point (contiguous chunks already held).
+func (r *Registry) stashOffer(tenant string, o cluster.KeyOffer) (have uint32, err error) {
+	want := tfhe.BRKBlobBytes(r.params, r.dim)
+	if o.TotalSize != uint64(want) {
+		return 0, fmt.Errorf("serve: key offer is %d bytes, want %d for dimension %d", o.TotalSize, want, r.dim)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stash[tenant]
+	if st == nil || st.offer != o {
+		st = &keyRecv{offer: o, buf: make([]byte, want)}
+		r.stash[tenant] = st
+	}
+	return st.have, nil
+}
+
+// stashChunk accepts one chunk (stop-and-wait: idx must be the next chunk;
+// duplicates of already-held chunks are re-acked without recounting).
+// Returns the new contiguous count and whether the blob is complete.
+func (r *Registry) stashChunk(tenant string, idx uint32, data []byte) (have uint32, complete bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stash[tenant]
+	if st == nil {
+		return 0, false, fmt.Errorf("serve: key chunk for %q without an offer", tenant)
+	}
+	if idx < st.have { // duplicate of an acked chunk: re-ack, don't recount
+		return st.have, false, nil
+	}
+	if idx != st.have {
+		return 0, false, fmt.Errorf("serve: key chunk %d for %q, want %d (stop-and-wait)", idx, tenant, st.have)
+	}
+	off := int(idx) * int(st.offer.ChunkSize)
+	end := off + int(st.offer.ChunkSize)
+	if end > len(st.buf) {
+		end = len(st.buf)
+	}
+	if len(data) != end-off {
+		return 0, false, fmt.Errorf("serve: key chunk %d for %q is %d bytes, want %d", idx, tenant, len(data), end-off)
+	}
+	copy(st.buf[off:end], data)
+	st.have++
+	r.rec.Add(obs.CounterKeyChunks, 1)
+	r.rec.Add(obs.CounterKeyChunkBytes, uint64(len(data)))
+	return st.have, st.have == st.offer.ChunkCount, nil
+}
+
+// stashDone verifies the completed blob against the offered CRC, parses it
+// at the registry's parameters, and installs the key. The stash entry is
+// dropped on success.
+func (r *Registry) stashDone(tenant string) error {
+	r.mu.Lock()
+	st := r.stash[tenant]
+	r.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("serve: key done for %q without an offer", tenant)
+	}
+	if st.have != st.offer.ChunkCount {
+		return fmt.Errorf("serve: key done for %q with %d/%d chunks", tenant, st.have, st.offer.ChunkCount)
+	}
+	if crc := crc32.ChecksumIEEE(st.buf); crc != st.offer.BlobCRC {
+		return fmt.Errorf("serve: key blob CRC mismatch for %q (got %#x want %#x)", tenant, crc, st.offer.BlobCRC)
+	}
+	key, err := tfhe.ReadBlindRotateKey(bytes.NewReader(st.buf), r.params)
+	if err != nil {
+		return fmt.Errorf("serve: parsing key for %q: %w", tenant, err)
+	}
+	if err := r.Put(tenant, key); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	delete(r.stash, tenant)
+	r.mu.Unlock()
+	return nil
+}

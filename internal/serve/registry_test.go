@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heap/internal/obs"
+	"heap/internal/tfhe"
+)
+
+// regFixture builds a registry plus freshly generated keys of the right
+// dimension (every key the same size, so byte budgets count in keys).
+func regFixture(t *testing.T, maxKeys int64, loader func(string) (*tfhe.BlindRotateKey, error), rec obs.Recorder) (*Registry, func(seed uint64) *tfhe.BlindRotateKey, int64) {
+	t.Helper()
+	_, _, bt := buildBoot(t, 40, false)
+	size := int64(bt.BlindRotateKey().SizeBytes())
+	gen := func(seed uint64) *tfhe.BlindRotateKey {
+		_, _, tb := buildBoot(t, seed, false)
+		return tb.BlindRotateKey()
+	}
+	p := bt.Params.Parameters
+	var budget int64
+	if maxKeys > 0 {
+		budget = maxKeys * size
+	}
+	return NewRegistry(p, bt.Params.N(), budget, loader, rec), gen, size
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	met := obs.NewMetrics()
+	reg, gen, size := regFixture(t, 2, nil, met)
+
+	if err := reg.Put("a", gen(41)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put("b", gen(42)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, rel, err := reg.Acquire("a"); err != nil {
+		t.Fatal(err)
+	} else {
+		rel()
+	}
+	if err := reg.Put("c", gen(43)); err != nil {
+		t.Fatal(err)
+	}
+
+	resident := map[string]bool{}
+	for _, tk := range reg.Resident() {
+		resident[tk.Tenant] = true
+	}
+	if !resident["a"] || !resident["c"] || resident["b"] {
+		t.Fatalf("resident = %v, want a and c with b evicted", resident)
+	}
+	if got := met.Counter(obs.CounterKeysEvicted); got != 1 {
+		t.Fatalf("keys_evicted = %d, want 1", got)
+	}
+	if got := reg.Bytes(); got != 2*size {
+		t.Fatalf("resident bytes = %d, want %d", got, 2*size)
+	}
+	if got := met.GaugeValue(obs.GaugeResidentTenants); got != 2 {
+		t.Fatalf("resident_tenants gauge = %d, want 2", got)
+	}
+}
+
+func TestRegistryPinBlocksEviction(t *testing.T) {
+	reg, gen, _ := regFixture(t, 1, nil, nil)
+	if err := reg.Put("a", gen(41)); err != nil {
+		t.Fatal(err)
+	}
+	_, rel, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is pinned and the budget is one key: b cannot be admitted.
+	if err := reg.Put("b", gen(42)); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("want ErrRegistryFull while a is pinned, got %v", err)
+	}
+	rel()
+	rel() // idempotent: the second release must not double-decrement
+	if err := reg.Put("b", gen(42)); err != nil {
+		t.Fatalf("after release the LRU key must give way: %v", err)
+	}
+	for _, tk := range reg.Resident() {
+		if tk.Tenant == "a" {
+			t.Fatal("a should have been evicted after its pin was released")
+		}
+	}
+}
+
+func TestRegistryLoaderSingleFlight(t *testing.T) {
+	var calls atomic.Int32
+	var key *tfhe.BlindRotateKey
+	loader := func(tenant string) (*tfhe.BlindRotateKey, error) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond) // widen the single-flight race window
+		return key, nil
+	}
+	reg, gen, _ := regFixture(t, 0, loader, nil)
+	key = gen(41)
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, rel, err := reg.Acquire("lazy")
+			if err == nil {
+				if k != key {
+					errs[i] = errors.New("acquired a different key instance")
+				}
+				rel()
+			} else {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("loader ran %d times for concurrent acquires, want 1 (single flight)", got)
+	}
+}
+
+func TestRegistryNoKeyNoLoader(t *testing.T) {
+	reg, _, _ := regFixture(t, 0, nil, nil)
+	if _, _, err := reg.Acquire("stranger"); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("want ErrNoKey, got %v", err)
+	}
+}
+
+func TestRegistryLoaderErrorPropagates(t *testing.T) {
+	boom := errors.New("cold storage down")
+	loader := func(string) (*tfhe.BlindRotateKey, error) { return nil, boom }
+	reg, _, _ := regFixture(t, 0, loader, nil)
+	if _, _, err := reg.Acquire("x"); !errors.Is(err, boom) {
+		t.Fatalf("want the loader error, got %v", err)
+	}
+	// The single-flight latch must be gone: a second acquire retries.
+	if _, _, err := reg.Acquire("x"); !errors.Is(err, boom) {
+		t.Fatalf("second acquire after loader failure: %v", err)
+	}
+}
+
+func TestRegistryRejectsWrongDimension(t *testing.T) {
+	reg, _, _ := regFixture(t, 0, nil, nil)
+	if err := reg.Put("a", nil); err == nil || !strings.Contains(err.Error(), "covers 0 indices") {
+		t.Fatalf("nil key must be rejected with the dimension message, got %v", err)
+	}
+}
+
+func TestRegistryStashStopAndWait(t *testing.T) {
+	reg, _, _ := regFixture(t, 0, nil, nil)
+	// A chunk without an offer is a protocol error.
+	if _, _, err := reg.stashChunk("t", 0, nil); err == nil {
+		t.Fatal("chunk without offer must error")
+	}
+	if err := reg.stashDone("t"); err == nil {
+		t.Fatal("done without offer must error")
+	}
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"errors"
+	"math/cmplx"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heap/internal/ckks"
+	"heap/internal/cluster"
+	"heap/internal/core"
+	"heap/internal/obs"
+	"heap/internal/ring"
+	"heap/internal/rlwe"
+)
+
+// buildBoot constructs one party at the small ring the cluster tests use.
+// Every party derives the identical public parameter set; only the key
+// material differs by seed, so a cold server and full tenants interoperate.
+func buildBoot(t *testing.T, seed uint64, cold bool) (*ckks.Parameters, *ckks.Client, *core.Bootstrapper) {
+	t.Helper()
+	logN := 6
+	q := ring.GenerateNTTPrimes(30, logN, 3)
+	p := ring.GenerateNTTPrimesUp(31, logN, 2)
+	params := ckks.MustParameters(logN, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<28), 1<<(logN-1))
+	kg := rlwe.NewKeyGenerator(params.Parameters, seed)
+	sk := kg.GenSecretKey(rlwe.SecretTernary)
+	cl := ckks.NewClient(params, sk, seed+1)
+	cfg := core.DefaultConfig()
+	cfg.NT = 0
+	cfg.Workers = 1
+	cfg.ColdStart = cold
+	bt, err := core.NewBootstrapper(params, kg, sk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params, cl, bt
+}
+
+// startServer runs srv over an in-memory listener and returns a dialer plus
+// a full teardown (drain server, close listener).
+func startServer(t *testing.T, srv *Server) (*cluster.PipeListener, func()) {
+	t.Helper()
+	l := cluster.NewPipeListener()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(l)
+	}()
+	return l, func() {
+		_ = l.Close()
+		<-served
+		srv.Close()
+	}
+}
+
+func dialClient(t *testing.T, l *cluster.PipeListener, bt *core.Bootstrapper, tenant string) *Client {
+	t.Helper()
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(conn, bt, tenant, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func sameCiphertext(a, b *rlwe.Ciphertext) bool {
+	for i := range a.C0.Limbs {
+		for j := range a.C0.Limbs[i] {
+			if a.C0.Limbs[i][j] != b.C0.Limbs[i][j] || a.C1.Limbs[i][j] != b.C1.Limbs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestServiceCoalescesAcrossConnections is the acceptance test: two tenants,
+// each with two concurrent connections submitting same-key jobs inside one
+// coalescing window. The server must execute each tenant's pair as ONE
+// key-major batch (counted by jobs_coalesced and serve_batches), stream
+// strictly less BRK traffic than the same four jobs run sequentially, and
+// return per-job accumulators bit-identical to both the sequential service
+// run and the tenant's own local rotations.
+func TestServiceCoalescesAcrossConnections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full service round trips are slow")
+	}
+	before := runtime.NumGoroutine()
+	_, _, serverBt := buildBoot(t, 50, true)
+	// Tile 8 with 4-rotation jobs: a coalesced pair fills ONE tile (one BRK
+	// pass), while the same two jobs run separately take a tile pass each —
+	// the traffic assertion below measures exactly that.
+	srv := NewServer(serverBt, Config{Window: 300 * time.Millisecond, Executors: 1, Tile: 8, Workers: 1})
+	l, stop := startServer(t, srv)
+
+	const (
+		tenants    = 2
+		connsPer   = 2
+		rotsPerJob = 4
+	)
+	type tenantFix struct {
+		name    string
+		bt      *core.Bootstrapper
+		clients []*Client
+		lwes    [][]*rlwe.LWECiphertext // one job per client
+	}
+	fixes := make([]*tenantFix, tenants)
+	for ti := range fixes {
+		_, cl, bt := buildBoot(t, uint64(60+10*ti), false)
+		fx := &tenantFix{name: string(rune('A' + ti)), bt: bt}
+		for c := 0; c < connsPer; c++ {
+			fx.clients = append(fx.clients, dialClient(t, l, bt, fx.name))
+			v := make([]complex128, bt.Params.Slots)
+			for i := range v {
+				v[i] = complex(0.1*float64(ti+1), 0.05*float64(c+i%3))
+			}
+			prep := bt.PrepareSparse(cl.EncryptAtLevel(v, 1), rotsPerJob)
+			fx.lwes = append(fx.lwes, prep.LWEs)
+		}
+		if err := fx.clients[0].UploadKey(0, time.Minute); err != nil {
+			t.Fatalf("tenant %s key upload: %v", fx.name, err)
+		}
+		fixes[ti] = fx
+	}
+
+	// Phase 1: all four jobs concurrently, inside one window per tenant.
+	phase1 := make([][][]*rlwe.Ciphertext, tenants)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for ti, fx := range fixes {
+		phase1[ti] = make([][]*rlwe.Ciphertext, connsPer)
+		for c := range fx.clients {
+			wg.Add(1)
+			go func(ti, c int, fx *tenantFix) {
+				defer wg.Done()
+				accs, err := fx.clients[c].Rotate(fx.lwes[c], 0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				phase1[ti][c] = accs
+			}(ti, c, fx)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	met := srv.Metrics()
+	if got := met.Counter(obs.CounterJobsCoalesced); got != tenants*connsPer {
+		t.Fatalf("jobs_coalesced = %d, want %d (every job should share a batch)", got, tenants*connsPer)
+	}
+	if got := met.Counter(obs.CounterServeBatches); got != tenants {
+		t.Fatalf("serve_batches = %d, want %d (one key-major batch per tenant)", got, tenants)
+	}
+	brkCoalesced := met.Counter(obs.CounterBRKBytesStreamed)
+	if brkCoalesced == 0 {
+		t.Fatal("no BRK traffic recorded for the coalesced batches")
+	}
+
+	// Phase 2: the identical four jobs, one at a time. Same rotations, but
+	// four batches — the BRK now streams once per job instead of once per
+	// tenant pair.
+	for ti, fx := range fixes {
+		for c := range fx.clients {
+			accs, err := fx.clients[c].Rotate(fx.lwes[c], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range accs {
+				if !sameCiphertext(accs[k], phase1[ti][c][k]) {
+					t.Fatalf("tenant %s conn %d acc %d: coalesced result differs from sequential", fx.name, c, k)
+				}
+			}
+		}
+	}
+	if got := met.Counter(obs.CounterServeBatches); got != tenants+tenants*connsPer {
+		t.Fatalf("serve_batches = %d after sequential phase, want %d", got, tenants+tenants*connsPer)
+	}
+	if got := met.Counter(obs.CounterJobsCoalesced); got != tenants*connsPer {
+		t.Fatalf("jobs_coalesced grew to %d during the sequential phase; single-job batches must not count", got)
+	}
+	brkSequential := met.Counter(obs.CounterBRKBytesStreamed) - brkCoalesced
+	if brkCoalesced >= brkSequential {
+		t.Fatalf("coalesced BRK traffic %d >= sequential %d: key-major batching saved nothing", brkCoalesced, brkSequential)
+	}
+
+	// The service must match the tenant's own local rotations bit for bit:
+	// blind rotation is deterministic in (lwe, lut, brk), and the server's
+	// LUT is params-only.
+	for ti, fx := range fixes {
+		for c := range fx.clients {
+			for k, lwe := range fx.lwes[c] {
+				ref := fx.bt.BlindRotateOne(lwe)
+				if !sameCiphertext(ref, phase1[ti][c][k]) {
+					t.Fatalf("tenant %s conn %d acc %d: service result differs from local rotation", fx.name, c, k)
+				}
+			}
+		}
+	}
+
+	// Per-tenant ledgers.
+	snap := srv.Snapshot()
+	for _, fx := range fixes {
+		ts, ok := snap.Tenants[fx.name]
+		if !ok {
+			t.Fatalf("tenant %s missing from snapshot", fx.name)
+		}
+		wantJobs := uint64(2 * connsPer) // both phases
+		if ts.Admitted != wantJobs || ts.Jobs != wantJobs || ts.Rejected != 0 {
+			t.Fatalf("tenant %s ledger = %+v, want %d admitted/served", fx.name, ts, wantJobs)
+		}
+		if ts.Coalesced != connsPer {
+			t.Fatalf("tenant %s coalesced = %d, want %d", fx.name, ts.Coalesced, connsPer)
+		}
+	}
+
+	for _, fx := range fixes {
+		for _, cl := range fx.clients {
+			_ = cl.Close()
+		}
+	}
+	stop()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestServiceBootstrapBitExact runs the full offload path — Prepare locally,
+// rotate remotely, Finish locally — and checks it against the tenant's
+// purely local bootstrap bit for bit, then decrypts.
+func TestServiceBootstrapBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bootstrap round trip is slow")
+	}
+	_, _, serverBt := buildBoot(t, 50, true)
+	srv := NewServer(serverBt, Config{Window: time.Millisecond, Executors: 1, Workers: 1})
+	l, stop := startServer(t, srv)
+	defer stop()
+
+	params, cl, bt := buildBoot(t, 70, false)
+	client := dialClient(t, l, bt, "tenant-solo")
+	defer client.Close()
+	if err := client.UploadKey(0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	v := make([]complex128, params.Slots)
+	for i := range v {
+		v[i] = complex(0.3*float64(i%5)/5, -0.15*float64(i%4)/4)
+	}
+	ct := cl.EncryptAtLevel(v, 1)
+	local := bt.Bootstrap(ct.CopyNew())
+	remote, err := client.Bootstrap(ct.CopyNew(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCiphertext(local, remote) {
+		t.Fatal("service bootstrap differs from local bootstrap")
+	}
+	got := cl.Decrypt(remote)
+	for i := range v {
+		if e := cmplx.Abs(got[i] - v[i]); e > 1e-2 {
+			t.Fatalf("slot %d: %v want %v", i, got[i], v[i])
+		}
+	}
+}
+
+// syntheticJob builds one dense dim-sized LWE (cheap admission-test payload;
+// the rotation it triggers is real but tiny).
+func syntheticJob(dim int, twoN uint64, seed uint64) []*rlwe.LWECiphertext {
+	s := ring.NewSampler(seed)
+	lwe := &rlwe.LWECiphertext{A: make([]uint64, dim), Q: twoN}
+	for i := range lwe.A {
+		lwe.A[i] = 1 + s.UniformMod(twoN-1)
+	}
+	lwe.B = s.UniformMod(twoN)
+	return []*rlwe.LWECiphertext{lwe}
+}
+
+// TestServiceAdmissionIsolatesTenants: a tenant that exhausts its token
+// bucket is rejected non-fatally while a second tenant on the same server
+// keeps being served — per-tenant buckets, shared nothing.
+func TestServiceAdmissionIsolatesTenants(t *testing.T) {
+	_, _, serverBt := buildBoot(t, 50, true)
+	srv := NewServer(serverBt, Config{
+		Window:    time.Millisecond,
+		Executors: 1,
+		Workers:   1,
+		Admission: AdmissionConfig{RatePerSec: 0.0001, Burst: 2},
+	})
+	l, stop := startServer(t, srv)
+	defer stop()
+
+	dim := cluster.LWEDim(serverBt)
+	twoN := uint64(2 * serverBt.Params.N())
+
+	_, _, btA := buildBoot(t, 60, false)
+	_, _, btB := buildBoot(t, 70, false)
+	clA := dialClient(t, l, btA, "A")
+	defer clA.Close()
+	clB := dialClient(t, l, btB, "B")
+	defer clB.Close()
+	if err := clA.UploadKey(0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := clB.UploadKey(0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst of 2: jobs 1 and 2 are served, job 3 bounces off the bucket.
+	for i := 0; i < 2; i++ {
+		if _, err := clA.Rotate(syntheticJob(dim, twoN, uint64(100+i)), 0); err != nil {
+			t.Fatalf("tenant A job %d: %v", i+1, err)
+		}
+	}
+	_, err := clA.Rotate(syntheticJob(dim, twoN, 102), 0)
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("tenant A job 3: want RejectedError, got %v", err)
+	}
+	if !rej.IsRateLimited() {
+		t.Fatalf("tenant A job 3: want a rate-limit rejection, got %q", rej.Reason)
+	}
+
+	// The connection survives the rejection AND tenant B is untouched.
+	for i := 0; i < 2; i++ {
+		if _, err := clB.Rotate(syntheticJob(dim, twoN, uint64(200+i)), 0); err != nil {
+			t.Fatalf("tenant B job %d after A's rejection: %v", i+1, err)
+		}
+	}
+	_, err = clA.Rotate(syntheticJob(dim, twoN, 103), 0)
+	if !errors.As(err, &rej) {
+		t.Fatalf("tenant A stays rate-limited on a live conn, got %v", err)
+	}
+
+	snap := srv.Snapshot()
+	if a := snap.Tenants["A"]; a.Admitted != 2 || a.Rejected != 2 {
+		t.Fatalf("tenant A ledger = %+v, want 2 admitted / 2 rejected", a)
+	}
+	if b := snap.Tenants["B"]; b.Admitted != 2 || b.Rejected != 0 {
+		t.Fatalf("tenant B ledger = %+v, want 2 admitted / 0 rejected", b)
+	}
+	if got := srv.Metrics().Counter(obs.CounterJobsRejected); got != 2 {
+		t.Fatalf("jobs_rejected = %d, want 2", got)
+	}
+}
+
+// TestServiceDeadlineRejectedAtDoor: a budget below the projected wait
+// (window + batch EWMA) is refused before queueing, not left to expire.
+func TestServiceDeadlineRejectedAtDoor(t *testing.T) {
+	_, _, serverBt := buildBoot(t, 50, true)
+	srv := NewServer(serverBt, Config{Window: 500 * time.Millisecond, Executors: 1, Workers: 1})
+	l, stop := startServer(t, srv)
+	defer stop()
+
+	_, _, bt := buildBoot(t, 60, false)
+	cl := dialClient(t, l, bt, "deadline-tenant")
+	defer cl.Close()
+
+	dim := cluster.LWEDim(serverBt)
+	twoN := uint64(2 * serverBt.Params.N())
+	_, err := cl.Rotate(syntheticJob(dim, twoN, 1), time.Millisecond)
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("want RejectedError for a 1ms budget under a 500ms window, got %v", err)
+	}
+	if rej.IsRateLimited() {
+		t.Fatalf("rejection should be the deadline check, got %q", rej.Reason)
+	}
+	// No key was ever needed: the job died at the door.
+	if got := srv.Metrics().Counter(obs.CounterJobsAdmitted); got != 0 {
+		t.Fatalf("jobs_admitted = %d, want 0", got)
+	}
+}
+
+// TestMetricsHandlerServesSnapshot exercises the /metrics endpoint shape.
+func TestMetricsHandlerServesSnapshot(t *testing.T) {
+	_, _, serverBt := buildBoot(t, 50, true)
+	srv := NewServer(serverBt, Config{Window: time.Millisecond})
+	rr := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{`"server"`, `"tenants"`, `"registry"`, `"queue_depth"`, `"ewma_batch_ms"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body missing %s:\n%s", want, body)
+		}
+	}
+}

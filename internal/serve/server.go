@@ -1,0 +1,539 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"heap/internal/cluster"
+	"heap/internal/core"
+	"heap/internal/obs"
+	"heap/internal/tfhe"
+
+	"heap/internal/rlwe"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// MaxKeyBytes bounds the registry's resident key bytes (0 = unbounded).
+	MaxKeyBytes int64
+	// Loader lazily materializes a tenant's key on first use (nil = keys
+	// arrive only via client upload).
+	Loader func(tenant string) (*tfhe.BlindRotateKey, error)
+	// Admission is the front-door policy.
+	Admission AdmissionConfig
+	// Window is the coalescing window: how long a tenant's first pending
+	// job waits for same-key company before its batch dispatches
+	// (default 10ms).
+	Window time.Duration
+	// Executors is the number of concurrent batch executors (default 1).
+	Executors int
+	// Tile and Workers tune the key-major batch engine (0 = bootstrapper
+	// defaults).
+	Tile, Workers int
+	// Recorder receives events in addition to the server's own Metrics
+	// aggregate (optional).
+	Recorder obs.Recorder
+}
+
+// Server is the bootstrap service: it speaks the cluster's v3 frame protocol
+// to any number of tenant connections, pools admitted same-tenant jobs in a
+// coalescing window, and executes each pool as one key-major batch under the
+// tenant's registered key — one BRK pass through cache per window instead of
+// one per request. The bootstrapper provides the parameter set, LUT, and
+// scratch pools only (ColdStart — the server needs no key material of its
+// own; blind rotation is deterministic in the request and the tenant's
+// public key, so results are bit-identical to tenant-local execution).
+type Server struct {
+	boot *core.Bootstrapper
+	reg  *Registry
+	adm  *admission
+	co   *coalescer
+	cfg  Config
+	met  *obs.Metrics
+	rec  obs.Recorder
+
+	hello    cluster.Hello
+	dim      int
+	maxBatch int
+	twoN     uint64
+	maxRead  int // payload bound for the connection read loop
+
+	mu      sync.Mutex
+	tenants map[string]*TenantStats
+	conns   map[io.ReadWriter]struct{}
+	closing bool
+	ewmaMs  float64 // EWMA of batch service time, feeds admission's wait projection
+	startEx sync.Once
+	execWG  sync.WaitGroup
+	connWG  sync.WaitGroup
+}
+
+// TenantStats is one tenant's admission/coalescing ledger.
+type TenantStats struct {
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Coalesced uint64 `json:"coalesced"`
+	Jobs      uint64 `json:"jobs"` // jobs fully served
+	Rotations uint64 `json:"rotations"`
+}
+
+// NewServer builds a server around boot (typically ColdStart: the server
+// carries no tenant key material; the registry does).
+func NewServer(boot *core.Bootstrapper, cfg Config) *Server {
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Millisecond
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	met := obs.NewMetrics()
+	rec := obs.Combine(met, cfg.Recorder)
+	// Kernel counters (brk_bytes_streamed, blind_rotate_tiles, …) from the
+	// batch engine land in the same aggregate as the service counters.
+	boot.SetRecorder(rec)
+	dim := cluster.LWEDim(boot)
+	p := boot.Params.Parameters
+	s := &Server{
+		boot:     boot,
+		reg:      NewRegistry(p, dim, cfg.MaxKeyBytes, cfg.Loader, rec),
+		adm:      newAdmission(cfg.Admission, nil),
+		co:       newCoalescer(cfg.Window),
+		cfg:      cfg,
+		met:      met,
+		rec:      rec,
+		hello:    cluster.HelloFor(boot),
+		dim:      dim,
+		maxBatch: p.N(),
+		twoN:     uint64(2 * p.N()),
+		tenants:  make(map[string]*TenantStats),
+		conns:    make(map[io.ReadWriter]struct{}),
+	}
+	s.maxRead = cluster.BatchPayloadBound(s.maxBatch, dim)
+	for _, b := range []int{cluster.JoinPayloadBound, cluster.MaxKeyChunkPayload, cluster.MaxErrorPayload} {
+		if b > s.maxRead {
+			s.maxRead = b
+		}
+	}
+	return s
+}
+
+// Registry exposes the key registry (seeding keys without an upload).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the server's aggregate recorder.
+func (s *Server) Metrics() *obs.Metrics { return s.met }
+
+// Serve accepts tenant connections until the listener fails (e.g. it was
+// closed). Safe to run from multiple goroutines over multiple listeners;
+// executors start once.
+func (s *Server) Serve(l cluster.Listener) error {
+	s.startEx.Do(func() {
+		for i := 0; i < s.cfg.Executors; i++ {
+			s.execWG.Add(1)
+			go func() {
+				defer s.execWG.Done()
+				for {
+					jobs, ok := s.co.next()
+					if !ok {
+						return
+					}
+					s.execBatch(jobs)
+				}
+			}()
+		}
+	})
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			closeIfCloser(conn)
+			return errors.New("serve: server closing")
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close drains the server: open connections are closed, admitted jobs run to
+// completion (their reply writes fail harmlessly if the conn died), and the
+// executors exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closing = true
+	conns := make([]io.ReadWriter, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		closeIfCloser(c)
+	}
+	s.connWG.Wait()
+	s.co.close()
+	s.execWG.Wait()
+}
+
+func closeIfCloser(conn io.ReadWriter) {
+	if c, ok := conn.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// connWriter serializes frame writes from the read loop (acks, rejections)
+// and the executors (accumulator streams) onto one connection.
+type connWriter struct {
+	mu   sync.Mutex
+	conn io.ReadWriter
+	rec  obs.Recorder
+}
+
+func (cw *connWriter) write(f *cluster.Frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if err := cluster.WriteFrame(cw.conn, f); err != nil {
+		return err
+	}
+	cw.rec.Add(obs.CounterBytesFramed, cluster.WireSize(len(f.Payload)))
+	return nil
+}
+
+func (s *Server) stats(tenant string) *TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &TenantStats{}
+		s.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// handleConn runs one tenant connection: join handshake, then a read loop
+// over batch submissions, key-upload frames, and probes.
+func (s *Server) handleConn(conn io.ReadWriter) {
+	defer func() {
+		closeIfCloser(conn)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	cw := &connWriter{conn: conn, rec: s.rec}
+
+	f, err := cluster.ReadFrame(conn, cluster.JoinPayloadBound)
+	if err != nil {
+		return
+	}
+	s.rec.Add(obs.CounterBytesFramed, cluster.WireSize(len(f.Payload)))
+	if f.Kind != cluster.FrameJoin {
+		s.failConn(cw, fmt.Errorf("serve: expected join, got frame kind %#x", f.Kind))
+		return
+	}
+	peer, tenant, err := cluster.DecodeJoin(f.Payload)
+	if err != nil {
+		s.failConn(cw, err)
+		return
+	}
+	if tenant == "" {
+		s.failConn(cw, errors.New("serve: empty tenant name"))
+		return
+	}
+	if err := cluster.CheckHello(s.hello, peer); err != nil {
+		s.failConn(cw, err)
+		return
+	}
+	if err := cw.write(&cluster.Frame{Kind: cluster.FrameJoinAck, Payload: cluster.EncodeHello(s.hello)}); err != nil {
+		return
+	}
+
+	for {
+		f, err := cluster.ReadFrame(conn, s.maxRead)
+		if err != nil {
+			return // EOF, closed conn, or garbage: the tenant is gone
+		}
+		s.rec.Add(obs.CounterBytesFramed, cluster.WireSize(len(f.Payload)))
+		switch f.Kind {
+		case cluster.FrameBatch:
+			s.submit(cw, tenant, f)
+		case cluster.FrameKeyOffer, cluster.FrameKeyChunk, cluster.FrameKeyDone:
+			if err := s.handleKey(cw, tenant, f); err != nil {
+				s.failConn(cw, err)
+				return
+			}
+		case cluster.FrameProbe:
+			if err := cw.write(&cluster.Frame{Kind: cluster.FrameProbeAck, Payload: f.Payload}); err != nil {
+				return
+			}
+		case cluster.FrameShutdown, cluster.FrameLeave:
+			return
+		default:
+			s.failConn(cw, fmt.Errorf("serve: unknown frame kind %#x", f.Kind))
+			return
+		}
+	}
+}
+
+// failConn reports a fatal per-connection error (bounded, best effort).
+func (s *Server) failConn(cw *connWriter, err error) {
+	msg := err.Error()
+	if len(msg) > cluster.MaxErrorPayload {
+		msg = msg[:cluster.MaxErrorPayload]
+	}
+	_ = cw.write(&cluster.Frame{Kind: cluster.FrameError, Payload: []byte(msg)})
+}
+
+// reject refuses one job non-fatally: the connection stays usable and the
+// client sees the reason.
+func (s *Server) reject(cw *connWriter, tenant string, jobID uint32, reason error) {
+	s.rec.Add(obs.CounterJobsRejected, 1)
+	ts := s.stats(tenant)
+	s.mu.Lock()
+	ts.Rejected++
+	s.mu.Unlock()
+	_ = cw.write(&cluster.Frame{
+		Kind:    cluster.FrameRejected,
+		Shard:   jobID,
+		Payload: cluster.EncodeReason(reason.Error()),
+	})
+}
+
+// submit decodes one batch request and runs it through admission into the
+// coalescer. The batch frame's seq field carries the client's deadline
+// budget in milliseconds (0 = unbounded), exactly as in the cluster
+// protocol.
+func (s *Server) submit(cw *connWriter, tenant string, f *cluster.Frame) {
+	idxs, lwes, err := cluster.DecodeBatch(f.Payload, s.maxBatch, s.dim, s.twoN)
+	if err != nil {
+		s.reject(cw, tenant, f.Shard, err)
+		return
+	}
+	budget := time.Duration(f.Seq) * time.Millisecond
+	s.mu.Lock()
+	projected := s.cfg.Window + time.Duration(s.ewmaMs*float64(time.Millisecond))
+	s.mu.Unlock()
+	if err := s.adm.admit(tenant, budget, projected); err != nil {
+		s.reject(cw, tenant, f.Shard, err)
+		return
+	}
+	j := &job{tenant: tenant, id: f.Shard, idxs: idxs, lwes: lwes, cw: cw}
+	if budget > 0 {
+		j.deadline = time.Now().Add(budget)
+	}
+	s.rec.Add(obs.CounterJobsAdmitted, 1)
+	s.rec.Gauge(obs.GaugeQueueDepth, 1)
+	ts := s.stats(tenant)
+	s.mu.Lock()
+	ts.Admitted++
+	s.mu.Unlock()
+	s.co.add(j)
+}
+
+// handleKey runs the receiver side of the chunked key upload against the
+// registry's per-tenant stash. The stash is keyed by tenant, not connection,
+// so an upload killed mid-stream resumes from the last acked chunk on a
+// fresh connection.
+func (s *Server) handleKey(cw *connWriter, tenant string, f *cluster.Frame) error {
+	switch f.Kind {
+	case cluster.FrameKeyOffer:
+		offer, err := cluster.DecodeKeyOffer(f.Payload)
+		if err != nil {
+			return err
+		}
+		have, err := s.reg.stashOffer(tenant, offer)
+		if err != nil {
+			return err
+		}
+		return cw.write(&cluster.Frame{Kind: cluster.FrameKeyResume, Payload: cluster.EncodeKeyResume(have, offer.BlobCRC)})
+	case cluster.FrameKeyChunk:
+		have, _, err := s.reg.stashChunk(tenant, f.Seq, f.Payload)
+		if err != nil {
+			return err
+		}
+		return cw.write(&cluster.Frame{Kind: cluster.FrameKeyAck, Payload: cluster.EncodeKeyResume(have, 0)})
+	case cluster.FrameKeyDone:
+		if err := s.reg.stashDone(tenant); err != nil {
+			return err
+		}
+		return cw.write(&cluster.Frame{Kind: cluster.FrameKeyDone, Payload: f.Payload})
+	}
+	return fmt.Errorf("serve: unexpected key frame kind %#x", f.Kind)
+}
+
+// execBatch runs one tenant's coalesced pool as a single key-major batch:
+// one registry Acquire, one BlindRotateBatchWithKey over the concatenated
+// LWEs, accumulators streamed back per job as tiles complete.
+func (s *Server) execBatch(jobs []*job) {
+	tenant := jobs[0].tenant
+	now := time.Now()
+	live := jobs[:0]
+	for _, j := range jobs {
+		s.adm.release()
+		s.rec.Gauge(obs.GaugeQueueDepth, -1)
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			s.reject(j.cw, tenant, j.id, fmt.Errorf("%w (expired while queued)", ErrDeadline))
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	brk, release, err := s.reg.Acquire(tenant)
+	if err != nil {
+		for _, j := range live {
+			s.reject(j.cw, tenant, j.id, err)
+		}
+		return
+	}
+	defer release()
+
+	total := 0
+	for _, j := range live {
+		total += len(j.lwes)
+	}
+	type slot struct {
+		j     *job
+		local int // client-local LWE index
+	}
+	slots := make([]slot, 0, total)
+	lwes := make([]*rlwe.LWECiphertext, 0, total)
+	for _, j := range live {
+		for k, lwe := range j.lwes {
+			slots = append(slots, slot{j, j.idxs[k]})
+			lwes = append(lwes, lwe)
+		}
+	}
+	accs := make([]*rlwe.Ciphertext, total)
+
+	s.rec.Gauge(obs.GaugeInFlightShards, int64(len(live)))
+	start := time.Now()
+	var sendMu sync.Mutex
+	opts := tfhe.BatchOptions{
+		Tile:    s.cfg.Tile,
+		Workers: s.cfg.Workers,
+		OnTile: func(lo, hi int) error {
+			// Stream finished accumulators while later tiles still rotate.
+			// sendMu serializes concurrent worker tiles; per-conn ordering
+			// within a job is the executor's responsibility (seq).
+			sendMu.Lock()
+			defer sendMu.Unlock()
+			for k := lo; k < hi; k++ {
+				sl := slots[k]
+				if sl.j.failed {
+					continue
+				}
+				payload, err := cluster.EncodeAcc(sl.local, accs[k])
+				if err != nil {
+					sl.j.failed = true
+					continue
+				}
+				f := &cluster.Frame{Kind: cluster.FrameAcc, Shard: sl.j.id, Seq: sl.j.seq, Payload: payload}
+				if err := sl.j.cw.write(f); err != nil {
+					sl.j.failed = true // conn is gone; finish the batch for the others
+					continue
+				}
+				sl.j.seq++
+				accs[k] = nil
+			}
+			return nil
+		},
+	}
+	rotErr := s.boot.BlindRotateBatchWithKey(accs, lwes, brk, opts)
+	elapsedMs := float64(time.Since(start)) / float64(time.Millisecond)
+	s.rec.Gauge(obs.GaugeInFlightShards, -int64(len(live)))
+
+	s.rec.Add(obs.CounterServeBatches, 1)
+	if len(live) > 1 {
+		s.rec.Add(obs.CounterJobsCoalesced, uint64(len(live)))
+	}
+	ts := s.stats(tenant)
+	s.mu.Lock()
+	if len(live) > 1 {
+		ts.Coalesced += uint64(len(live))
+	}
+	if s.ewmaMs == 0 {
+		s.ewmaMs = elapsedMs
+	} else {
+		s.ewmaMs = 0.8*s.ewmaMs + 0.2*elapsedMs
+	}
+	s.mu.Unlock()
+
+	for _, j := range live {
+		if rotErr != nil {
+			if !j.failed {
+				s.failConn(j.cw, rotErr)
+			}
+			continue
+		}
+		if j.failed {
+			continue
+		}
+		end := make([]byte, 4)
+		binary.LittleEndian.PutUint32(end, uint32(len(j.lwes)))
+		if err := j.cw.write(&cluster.Frame{Kind: cluster.FrameBatchEnd, Shard: j.id, Seq: uint32(len(j.lwes)), Payload: end}); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		ts.Jobs++
+		ts.Rotations += uint64(len(j.lwes))
+		s.mu.Unlock()
+	}
+}
+
+// ServiceSnapshot is the /metrics JSON document: the obs aggregate plus the
+// per-tenant ledgers and the resident registry.
+type ServiceSnapshot struct {
+	Server      obs.Snapshot           `json:"server"`
+	Tenants     map[string]TenantStats `json:"tenants"`
+	Registry    []TenantKey            `json:"registry"`
+	QueueDepth  int                    `json:"queue_depth"`
+	EWMABatchMs float64                `json:"ewma_batch_ms"`
+}
+
+// Snapshot collects a point-in-time service snapshot.
+func (s *Server) Snapshot() ServiceSnapshot {
+	s.mu.Lock()
+	tenants := make(map[string]TenantStats, len(s.tenants))
+	for t, st := range s.tenants {
+		tenants[t] = *st
+	}
+	ewma := s.ewmaMs
+	s.mu.Unlock()
+	return ServiceSnapshot{
+		Server:      s.met.Snapshot(),
+		Tenants:     tenants,
+		Registry:    s.reg.Resident(),
+		QueueDepth:  s.adm.depth(),
+		EWMABatchMs: ewma,
+	}
+}
+
+// MetricsHandler serves the snapshot as indented JSON — the expvar-style
+// endpoint heapd mounts at /metrics.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		b = append(b, '\n')
+		_, _ = w.Write(b)
+	})
+}
