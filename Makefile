@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft serve-smoke
+.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft bench-kernels bench-kernels-soft serve-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ bench-smoke:
 	$(GO) test -run='TestExternalProductIntoZeroAllocs' ./internal/rlwe/
 	$(GO) test -run='TestBlindRotateIntoZeroAllocs|TestBlindRotateTileZeroAllocs|TestCMuxIntoZeroAllocs' ./internal/tfhe/
 	$(GO) test -run='TestNTTZeroAllocs' ./internal/ring/
-	$(GO) test -run='TestAutomorphismIntoZeroAllocs|TestMergeLevelZeroAllocs' ./internal/rlwe/
+	$(GO) test -run='TestAutomorphismIntoZeroAllocs|TestMergeLevelZeroAllocs|TestTraceZeroAllocs' ./internal/rlwe/
 
 # Performance-trajectory gate: re-measure the key-major blind rotation at a
 # reduced batch size (the gated metric is per-rotation, so it compares against
@@ -55,6 +55,20 @@ benchdiff:
 
 benchdiff-soft:
 	@$(MAKE) benchdiff || echo "WARNING: benchdiff regression vs committed baseline (soft gate; not failing check)"
+
+# Modular-kernel trajectory gate: re-measure the per-prime kernel ablation
+# (scalar reduction chains, Shoup- vs Montgomery-twiddle NTT, fixed-shift vs
+# generic vector MAC) and compare the two vector-level figures against the
+# committed BENCH_kernels.json. Thresholds are generous because scalar-chain
+# and microsecond-scale timings are noisy on shared hosts; `check` runs the
+# soft wrapper for the same reason benchdiff is soft there.
+bench-kernels:
+	$(GO) run ./cmd/heapbench -benchjson /tmp/BENCH_kernels.json -kruns 2
+	$(GO) run ./cmd/benchdiff -metric ntt_shoup_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
+	$(GO) run ./cmd/benchdiff -metric mac_fixed_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
+
+bench-kernels-soft:
+	@$(MAKE) bench-kernels || echo "WARNING: kernel ablation regression vs committed BENCH_kernels.json (soft gate; not failing check)"
 
 # Service-layer smoke: build the daemon, then run the in-process acceptance
 # test under the race detector — two tenants on two connections each, with
@@ -86,8 +100,9 @@ cover:
 # fault-injection suite, run every fuzz seed corpus, keep the hot kernels
 # allocation-free, prove the serving layer coalesces correctly, hold the
 # coverage floors, and hold the committed blind-rotate and service
-# trajectories (soft: warns on regression).
-check: build vet race chaos fuzz-smoke bench-smoke serve-smoke cover benchdiff-soft
+# trajectories (soft: warns on regression), including the modular-kernel
+# ablation trajectory.
+check: build vet race chaos fuzz-smoke bench-smoke serve-smoke cover benchdiff-soft bench-kernels-soft
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.

@@ -259,36 +259,55 @@ func BenchmarkTable8SchemeSwitchSplit(b *testing.B) {
 
 // --- ablations (DESIGN.md) ---
 
-// BenchmarkAblationReduction compares Barrett vs Montgomery modular
-// multiplication (§IV-A chooses Barrett for DSP mapping).
+// BenchmarkAblationReduction is the per-prime kernel ablation behind the
+// §IV-A reduction-circuit choice: for every modulus of the committed paper
+// basis (seven 36-bit ciphertext primes, four 37-bit special primes) it
+// times the generic two-word Barrett, the fixed-shift single-word Barrett,
+// Montgomery, and Shoup fixed-operand kernels on a serially dependent chain
+// so neither the compiler nor the CPU pipeline can collapse the measured
+// latency. `heapbench -benchjson BENCH_kernels.json` writes the same
+// measurement as a committed, benchdiff-gated JSON record.
 func BenchmarkAblationReduction(b *testing.B) {
-	m := ring.NewModulus(ring.GenerateNTTPrimes(36, 13, 1)[0])
-	// A serially dependent chain over a varying operand so neither the
-	// compiler nor the CPU pipeline can collapse the measured latency.
-	b.Run("Barrett", func(b *testing.B) {
-		r := uint64(987654321)
-		for i := 0; i < b.N; i++ {
-			r = m.MulModBarrett(r^uint64(i), 123456789)
-		}
-		benchSink = r
-	})
-	b.Run("Montgomery", func(b *testing.B) {
-		xm := m.MForm(123456789)
-		r := uint64(987654321)
-		for i := 0; i < b.N; i++ {
-			r = m.MRed(r^uint64(i), xm)
-		}
-		benchSink = r
-	})
-	b.Run("Shoup", func(b *testing.B) {
-		w := uint64(123456789)
-		wS := m.ShoupPrecomp(w)
-		r := uint64(987654321)
-		for i := 0; i < b.N; i++ {
-			r = m.MulModShoup(r^uint64(i), w, wS)
-		}
-		benchSink = r
-	})
+	primes := ring.GenerateNTTPrimes(36, 13, 7)
+	primes = append(primes, ring.GenerateNTTPrimesUp(37, 13, 4)...)
+	for pi, q := range primes {
+		m := ring.NewModulus(q)
+		b.Run(fmt.Sprintf("q%02d", pi), func(b *testing.B) {
+			b.Run("Barrett", func(b *testing.B) {
+				r := uint64(987654321)
+				for i := 0; i < b.N; i++ {
+					r = m.MulModBarrett(r^uint64(i), 123456789)
+				}
+				benchSink = r
+			})
+			b.Run("BarrettFixed", func(b *testing.B) {
+				// r^i stays far below q²/b, so the x < q² precondition holds
+				// without a canonicalizing reduction in the loop.
+				r := uint64(987654321)
+				for i := 0; i < b.N; i++ {
+					r = m.MulModBarrettFixed(r^uint64(i), 123456789)
+				}
+				benchSink = r
+			})
+			b.Run("Montgomery", func(b *testing.B) {
+				xm := m.MForm(123456789)
+				r := uint64(987654321)
+				for i := 0; i < b.N; i++ {
+					r = m.MRed(r^uint64(i), xm)
+				}
+				benchSink = r
+			})
+			b.Run("Shoup", func(b *testing.B) {
+				w := uint64(123456789)
+				wS := m.ShoupPrecomp(w)
+				r := uint64(987654321)
+				for i := 0; i < b.N; i++ {
+					r = m.MulModShoup(r^uint64(i), w, wS)
+				}
+				benchSink = r
+			})
+		})
+	}
 }
 
 var benchSink uint64

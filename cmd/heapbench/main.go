@@ -23,6 +23,13 @@
 //	                     # the mode is picked by the output basename, and
 //	                     # -brcount/-brtile/-brworkers/-brnt/-brruns shrink
 //	                     # or reshape the run for quick regression checks
+//	heapbench -benchjson BENCH_kernels.json
+//	                     # per-prime modular-kernel ablation over the committed
+//	                     # basis (generic Barrett vs fixed-shift Barrett vs
+//	                     # Montgomery vs Shoup scalar chains, plus the Shoup- vs
+//	                     # Montgomery-twiddle NTT and the generic vs fixed-shift
+//	                     # vector MAC at the paper ring); -kruns sets the timed
+//	                     # runs per point
 //	heapbench -trace out.json
 //	                     # run a local bootstrap with the observability layer
 //	                     # on and write a Chrome trace_event timeline (open in
@@ -45,11 +52,13 @@ import (
 	"io"
 	"math"
 	"math/big"
+	"math/bits"
 	"net"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,7 +82,7 @@ func main() {
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
 	churn := flag.Bool("churn", false, "with -cluster: elastic membership churn demo (join/leave/kill mid-key-upload/hedge)")
 	benchJSON := flag.String("benchjson", "", "benchmark and write JSON to this file (mode from -benchmode, falling back to the output basename)")
-	benchMode := flag.String("benchmode", "", "benchjson mode: repack | blindrotate | serve (empty = infer from the output basename: BENCH_blindrotate* → blindrotate, BENCH_service* → serve, else repack)")
+	benchMode := flag.String("benchmode", "", "benchjson mode: repack | blindrotate | kernels | serve (empty = infer from the output basename: BENCH_blindrotate* → blindrotate, BENCH_kernels* → kernels, BENCH_service* → serve, else repack)")
 	serveFlag := flag.Bool("serve", false, "with -benchjson: shorthand for -benchmode serve (service-level load driver)")
 	svcTenants := flag.Int("svctenants", 2, "serve mode: tenants (distinct keys)")
 	svcConns := flag.Int("svcconns", 2, "serve mode: concurrent connections per tenant")
@@ -85,6 +94,8 @@ func main() {
 	brWorkers := flag.Int("brworkers", 1, "blind-rotate mode: batch workers (1 isolates the cache effect; >1 adds core scaling)")
 	brNT := flag.Int("brnt", 8, "blind-rotate mode: LWE dimension n_t (per-rotation cost scales linearly; the paper's 500 takes minutes per rotation on a CPU)")
 	brRuns := flag.Int("brruns", 2, "blind-rotate mode: timed runs per schedule (best is kept)")
+	kRuns := flag.Int("kruns", 3, "kernels mode: timed runs per kernel point (best is kept)")
+	rpWorkers := flag.String("rpworkers", "", "repack mode: comma-separated worker counts to sweep (e.g. 1,2,4,8); the sweep is appended to the JSON as worker_sweep alongside the gated serial/parallel pair")
 	trace := flag.String("trace", "", "write a Chrome trace_event timeline of the bootstrap to this file (combine with -cluster for the distributed demo)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the selected mode to this file")
@@ -135,6 +146,8 @@ func main() {
 			switch {
 			case strings.HasPrefix(base, "BENCH_blindrotate"):
 				mode = "blindrotate"
+			case strings.HasPrefix(base, "BENCH_kernels"):
+				mode = "kernels"
 			case strings.HasPrefix(base, "BENCH_service"):
 				mode = "serve"
 			default:
@@ -146,12 +159,14 @@ func main() {
 		switch mode {
 		case "blindrotate":
 			err = runBenchBlindRotate(*benchJSON, *brCount, *brTile, *brWorkers, *brNT, *brRuns)
+		case "kernels":
+			err = runBenchKernels(*benchJSON, *kRuns)
 		case "serve":
 			err = runBenchServe(*benchJSON, *svcTenants, *svcConns, *svcJobs, *svcBatch, *svcWindow)
 		case "repack":
-			err = runBenchJSON(*benchJSON)
+			err = runBenchJSON(*benchJSON, *rpWorkers)
 		default:
-			err = fmt.Errorf("unknown -benchmode %q (repack|blindrotate|serve)", mode)
+			err = fmt.Errorf("unknown -benchmode %q (repack|blindrotate|kernels|serve)", mode)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -217,15 +232,25 @@ func main() {
 // the resulting speedup. Cores is recorded because the speedup is only
 // meaningful when the host actually has parallel hardware.
 type benchResult struct {
-	LogN       int     `json:"logN"`
-	Limbs      int     `json:"q_limbs"`
-	Count      int     `json:"n_br"`
-	Cores      int     `json:"cores"`
-	Workers    int     `json:"parallel_workers"`
-	Runs       int     `json:"runs_per_point"`
-	SerialMs   float64 `json:"finish_serial_ms"`
-	ParallelMs float64 `json:"finish_parallel_ms"`
-	Speedup    float64 `json:"speedup"`
+	LogN        int          `json:"logN"`
+	Limbs       int          `json:"q_limbs"`
+	Count       int          `json:"n_br"`
+	Cores       int          `json:"cores"`
+	Workers     int          `json:"parallel_workers"`
+	Runs        int          `json:"runs_per_point"`
+	SerialMs    float64      `json:"finish_serial_ms"`
+	ParallelMs  float64      `json:"finish_parallel_ms"`
+	Speedup     float64      `json:"speedup"`
+	WorkerSweep []sweepPoint `json:"worker_sweep,omitempty"`
+}
+
+// sweepPoint is one entry of the optional -rpworkers sweep: the Finish wall
+// time at an explicit worker count. The sweep rides alongside the gated
+// serial/parallel pair (a new JSON field is a benchdiff pass-with-note, so
+// sweeping never invalidates a committed baseline).
+type sweepPoint struct {
+	Workers  int     `json:"workers"`
+	FinishMs float64 `json:"finish_ms"`
 }
 
 // runBenchJSON times the repacking tail of the bootstrap at the paper's ring
@@ -233,8 +258,9 @@ type benchResult struct {
 // per core (minimum four, the ISSUE's target), and writes the best-of-N
 // timings as JSON. The two configurations compute bit-identical outputs —
 // locked by the repack equivalence tests — so this is a pure scheduling
-// comparison.
-func runBenchJSON(path string) error {
+// comparison. A non-empty sweepSpec ("1,2,4") additionally times Finish at
+// each listed worker count.
+func runBenchJSON(path, sweepSpec string) error {
 	q := ring.GenerateNTTPrimes(36, 13, 7)
 	p := ring.GenerateNTTPrimesUp(37, 13, 4)
 	params := ckks.MustParameters(13, q, p, ring.DefaultSigma, 2, float64(uint64(1)<<35), 1<<12)
@@ -295,6 +321,20 @@ func runBenchJSON(path string) error {
 		return err
 	}
 	res.Speedup = res.SerialMs / res.ParallelMs
+	if sweepSpec != "" {
+		for _, field := range strings.Split(sweepSpec, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || w <= 0 {
+				return fmt.Errorf("heapbench: -rpworkers %q: each entry must be a positive integer", sweepSpec)
+			}
+			ms, err := timeFinish(w)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  sweep w%d: %.1f ms\n", w, ms)
+			res.WorkerSweep = append(res.WorkerSweep, sweepPoint{Workers: w, FinishMs: ms})
+		}
+	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -304,6 +344,192 @@ func runBenchJSON(path string) error {
 	}
 	fmt.Printf("serial %.1f ms, parallel %.1f ms, speedup %.2fx -> %s\n",
 		res.SerialMs, res.ParallelMs, res.Speedup, path)
+	return nil
+}
+
+// kernelPrimeResult is one row of the per-prime kernel ablation: the
+// best-of-N latency of each scalar reduction kernel on a serially dependent
+// chain at that modulus (the software analog of the paper's §IV-A
+// DSP-multiplier comparison, measured per modulus because the fixed-shift
+// Barrett window and the Montgomery constants are per-prime).
+type kernelPrimeResult struct {
+	Q              uint64  `json:"q"`
+	Bits           int     `json:"bits"`
+	BarrettNs      float64 `json:"barrett_ns"`
+	BarrettFixedNs float64 `json:"barrett_fixed_ns"`
+	MontgomeryNs   float64 `json:"montgomery_ns"`
+	ShoupNs        float64 `json:"shoup_ns"`
+}
+
+// kernelsBenchResult is the JSON record runBenchKernels writes: the
+// per-prime scalar-chain table over the committed basis, basis-wide
+// averages, and the two vector-level figures the Makefile gate compares —
+// the Shoup-twiddle NTT (the default transform) and the fixed-shift Barrett
+// MAC (the basis-conversion/external-product inner loop), both at the paper
+// ring. The Montgomery-twiddle NTT and the generic-Barrett MAC ride along
+// as the ablation counterfactuals.
+type kernelsBenchResult struct {
+	LogN              int                 `json:"logN"`
+	Limbs             int                 `json:"q_limbs"`
+	Cores             int                 `json:"cores"`
+	Runs              int                 `json:"runs_per_point"`
+	PerPrime          []kernelPrimeResult `json:"per_prime"`
+	BarrettNsAvg      float64             `json:"barrett_ns_avg"`
+	BarrettFixedNsAvg float64             `json:"barrett_fixed_ns_avg"`
+	MontgomeryNsAvg   float64             `json:"montgomery_ns_avg"`
+	ShoupNsAvg        float64             `json:"shoup_ns_avg"`
+	NTTShoupUs        float64             `json:"ntt_shoup_us"`
+	NTTMontgomeryUs   float64             `json:"ntt_montgomery_us"`
+	MacGenericUs      float64             `json:"mac_generic_us"`
+	MacFixedUs        float64             `json:"mac_fixed_us"`
+}
+
+// kernelSink defeats dead-code elimination of the scalar chains.
+var kernelSink uint64
+
+// chainNs times a serially dependent scalar chain: f must consume its
+// running value each iteration so the measured latency is the kernel's
+// dependent latency, not its pipelined throughput. Best of runs, ns/op.
+func chainNs(runs, iters int, f func(iters int) uint64) float64 {
+	best := math.MaxFloat64
+	for r := 0; r < runs; r++ {
+		t0 := time.Now()
+		kernelSink ^= f(iters)
+		if d := float64(time.Since(t0).Nanoseconds()) / float64(iters); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// runBenchKernels measures the per-prime modular-kernel ablation over the
+// committed paper basis and writes it as JSON. Three tiers: (1) scalar
+// dependent-latency chains of the four reduction kernels at every modulus,
+// (2) the full logN=13 NTT under Shoup vs Montgomery twiddles (bit-identical
+// transforms — the delta is pure kernel choice), (3) the vector MAC
+// (MulCoeffsAndAdd's fixed-shift loop vs a generic two-word Barrett scalar
+// reference). The committed BENCH_kernels.json gates tiers 2 and 3 via
+// `make bench-kernels`; tier 1 is the explanatory table DESIGN.md cites.
+func runBenchKernels(path string, runs int) error {
+	if runs <= 0 {
+		return fmt.Errorf("heapbench: -kruns must be positive")
+	}
+	primes := ring.GenerateNTTPrimes(36, 13, 7)
+	primes = append(primes, ring.GenerateNTTPrimesUp(37, 13, 4)...)
+	res := kernelsBenchResult{LogN: 13, Limbs: 7, Cores: runtime.NumCPU(), Runs: runs}
+	fmt.Printf("timing reduction kernels over %d primes (best of %d runs)...\n", len(primes), runs)
+
+	const chainIters = 1 << 21
+	for _, q := range primes {
+		m := ring.NewModulus(q)
+		row := kernelPrimeResult{Q: q, Bits: bits.Len64(q)}
+		row.BarrettNs = chainNs(runs, chainIters, func(n int) uint64 {
+			r := uint64(987654321)
+			for i := 0; i < n; i++ {
+				r = m.MulModBarrett(r^uint64(i), 123456789)
+			}
+			return r
+		})
+		row.BarrettFixedNs = chainNs(runs, chainIters, func(n int) uint64 {
+			// r^i stays far below q²/b, so the x < q² precondition holds.
+			r := uint64(987654321)
+			for i := 0; i < n; i++ {
+				r = m.MulModBarrettFixed(r^uint64(i), 123456789)
+			}
+			return r
+		})
+		row.MontgomeryNs = chainNs(runs, chainIters, func(n int) uint64 {
+			xm := m.MForm(123456789)
+			r := uint64(987654321)
+			for i := 0; i < n; i++ {
+				r = m.MRed(r^uint64(i), xm)
+			}
+			return r
+		})
+		row.ShoupNs = chainNs(runs, chainIters, func(n int) uint64 {
+			w := uint64(123456789)
+			wS := m.ShoupPrecomp(w)
+			r := uint64(987654321)
+			for i := 0; i < n; i++ {
+				r = m.MulModShoup(r^uint64(i), w, wS)
+			}
+			return r
+		})
+		res.PerPrime = append(res.PerPrime, row)
+		res.BarrettNsAvg += row.BarrettNs
+		res.BarrettFixedNsAvg += row.BarrettFixedNs
+		res.MontgomeryNsAvg += row.MontgomeryNs
+		res.ShoupNsAvg += row.ShoupNs
+	}
+	np := float64(len(primes))
+	res.BarrettNsAvg /= np
+	res.BarrettFixedNsAvg /= np
+	res.MontgomeryNsAvg /= np
+	res.ShoupNsAvg /= np
+
+	// Tier 2: the real transform at the paper ring, both twiddle modes.
+	r := ring.NewRing(13, primes[0])
+	poly := r.NewPoly()
+	ring.NewSampler(71).UniformPoly(r, poly)
+	const nttReps = 64
+	timeNTT := func(f func(ring.Poly)) float64 {
+		best := math.MaxFloat64
+		for run := 0; run < runs; run++ {
+			t0 := time.Now()
+			for i := 0; i < nttReps; i++ {
+				f(poly)
+			}
+			if d := float64(time.Since(t0).Microseconds()) / nttReps; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	res.NTTShoupUs = timeNTT(r.NTT)
+	res.NTTMontgomeryUs = timeNTT(r.NTTMontgomery)
+
+	// Tier 3: the vector MAC — the open-coded fixed-shift loop inside
+	// MulCoeffsAndAdd against a generic two-word Barrett scalar reference.
+	a, bb, acc := r.NewPoly(), r.NewPoly(), r.NewPoly()
+	s := ring.NewSampler(72)
+	s.UniformPoly(r, a)
+	s.UniformPoly(r, bb)
+	const macReps = 64
+	res.MacFixedUs = math.MaxFloat64
+	for run := 0; run < runs; run++ {
+		t0 := time.Now()
+		for i := 0; i < macReps; i++ {
+			r.MulCoeffsAndAdd(a, bb, acc)
+		}
+		if d := float64(time.Since(t0).Microseconds()) / macReps; d < res.MacFixedUs {
+			res.MacFixedUs = d
+		}
+	}
+	m := r.Mod
+	res.MacGenericUs = math.MaxFloat64
+	for run := 0; run < runs; run++ {
+		t0 := time.Now()
+		for i := 0; i < macReps; i++ {
+			for j := range acc {
+				acc[j] = m.AddMod(acc[j], m.MulModBarrett(a[j], bb[j]))
+			}
+		}
+		if d := float64(time.Since(t0).Microseconds()) / macReps; d < res.MacGenericUs {
+			res.MacGenericUs = d
+		}
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scalar avg over basis: Barrett %.1f ns, fixed Barrett %.1f ns, Montgomery %.1f ns, Shoup %.1f ns\n",
+		res.BarrettNsAvg, res.BarrettFixedNsAvg, res.MontgomeryNsAvg, res.ShoupNsAvg)
+	fmt.Printf("NTT (logN=13): Shoup %.1f us, Montgomery %.1f us; MAC: fixed %.1f us, generic %.1f us -> %s\n",
+		res.NTTShoupUs, res.NTTMontgomeryUs, res.MacFixedUs, res.MacGenericUs, path)
 	return nil
 }
 

@@ -26,6 +26,15 @@ type Modulus struct {
 	MRedQInv uint64
 	// RSquare = 2^128 mod q, used to enter the Montgomery domain.
 	RSquare uint64
+
+	// Fixed-shift Barrett constants, specialized to this prime's bit length
+	// at NewModulus time (the per-modulus functional-unit specialization of
+	// §IV-A): BRedMu = floor(2^{64+BRedShift} / q) with BRedShift = bitlen(q)-1.
+	// They reduce a full 128-bit product of canonical operands with a single
+	// 64×64→128 estimate multiply instead of the four multiplies of the
+	// generic two-word Barrett above.
+	BRedMu    uint64
+	BRedShift uint
 }
 
 // NewModulus precomputes the reduction constants for prime q.
@@ -53,6 +62,22 @@ func NewModulus(q uint64) Modulus {
 	hi2, lo2 := bits.Mul64(r64, r64)
 	_, r128 := bits.Div64(hi2%q, lo2, q)
 	m.RSquare = r128
+
+	// Fixed-shift Barrett: with s = bitlen(q)-1, mu = floor(2^{64+s}/q) fits
+	// a word (2^s ≤ q... q > 2^s ⟹ mu < 2^64) and a product x = a·b of
+	// canonical operands satisfies x < q² < 2^{2s+2}, so floor(x/2^s) fits a
+	// word and mulhi(floor(x/2^s), mu) underestimates floor(x/q) by at most 2.
+	s := uint(bits.Len64(q)) - 1
+	if uint64(1)<<s == q {
+		// Exact power of two (not an NTT prime, but NewModulus accepts it):
+		// drop one bit so the dividend's high word stays below q. The error
+		// bound only improves — f/q halves.
+		s--
+	}
+	m.BRedShift = s
+	// 2^{64+s} = (2^s)·2^64: one long division, high word 2^s < q.
+	mu, _ := bits.Div64(1<<s, 0, q)
+	m.BRedMu = mu
 
 	return m
 }
@@ -91,10 +116,19 @@ func (m Modulus) Reduce(a uint64) uint64 {
 	return a % m.Q
 }
 
-// BarrettReduce128 reduces the 128-bit value hi·2^64 + lo modulo q.
-// It implements the classic Barrett reduction the paper maps onto DSP
-// multipliers: estimate the quotient with the precomputed floor(2^128/q),
-// multiply back and correct with at most two conditional subtractions.
+// BarrettReduce128 reduces the 128-bit value hi·2^64 + lo modulo q, for
+// hi < q (every caller reduces a product of a canonical operand pair, or a
+// value below q·2^64). It implements the classic Barrett reduction the paper
+// maps onto DSP multipliers: estimate the quotient with the precomputed
+// floor(2^128/q), multiply back and correct with at most two conditional
+// subtractions.
+//
+// The quotient estimate only ever underestimates, by at most 2: one unit
+// from truncating floor(2^128/q) to 128 bits, one from the dropped low word
+// of the 256-bit product (its carry into the kept words is what carry1/
+// carry2 recover, but the estimate still floors). The remainder therefore
+// lands in [0, 3q), which two conditional subtractions canonicalize — no
+// data-dependent loop.
 func (m Modulus) BarrettReduce128(hi, lo uint64) uint64 {
 	// qest = floor((hi·2^64 + lo) · (BRedHi·2^64 + BRedLo) / 2^128)
 	ahiuhi := hi * m.BRedHi // low 64 bits of the 2^128 term are all we need
@@ -106,10 +140,42 @@ func (m Modulus) BarrettReduce128(hi, lo uint64) uint64 {
 	qest := ahiuhi + h1 + h2 + carry1 + carry2
 
 	r := lo - qest*m.Q
-	for r >= m.Q {
+	if r >= m.Q {
+		r -= m.Q
+	}
+	if r >= m.Q {
 		r -= m.Q
 	}
 	return r
+}
+
+// BarrettReduce128Fixed reduces the 128-bit product hi·2^64 + lo modulo q
+// using the per-prime fixed-shift constants: a single 64×64→128 multiply
+// estimates the quotient, against the four multiplies of the generic
+// two-word reduction. It requires hi·2^64 + lo < q² (i.e. a product of two
+// canonical operands), which is what pins the quotient underestimate to at
+// most 2 and the correction to two conditional subtractions.
+func (m Modulus) BarrettReduce128Fixed(hi, lo uint64) uint64 {
+	s := m.BRedShift
+	// xs = floor(x / 2^s) < 2^{s+2}, assembled from both words.
+	xs := hi<<(64-s) | lo>>s
+	qest, _ := bits.Mul64(xs, m.BRedMu) // floor(xs·mu / 2^64) ∈ [floor(x/q)-2, floor(x/q)]
+	r := lo - qest*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// MulModBarrettFixed returns a·b mod q for canonical a, b < q via the
+// fixed-shift Barrett path. Bit-identical to MulModBarrett on canonical
+// operands; this is the form the MAC inner loops run.
+func (m Modulus) MulModBarrettFixed(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.BarrettReduce128Fixed(hi, lo)
 }
 
 // MulModBarrett returns a·b mod q using Barrett reduction.
@@ -136,6 +202,23 @@ func (m Modulus) MRed(a, b uint64) uint64 {
 	}
 	if r >= m.Q {
 		r -= m.Q
+	}
+	return r
+}
+
+// MRedLazy is MRed without the final conditional subtraction: for a < 2q
+// and b < q (q < 2^61) the result lies in [0, 2q) — the same lazy interval
+// the Shoup butterflies ride in, so the two twiddle representations can be
+// swapped under an identical reduction discipline. The NTT's Montgomery
+// mode calls it with a lazy coefficient and a canonical Montgomery-domain
+// twiddle.
+func (m Modulus) MRedLazy(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	u := lo * m.MRedQInv
+	h, _ := bits.Mul64(u, m.Q)
+	r := hi + h
+	if lo != 0 {
+		r++
 	}
 	return r
 }

@@ -23,7 +23,7 @@ func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
 	n := r.N
 	p = p[:n]
 	t := n
-	for m := 1; m < n; m <<= 1 {
+	for m := 1; m < n>>1; m <<= 1 {
 		t >>= 1
 		for i := 0; i < m; i++ {
 			w := psi[m+i]
@@ -46,15 +46,51 @@ func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
 			}
 		}
 	}
-	for i := range p {
-		c := p[i]
+	// Last stage (t=1, m=n/2), open-coded: pairs are adjacent, so direct
+	// indexing replaces 4096 one-element subslice loops, and the canonical
+	// sweep is fused into the butterfly instead of running as an extra pass
+	// over the polynomial. Arithmetic and reduction order are exactly those
+	// of the generic stage followed by the old sweep — bit-identical output.
+	if n == 1 {
+		c := p[0]
 		if c >= twoQ {
 			c -= twoQ
 		}
 		if c >= q {
 			c -= q
 		}
-		p[i] = c
+		p[0] = c
+		return
+	}
+	{
+		m := n >> 1
+		for i := 0; i < m; i++ {
+			w := psi[m+i]
+			wS := psiShoup[m+i]
+			u := p[2*i]
+			if u >= twoQ {
+				u -= twoQ
+			}
+			v := p[2*i+1]
+			hi, _ := bits.Mul64(v, wS)
+			v = v*w - hi*q
+			x := u + v // < 4q
+			if x >= twoQ {
+				x -= twoQ
+			}
+			if x >= q {
+				x -= q
+			}
+			y := u + twoQ - v // < 4q
+			if y >= twoQ {
+				y -= twoQ
+			}
+			if y >= q {
+				y -= q
+			}
+			p[2*i] = x
+			p[2*i+1] = y
+		}
 	}
 }
 
@@ -69,7 +105,29 @@ func (r *Ring) INTT(p Poly) {
 	n := r.N
 	p = p[:n]
 	t := 1
-	for m := n; m > 1; m >>= 1 {
+	if n >= 2 {
+		// First stage (t=1, h=n/2), open-coded with direct indexing for the
+		// same reason as the forward transform's last stage: the pairs are
+		// adjacent and a one-element subslice loop per butterfly costs more
+		// than the butterfly. Arithmetic is identical — bit-identical output.
+		h := n >> 1
+		for i := 0; i < h; i++ {
+			w := r.psiInvTable[h+i]
+			wS := r.psiInvTableShoup[h+i]
+			u := p[2*i]
+			v := p[2*i+1]
+			c := u + v // < 4q
+			if c >= twoQ {
+				c -= twoQ
+			}
+			p[2*i] = c
+			d := u + twoQ - v // < 4q
+			hi, _ := bits.Mul64(d, wS)
+			p[2*i+1] = d*w - hi*q // lazy Shoup ∈ [0, 2q)
+		}
+		t = 2
+	}
+	for m := n >> 1; m > 1; m >>= 1 {
 		h := m >> 1
 		j1 := 0
 		for i := 0; i < h; i++ {
@@ -148,3 +206,169 @@ func (r *Ring) NTTOnTheFlyWith(p Poly, sc *TwiddleScratch) {
 // NTTLazy is NTT followed by no extra normalization; it exists for symmetry
 // of naming in benchmark code.
 func (r *Ring) NTTLazy(p Poly) { r.NTT(p) }
+
+// NTTMontgomery is the forward transform with Montgomery-domain twiddle
+// tables: each butterfly multiplies by ψ·2^64 mod q through MRedLazy instead
+// of the Shoup pair. Same Harvey lazy-reduction discipline (coefficients in
+// [0, 4q) between stages, canonical sweep at the end), so the output is
+// bit-identical to NTT — the two modes differ only in which per-prime
+// constant form feeds the butterfly multiplier. Exposed so the §IV-A
+// reduction choice is measurable on the real transform, not just on scalar
+// chains; the default NTT keeps whichever mode the committed kernel
+// ablation shows faster.
+func (r *Ring) NTTMontgomery(p Poly) {
+	q := r.Mod.Q
+	qInv := r.Mod.MRedQInv
+	twoQ := 2 * q
+	n := r.N
+	psi := r.psiTableMont
+	p = p[:n]
+	t := n
+	for m := 1; m < n>>1; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := psi[m+i]
+			j1 := 2 * i * t
+			a := p[j1 : j1+t]
+			b := p[j1+t : j1+2*t]
+			b = b[:len(a)]
+			for j := range a {
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				// v ← MRedLazy(b[j], w) ∈ [0, 2q), inlined.
+				hi, lo := bits.Mul64(b[j], w)
+				uu := lo * qInv
+				h, _ := bits.Mul64(uu, q)
+				v := hi + h
+				if lo != 0 {
+					v++
+				}
+				a[j] = u + v
+				b[j] = u + twoQ - v
+			}
+		}
+	}
+	// Open-coded fused last stage, mirroring nttWithTables so the committed
+	// ablation compares the twiddle kernel, not the loop structure.
+	if n == 1 {
+		c := p[0]
+		if c >= twoQ {
+			c -= twoQ
+		}
+		if c >= q {
+			c -= q
+		}
+		p[0] = c
+		return
+	}
+	{
+		m := n >> 1
+		for i := 0; i < m; i++ {
+			w := psi[m+i]
+			u := p[2*i]
+			if u >= twoQ {
+				u -= twoQ
+			}
+			hi, lo := bits.Mul64(p[2*i+1], w)
+			uu := lo * qInv
+			h, _ := bits.Mul64(uu, q)
+			v := hi + h
+			if lo != 0 {
+				v++
+			}
+			x := u + v
+			if x >= twoQ {
+				x -= twoQ
+			}
+			if x >= q {
+				x -= q
+			}
+			y := u + twoQ - v
+			if y >= twoQ {
+				y -= twoQ
+			}
+			if y >= q {
+				y -= q
+			}
+			p[2*i] = x
+			p[2*i+1] = y
+		}
+	}
+}
+
+// INTTMontgomery is the inverse transform in the Montgomery twiddle mode;
+// bit-identical to INTT (see NTTMontgomery).
+func (r *Ring) INTTMontgomery(p Poly) {
+	q := r.Mod.Q
+	qInv := r.Mod.MRedQInv
+	twoQ := 2 * q
+	n := r.N
+	p = p[:n]
+	t := 1
+	if n >= 2 {
+		// Open-coded first stage, mirroring INTT (see NTTMontgomery).
+		h := n >> 1
+		for i := 0; i < h; i++ {
+			w := r.psiInvTableMont[h+i]
+			u := p[2*i]
+			v := p[2*i+1]
+			c := u + v
+			if c >= twoQ {
+				c -= twoQ
+			}
+			p[2*i] = c
+			d := u + twoQ - v
+			hi, lo := bits.Mul64(d, w)
+			uu := lo * qInv
+			hh, _ := bits.Mul64(uu, q)
+			e := hi + hh
+			if lo != 0 {
+				e++
+			}
+			p[2*i+1] = e
+		}
+		t = 2
+	}
+	for m := n >> 1; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := r.psiInvTableMont[h+i]
+			a := p[j1 : j1+t]
+			b := p[j1+t : j1+2*t]
+			b = b[:len(a)]
+			for j := range a {
+				u := a[j]
+				v := b[j]
+				c := u + v
+				if c >= twoQ {
+					c -= twoQ
+				}
+				a[j] = c
+				d := u + twoQ - v
+				hi, lo := bits.Mul64(d, w)
+				uu := lo * qInv
+				hh, _ := bits.Mul64(uu, q)
+				e := hi + hh
+				if lo != 0 {
+					e++
+				}
+				b[j] = e
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	nInv, nInvS := r.nInv, r.nInvShoup
+	for i := range p {
+		x := p[i]
+		hi, _ := bits.Mul64(x, nInvS)
+		x = x*nInv - hi*q
+		if x >= q {
+			x -= q
+		}
+		p[i] = x
+	}
+}

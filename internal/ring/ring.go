@@ -35,11 +35,15 @@ type Ring struct {
 
 	// Twiddle tables in the bit-reversed order used by the in-place
 	// Cooley-Tukey / Gentleman-Sande passes: psiTable[i] = psi^{brv(i)},
-	// together with their Shoup companions for the fixed-operand fast path.
+	// together with their Shoup companions for the fixed-operand fast path
+	// and their Montgomery-domain images (psi^{brv(i)}·2^64 mod q) for the
+	// MRed butterfly mode — both per-prime forms derived once at ring build.
 	psiTable         []uint64
 	psiTableShoup    []uint64
+	psiTableMont     []uint64
 	psiInvTable      []uint64
 	psiInvTableShoup []uint64
+	psiInvTableMont  []uint64
 
 	nInv      uint64 // N^{-1} mod q
 	nInvShoup uint64
@@ -55,14 +59,18 @@ func NewRing(logN int, q uint64) *Ring {
 
 	r.psiTable = make([]uint64, n)
 	r.psiTableShoup = make([]uint64, n)
+	r.psiTableMont = make([]uint64, n)
 	r.psiInvTable = make([]uint64, n)
 	r.psiInvTableShoup = make([]uint64, n)
+	r.psiInvTableMont = make([]uint64, n)
 
 	fillTwiddles(r.Mod, r.psi, logN, r.psiTable)
 	fillTwiddles(r.Mod, r.psiInv, logN, r.psiInvTable)
 	for i := 0; i < n; i++ {
 		r.psiTableShoup[i] = r.Mod.ShoupPrecomp(r.psiTable[i])
 		r.psiInvTableShoup[i] = r.Mod.ShoupPrecomp(r.psiInvTable[i])
+		r.psiTableMont[i] = r.Mod.MForm(r.psiTable[i])
+		r.psiInvTableMont[i] = r.Mod.MForm(r.psiInvTable[i])
 	}
 	r.nInv = r.Mod.InvMod(uint64(n))
 	r.nInvShoup = r.Mod.ShoupPrecomp(r.nInv)
@@ -131,33 +139,49 @@ func (r *Ring) Neg(a, out Poly) {
 // operands must be in NTT representation for this to realize a negacyclic
 // polynomial product.
 func (r *Ring) MulCoeffs(a, b, out Poly) {
+	// Open-coded fixed-shift Barrett (see MulCoeffsAndAdd): the merge tree's
+	// NTT-domain monomial rotation runs through here, so it gets the same
+	// per-prime specialization as the MAC.
+	q := r.Mod.Q
+	mu, shift := r.Mod.BRedMu, r.Mod.BRedShift
+	a = a[:len(out)]
+	b = b[:len(out)]
 	for i := range out {
-		out[i] = r.Mod.MulMod(a[i], b[i])
+		hi, lo := bits.Mul64(a[i], b[i])
+		qest, _ := bits.Mul64(hi<<(64-shift)|lo>>shift, mu)
+		p := lo - qest*q
+		if p >= q {
+			p -= q
+		}
+		if p >= q {
+			p -= q
+		}
+		out[i] = p
 	}
 }
 
 // MulCoeffsAndAdd sets out += a ⊙ b, the fused multiply-accumulate that the
 // paper's external-product MAC units implement (§IV-A).
 func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
-	// Open-coded Barrett MAC: this is the inner loop of the key-switch digit
-	// accumulation, so the modulus constants are hoisted and the operand
-	// slices pinned to len(out) for bounds-check elimination. The arithmetic
-	// is exactly Modulus.MulModBarrett + AddMod.
+	// Open-coded fixed-shift Barrett MAC: this is the inner loop of the
+	// key-switch digit accumulation, so the per-prime constants are hoisted
+	// and the operand slices pinned to len(out) for bounds-check
+	// elimination. The arithmetic is exactly Modulus.MulModBarrettFixed +
+	// AddMod, which on canonical operands is bit-identical to the generic
+	// two-word Barrett this loop used to run — one estimate multiply per
+	// coefficient instead of four.
 	q := r.Mod.Q
-	bredHi, bredLo := r.Mod.BRedHi, r.Mod.BRedLo
+	mu, shift := r.Mod.BRedMu, r.Mod.BRedShift
 	a = a[:len(out)]
 	b = b[:len(out)]
 	for i := range out {
 		hi, lo := bits.Mul64(a[i], b[i])
-		ahiuhi := hi * bredHi
-		h1, l1 := bits.Mul64(hi, bredLo)
-		h2, l2 := bits.Mul64(lo, bredHi)
-		h3, _ := bits.Mul64(lo, bredLo)
-		mid, carry1 := bits.Add64(l1, l2, 0)
-		_, carry2 := bits.Add64(mid, h3, 0)
-		qest := ahiuhi + h1 + h2 + carry1 + carry2
+		qest, _ := bits.Mul64(hi<<(64-shift)|lo>>shift, mu)
 		p := lo - qest*q
-		for p >= q {
+		if p >= q {
+			p -= q
+		}
+		if p >= q {
 			p -= q
 		}
 		s := out[i] + p
@@ -170,10 +194,21 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
 
 // MulScalar sets out = c·a (mod q).
 func (r *Ring) MulScalar(a Poly, c uint64, out Poly) {
+	// Open-coded Shoup loop (the scalar is a fixed operand): constants
+	// hoisted and operand pinned for bounds-check elimination, same as the
+	// other hot vector kernels. Bit-identical to MulModShoup per coefficient.
 	c = r.Mod.Reduce(c)
 	cShoup := r.Mod.ShoupPrecomp(c)
+	q := r.Mod.Q
+	a = a[:len(out)]
 	for i := range out {
-		out[i] = r.Mod.MulModShoup(a[i], c, cShoup)
+		x := a[i]
+		hi, _ := bits.Mul64(x, cShoup)
+		v := x*c - hi*q
+		if v >= q {
+			v -= q
+		}
+		out[i] = v
 	}
 }
 

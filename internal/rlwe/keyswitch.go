@@ -282,6 +282,32 @@ func (ks *KeySwitcher) switchPolyCoeff(cCoeff rns.Poly, gct *GadgetCiphertext, d
 	ks.modDown.ApplyWith(accA.q, accA.p, d1, sc.md)
 }
 
+// switchPolyCoeffSplit is switchPolyCoeff with a split output domain: d0 is
+// produced in NTT representation as usual, while d1 is emitted directly in
+// coefficient representation via the linear ModDown variant. This is the
+// trace kernel: the repack trace feeds the next step's decomposition from
+// d1, so keeping it in the coefficient domain hoists the per-step INTT out
+// of the loop. cCoeff may alias d1Coeff — the decomposition consumes the
+// input before the final ModDown writes the output.
+func (ks *KeySwitcher) switchPolyCoeffSplit(cCoeff rns.Poly, gct *GadgetCiphertext, d0, d1Coeff rns.Poly, sc *Scratch) {
+	level := cCoeff.Level()
+	accB := sc.accB.atLevel(level)
+	accA := sc.accA.atLevel(level)
+	accB.q.Zero()
+	accB.p.Zero()
+	accA.q.Zero()
+	accA.p.Zero()
+	ks.rec.Add(obs.CounterKeySwitch, 1)
+	dig := sc.dig.atLevel(level)
+	for j := 0; j < ks.params.DigitsAtLevel(level); j++ {
+		ks.decomposeDigit(j, level, cCoeff, dig, sc)
+		ks.macRow(accB, dig, gct.B[j], level)
+		ks.macRow(accA, dig, gct.A[j], level)
+	}
+	ks.modDown.ApplyWith(accB.q, accB.p, d0, sc.md)
+	ks.modDown.ApplyCoeffWith(accA.q, accA.p, d1Coeff, sc.md)
+}
+
 // Relinearize reduces a degree-2 ciphertext (c0, c1, c2) to degree 1 using
 // the relinearization key (a gadget encryption of s²).
 func (ks *KeySwitcher) Relinearize(c0, c1, c2 rns.Poly, rlk *GadgetCiphertext) (r0, r1 rns.Poly) {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"heap/internal/obs"
+	"heap/internal/rns"
 )
 
 // PackingKeys holds the Galois keys for the automorphisms X → X^{2^j+1}
@@ -59,6 +60,8 @@ func NewRepacker(ks *KeySwitcher, pk *PackingKeys, workers int) *Repacker {
 		return &mergeScratch{
 			d:  NewCiphertext(ks.params, ks.params.MaxLevel()),
 			r:  NewCiphertext(ks.params, ks.params.MaxLevel()),
+			tc: ks.params.QBasis.NewPoly(),
+			ta: ks.params.QBasis.NewPoly(),
 			sc: ks.NewScratch(),
 		}
 	}
@@ -66,12 +69,15 @@ func NewRepacker(ks *KeySwitcher, pk *PackingKeys, workers int) *Repacker {
 }
 
 // mergeScratch is one worker's arena for a merge-tree node: the diff and
-// rotated temporaries plus the key-switch scratch. The backing arrays are
-// allocated at the maximum level; ctAtLevel re-slices them in place so a
-// warm arena serves any level without allocating.
+// rotated temporaries, the hoisted coefficient-domain trace state (tc holds
+// the running C1 across trace steps, ta its automorphed image), and the
+// key-switch scratch. The backing arrays are allocated at the maximum level;
+// ctAtLevel / AtLevel re-slice them in place so a warm arena serves any
+// level without allocating.
 type mergeScratch struct {
-	d, r *Ciphertext
-	sc   *Scratch
+	d, r   *Ciphertext
+	tc, ta rns.Poly
+	sc     *Scratch
 }
 
 // ctAtLevel truncates a max-level scratch ciphertext to level limbs in
@@ -150,6 +156,18 @@ func (rp *Repacker) Pack(cts []*Ciphertext) (*Ciphertext, error) {
 // Trace applies σ_{2^j+1} for 2^j = 2·count … N in place: coefficients at
 // stride N/count are fixed and doubled at every step (total factor N/count);
 // all other coefficients cancel. With count = N it is a no-op.
+//
+// The loop is serial — each step's automorphism consumes the previous step's
+// output — but the decomposition input is hoisted into the coefficient
+// domain across the whole chain: the running C1 is INTT'd once up front,
+// each step permutes it with a coefficient-domain automorphism, decomposes
+// it directly (skipping the per-step INTT inside the key switch), and the
+// key switch emits its C1 update back in the coefficient domain via the
+// linear ModDown variant. C1 re-enters the NTT domain once, after the last
+// step. Every constituent map is exact and emits canonical residues, so the
+// result is bit-identical to the retired step-by-step AutomorphismInto loop
+// (kept as the reference in pack_test.go) — proven by the property tests,
+// not just close.
 func (rp *Repacker) Trace(out *Ciphertext, count int) (*Ciphertext, error) {
 	n := rp.ks.params.N()
 	if count < 1 || count&(count-1) != 0 || count > n {
@@ -160,17 +178,45 @@ func (rp *Repacker) Trace(out *Ciphertext, count int) (*Ciphertext, error) {
 			return nil, fmt.Errorf("rlwe: missing packing key for galois element %d", step+1)
 		}
 	}
+	if 2*count > n {
+		return out, nil
+	}
+	ks := rp.ks
 	level := out.Level()
-	b := rp.ks.params.QBasis.AtLevel(level)
+	b := ks.params.QBasis.AtLevel(level)
 	ms := rp.scratch.Get().(*mergeScratch)
 	defer rp.scratch.Put(ms)
 	rot := ctAtLevel(ms.r, level)
+
+	// Hoist the running C1 into the coefficient domain.
+	c1c := ms.tc.AtLevel(level)
+	ta := ms.ta.AtLevel(level)
+	for i := 0; i < level; i++ {
+		copy(c1c.Limbs[i], out.C1.Limbs[i])
+	}
+	b.INTT(c1c)
+	ks.rec.Add(obs.CounterNTT, uint64(level))
+
 	for step := 2 * count; step <= n; step <<= 1 {
 		g := uint64(step + 1)
-		rp.ks.AutomorphismInto(rot, out, g, rp.pk.Keys[g], ms.sc)
-		b.Add(out.C0, rot.C0, out.C0)
-		b.Add(out.C1, rot.C1, out.C1)
+		gk := rp.pk.Keys[g]
+		// σ_g of the running value: C1 in the coefficient domain (exact,
+		// the canonical image of the NTT-slot permutation), C0 in the NTT
+		// domain as before.
+		b.Automorphism(c1c, g, ta)
+		// d0 → rot.C0 (NTT), d1 → ta in place (coefficient domain).
+		ks.switchPolyCoeffSplit(ta, gk, rot.C0, ta, ms.sc)
+		b.AutomorphismNTT(out.C0, ks.EnsurePerm(g), rot.C1)
+		b.Add(out.C0, rot.C1, out.C0) // += σ_g(C0)
+		b.Add(out.C0, rot.C0, out.C0) // += d0
+		b.Add(c1c, ta, c1c)           // C1 += d1, still in coefficient domain
 	}
+
+	for i := 0; i < level; i++ {
+		copy(out.C1.Limbs[i], c1c.Limbs[i])
+	}
+	b.NTT(out.C1)
+	ks.rec.Add(obs.CounterNTT, uint64(level))
 	return out, nil
 }
 

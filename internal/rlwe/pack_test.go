@@ -340,3 +340,53 @@ func TestMergeLevelZeroAllocs(t *testing.T) {
 		t.Fatalf("one merge-tree level allocates %.1f objects/op, want 0", avg)
 	}
 }
+
+// TestHoistedTraceMatchesPreHoistingReference pins the hoisted trace — which
+// carries its running C1 in the coefficient domain and skips the per-step
+// INTT inside the key switch — bit-exactly to the pre-hoisting
+// automorphism-and-add loop kept above as refTrace. Hoisting changes the
+// evaluation order, so identity (not closeness) is the contract: every map in
+// the hoisted chain is exact on canonical residues. Run under -race this also
+// exercises the trace state in the pooled per-worker arenas.
+func TestHoistedTraceMatchesPreHoistingReference(t *testing.T) {
+	p, ks, pk, _, _ := packFixture(t, 5)
+	s := ring.NewSampler(0xbeef)
+	rp := NewRepacker(ks, pk, 1)
+	for _, count := range []int{1, 2, 8, p.N() / 2, p.N()} {
+		for level := 1; level <= p.MaxLevel(); level++ {
+			ct := randCiphertext(p, s, level)
+			want := refTrace(ks, ct.CopyNew(), count, pk)
+			got, err := rp.Trace(ct.CopyNew(), count)
+			if err != nil {
+				t.Fatalf("count=%d level=%d: %v", count, level, err)
+			}
+			if !ctsEqual(p, want, got) {
+				t.Errorf("count=%d level=%d: hoisted Trace differs from pre-hoisting reference", count, level)
+			}
+		}
+	}
+}
+
+// TestTraceZeroAllocs locks the hoisted trace to the heap-free contract the
+// merge tree already holds: with a warm arena (the mergeScratch grew
+// coefficient-domain trace state for the hoisting), tracing a ciphertext
+// down to the subring must not allocate.
+func TestTraceZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; the allocation lock only holds in regular builds")
+	}
+	p, ks, pk, _, _ := packFixture(t, 5)
+	s := ring.NewSampler(11)
+	rp := NewRepacker(ks, pk, 1)
+	ct := randCiphertext(p, s, p.MaxLevel())
+	if _, err := rp.Trace(ct, 1); err != nil { // warm arena + perm cache
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if _, err := rp.Trace(ct, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("hoisted trace allocates %.1f objects/op, want 0", avg)
+	}
+}

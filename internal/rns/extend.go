@@ -189,6 +189,15 @@ func (e *Extender) ExtendSelectedWith(p Poly, out Poly, dstIdx []int, sc *Extend
 			yi := ys[i][:n]
 			yi = yi[:len(oj)] // bounds-check elimination for yi[k]
 			for k := range oj {
+				// Eagerly canonical accumulation, on purpose: both
+				// conditional subtractions below lower to branchless
+				// conditional moves, whereas the lazy alternative (carry the
+				// accumulator in [0, 2q) with one subtraction per term plus a
+				// canonical sweep per limb) defeats that lowering and
+				// measured ~3× slower per term on the reference host — see
+				// the modular-kernel ablation in EXPERIMENTS.md. The lazy
+				// interval only pays off when it removes work from a longer
+				// dependent chain, as in the NTT butterflies.
 				y := yi[k]
 				hi, _ := bits.Mul64(y, wShoup)
 				r := y*w - hi*q // lazy Shoup ∈ [0, 2q)
@@ -249,6 +258,33 @@ func (md *ModDown) NewScratch() *ModDownScratch {
 // (its residues modulo P, NTT representation). out must have level limbs.
 func (md *ModDown) Apply(cQ, cP, out Poly) {
 	md.ApplyWith(cQ, cP, out, md.NewScratch())
+}
+
+// ApplyCoeffWith is ApplyWith emitting the result in coefficient
+// representation: instead of NTT-transforming the extended P-part to meet cQ
+// in the evaluation domain, it INTTs each cQ limb and subtracts in the
+// coefficient domain — the same number of limb transforms, but the output
+// needs no separate INTT. Because the inverse transform is linear and every
+// step emits canonical residues, the result is bit-identical to
+// INTT(ApplyWith(...)): this is what lets the repack trace carry its running
+// C1 in the coefficient domain across steps (hoisting the per-step INTT out
+// of the key-switch) without perturbing a single bit of the output.
+func (md *ModDown) ApplyCoeffWith(cQ, cP, out Poly, sc *ModDownScratch) {
+	level := lvl(cQ, out)
+	cPc := sc.cPc
+	for i := range cPc.Limbs {
+		copy(cPc.Limbs[i], cP.Limbs[i])
+	}
+	md.pBasis.INTT(cPc)
+	extended := sc.ext.AtLevel(level)
+	md.ext.ExtendWith(cPc, extended, sc.conv)
+	for i := 0; i < level; i++ {
+		ri := md.qBasis.Rings[i]
+		copy(out.Limbs[i], cQ.Limbs[i])
+		ri.INTT(out.Limbs[i])
+		ri.Sub(out.Limbs[i], extended.Limbs[i], out.Limbs[i])
+		ri.MulScalar(out.Limbs[i], md.pInvModQ[i], out.Limbs[i])
+	}
 }
 
 // ApplyWith is Apply with caller-owned scratch; allocation-free.
