@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft bench-kernels bench-kernels-soft serve-smoke
+.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft bench-kernels bench-kernels-soft serve-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,8 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff BENCH_blindrotate.json /tmp/BENCH_blindrotate.json
 	$(GO) run ./cmd/heapbench -benchmode serve -benchjson /tmp/BENCH_service.json
 	$(GO) run ./cmd/benchdiff -metric p99_ms -max-regress 75 BENCH_service.json /tmp/BENCH_service.json
+	$(GO) run ./cmd/heapbench -benchmode load -benchjson /tmp/BENCH_load.json -ldjobs 24 -ldworkers 1,2 -ldrates 200 -ldpatterns uniform,hotkey
+	$(GO) run ./cmd/benchdiff -metric closed_us_per_job -max-regress 75 BENCH_load.json /tmp/BENCH_load.json
 
 benchdiff-soft:
 	@$(MAKE) benchdiff || echo "WARNING: benchdiff regression vs committed baseline (soft gate; not failing check)"
@@ -78,13 +80,24 @@ serve-smoke:
 	$(GO) build ./cmd/heapd
 	$(GO) test -race -count=1 -run 'TestServiceCoalescesAcrossConnections|TestServiceAdmissionIsolatesTenants' ./internal/serve/
 
+# Load-harness smoke: the overload suite under the race detector (bounded
+# queue, non-fatal rejections, p99 within budget, zero ledger gap, virtual-
+# clock determinism), then a tiny heapbench load matrix driven end to end
+# through the real stack — proof that `-benchmode load` can regenerate the
+# committed BENCH_load.json shape on any host in a few seconds.
+load-smoke:
+	$(GO) test -race -count=1 -run 'TestClosedLoopServesEverything|TestOverloadBoundedQueueWithinBudget|TestOverloadVirtualClockDeterministic' ./internal/load/
+	$(GO) run ./cmd/heapbench -benchmode load -benchjson /tmp/BENCH_load_smoke.json -ldjobs 12 -ldworkers 1 -ldrates 200 -ldpatterns uniform,hotkey
+	$(GO) run ./cmd/benchdiff -metric closed_us_per_job -max-regress 150 BENCH_load.json /tmp/BENCH_load_smoke.json
+
 # Per-package statement-coverage gate over the packages that carry the
 # correctness burden. Floors sit ~2 points under measured head (core 90.8%,
-# cluster 80.9%, rlwe 89.7%) so the gate trips on real coverage loss — a
-# deleted test, an uncovered new subsystem — not on noise.
+# cluster 80.9%, rlwe 89.7%, serve 82.4%, load 88.2%) so the gate trips on
+# real coverage loss — a deleted test, an uncovered new subsystem — not on
+# noise.
 cover:
 	@set -e; \
-	for spec in internal/core:88 internal/cluster:78 internal/rlwe:87; do \
+	for spec in internal/core:88 internal/cluster:78 internal/rlwe:87 internal/serve:80 internal/load:86; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "FAIL: no coverage output for $$pkg"; exit 1; fi; \
@@ -98,11 +111,11 @@ cover:
 # detector (the cluster chaos tests plus the concurrent-automorphism and
 # shared-key-switcher tests are the concurrency exercise), survive the
 # fault-injection suite, run every fuzz seed corpus, keep the hot kernels
-# allocation-free, prove the serving layer coalesces correctly, hold the
-# coverage floors, and hold the committed blind-rotate and service
-# trajectories (soft: warns on regression), including the modular-kernel
-# ablation trajectory.
-check: build vet race chaos fuzz-smoke bench-smoke serve-smoke cover benchdiff-soft bench-kernels-soft
+# allocation-free, prove the serving layer coalesces correctly and survives
+# overload with bounded queues, hold the coverage floors, and hold the
+# committed blind-rotate, service, and load-matrix trajectories (soft: warns
+# on regression), including the modular-kernel ablation trajectory.
+check: build vet race chaos fuzz-smoke bench-smoke serve-smoke load-smoke cover benchdiff-soft bench-kernels-soft
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.

@@ -9,9 +9,10 @@
 // metric is the blind-rotate mode's per-rotation figure, which is independent
 // of the batch size, so a quick -brcount run can be gated against a committed
 // full-size baseline. Context fields that change what the metric means
-// (ring, limbs, tile, n_t) must match between the two records; a mismatch is
-// an error, not a regression. Everything here is stdlib-only so the gate
-// runs anywhere the toolchain does.
+// (ring, limbs, tile, n_t by default; override with -context) must match
+// between the two records; a mismatch is an error, not a regression.
+// Everything here is stdlib-only so the gate runs anywhere the toolchain
+// does.
 package main
 
 import (
@@ -19,23 +20,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
+
+// defaultContextKeys are the comparability keys every heapbench record
+// shares: the arithmetic shape of the measured workload.
+const defaultContextKeys = "logN,q_limbs,tile,n_t"
 
 func main() {
 	metric := flag.String("metric", "batch_us_per_rot", "numeric JSON field to compare (lower is better)")
 	maxRegress := flag.Float64("max-regress", 10, "fail when the metric is worse by more than this percentage")
+	contextSpec := flag.String("context", defaultContextKeys, "comma-separated context keys that must match between the records")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metric name] [-max-regress pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metric name] [-max-regress pct] [-context keys] old.json new.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *metric, *maxRegress); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *metric, *maxRegress, contextKeys(*contextSpec)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, metric string, maxRegress float64) error {
+// contextKeys splits a -context spec, dropping empty fields so "" disables
+// the comparability check entirely (a deliberate, visible choice on the
+// command line, not a silent skip).
+func contextKeys(spec string) []string {
+	var keys []string
+	for _, field := range strings.Split(spec, ",") {
+		if k := strings.TrimSpace(field); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func run(oldPath, newPath, metric string, maxRegress float64, ctxKeys []string) error {
 	oldRec, err := load(oldPath)
 	if err != nil {
 		return err
@@ -48,7 +68,7 @@ func run(oldPath, newPath, metric string, maxRegress float64) error {
 	// parameter point; batch size (n_br) and host parallelism may differ
 	// because the gated metrics are per-unit and the schedules are
 	// bit-identical, but the arithmetic shape must not.
-	for _, key := range []string{"logN", "q_limbs", "tile", "n_t"} {
+	for _, key := range ctxKeys {
 		ov, oOK := number(oldRec, key)
 		nv, nOK := number(newRec, key)
 		switch {

@@ -21,10 +21,10 @@ func TestRunComparesAndGates(t *testing.T) {
 	okP := writeRec(t, "ok.json", `{"logN": 13, "batch_us_per_rot": 104}`)
 	badP := writeRec(t, "bad.json", `{"logN": 13, "batch_us_per_rot": 140}`)
 
-	if err := run(oldP, okP, "batch_us_per_rot", 10); err != nil {
+	if err := run(oldP, okP, "batch_us_per_rot", 10, contextKeys(defaultContextKeys)); err != nil {
 		t.Fatalf("4%% drift within a 10%% threshold must pass: %v", err)
 	}
-	if err := run(oldP, badP, "batch_us_per_rot", 10); err == nil {
+	if err := run(oldP, badP, "batch_us_per_rot", 10, contextKeys(defaultContextKeys)); err == nil {
 		t.Fatal("40% regression past a 10% threshold must fail")
 	}
 }
@@ -35,12 +35,12 @@ func TestRunNewMetricPassesWithNote(t *testing.T) {
 	// committed baseline.
 	oldP := writeRec(t, "old.json", `{"logN": 13, "batch_us_per_rot": 100}`)
 	newP := writeRec(t, "new.json", `{"logN": 13, "batch_us_per_rot": 100, "churn_resume_ms": 12}`)
-	if err := run(oldP, newP, "churn_resume_ms", 10); err != nil {
+	if err := run(oldP, newP, "churn_resume_ms", 10, contextKeys(defaultContextKeys)); err != nil {
 		t.Fatalf("metric absent from baseline must pass with a note: %v", err)
 	}
 	// The reverse — the candidate lost a metric the baseline has — stays an
 	// error: that is instrumentation lost, not gained.
-	if err := run(newP, oldP, "churn_resume_ms", 10); err == nil ||
+	if err := run(newP, oldP, "churn_resume_ms", 10, contextKeys(defaultContextKeys)); err == nil ||
 		!strings.Contains(err.Error(), "no numeric field") {
 		t.Fatalf("metric missing from candidate must error, got %v", err)
 	}
@@ -49,7 +49,7 @@ func TestRunNewMetricPassesWithNote(t *testing.T) {
 func TestRunContextMismatch(t *testing.T) {
 	oldP := writeRec(t, "old.json", `{"logN": 13, "batch_us_per_rot": 100}`)
 	newP := writeRec(t, "new.json", `{"logN": 14, "batch_us_per_rot": 100}`)
-	if err := run(oldP, newP, "batch_us_per_rot", 10); err == nil ||
+	if err := run(oldP, newP, "batch_us_per_rot", 10, contextKeys(defaultContextKeys)); err == nil ||
 		!strings.Contains(err.Error(), "not comparable") {
 		t.Fatalf("context mismatch must error, got %v", err)
 	}
@@ -77,7 +77,7 @@ func TestRunContextKeyOneSided(t *testing.T) {
 				}
 				oldP := writeRec(t, "old.json", oldBody)
 				newP := writeRec(t, "new.json", newBody)
-				err := run(oldP, newP, "batch_us_per_rot", 10)
+				err := run(oldP, newP, "batch_us_per_rot", 10, contextKeys(defaultContextKeys))
 				if err == nil {
 					t.Fatalf("context key %q present on one side only must error", key)
 				}
@@ -102,7 +102,31 @@ func TestRunContextKeyAbsentBothSides(t *testing.T) {
 	rec := `{"logN": 13, "q_limbs": 7, "finish_parallel_ms": 50}`
 	oldP := writeRec(t, "old.json", rec)
 	newP := writeRec(t, "new.json", rec)
-	if err := run(oldP, newP, "finish_parallel_ms", 10); err != nil {
+	if err := run(oldP, newP, "finish_parallel_ms", 10, contextKeys(defaultContextKeys)); err != nil {
 		t.Fatalf("context keys absent from both records must stay comparable: %v", err)
+	}
+}
+
+// TestContextKeysFlag locks the -context override: a custom key list is the
+// comparability contract, so records that mismatch on a custom key must
+// error, records that only mismatch on a key outside the list must pass, and
+// an empty spec disables the check entirely.
+func TestContextKeysFlag(t *testing.T) {
+	oldP := writeRec(t, "old.json", `{"logN": 13, "gomaxprocs": 1, "closed_us_per_job": 100}`)
+	newP := writeRec(t, "new.json", `{"logN": 14, "gomaxprocs": 2, "closed_us_per_job": 100}`)
+
+	if err := run(oldP, newP, "closed_us_per_job", 10, contextKeys("gomaxprocs")); err == nil ||
+		!strings.Contains(err.Error(), "gomaxprocs") {
+		t.Fatalf("custom context key mismatch must error naming the key, got %v", err)
+	}
+	// logN differs but is outside the custom list: comparable.
+	if err := run(oldP, newP, "closed_us_per_job", 10, contextKeys("tile")); err != nil {
+		t.Fatalf("keys outside the custom list must not gate: %v", err)
+	}
+	if err := run(oldP, newP, "closed_us_per_job", 10, contextKeys("")); err != nil {
+		t.Fatalf("empty -context disables the check: %v", err)
+	}
+	if got := contextKeys(defaultContextKeys); len(got) != 4 || got[0] != "logN" || got[3] != "n_t" {
+		t.Fatalf("default context keys parsed as %v", got)
 	}
 }

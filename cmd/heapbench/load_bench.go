@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"heap/internal/load"
+	"heap/internal/serve"
+)
+
+// loadBenchResult is the JSON record runBenchLoad writes: the scaling matrix
+// from the closed-/open-loop harness (internal/load) over worker/executor
+// counts, offered-load points, and arrival patterns, plus one gated scalar —
+// the closed-loop per-job service time at the 1-executor/1-worker baseline,
+// which is schedule-deterministic (no arrival randomness in closed loop) and
+// so the least noisy figure in the matrix. The context keys (logN, q_limbs,
+// n_t, tile) pin the ring the harness runs at; every point in `matrix` is a
+// full load.Result with its own ledger and coalescing accounting.
+type loadBenchResult struct {
+	LogN  int `json:"logN"`
+	Limbs int `json:"q_limbs"`
+	NT    int `json:"n_t"`
+	Tile  int `json:"tile"`
+
+	Cores        int     `json:"cores"`
+	MaxProcs     int     `json:"gomaxprocs"`
+	Tenants      int     `json:"tenants"`
+	Conns        int     `json:"conns_per_tenant"`
+	RotsPerJob   int     `json:"rot_per_job"`
+	JobsPerPoint int     `json:"jobs_per_point"`
+	WindowMs     float64 `json:"window_ms"`
+	BudgetMs     float64 `json:"budget_ms"`
+	QueueLimit   int     `json:"queue_limit"`
+
+	// Gated figures, from the closed-loop uniform baseline point
+	// (executors=1, workers=1).
+	ClosedUsPerJob float64 `json:"closed_us_per_job"`
+	ClosedP99Ms    float64 `json:"closed_p99_ms"`
+
+	Matrix []load.Result `json:"matrix"`
+}
+
+// loadBenchTile is the key-major tile every harness point runs at; 8 matches
+// the serve bench so the two records describe the same executor shape.
+const loadBenchTile = 8
+
+// parseIntList parses a comma-separated list of positive integers ("1,2,4").
+func parseIntList(flagName, spec string) ([]int, error) {
+	var out []int
+	for _, field := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("heapbench: %s %q: each entry must be a positive integer", flagName, spec)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parsePatterns validates a comma-separated arrival-pattern list against the
+// harness's registry.
+func parsePatterns(spec string) ([]load.Pattern, error) {
+	known := make(map[load.Pattern]bool)
+	for _, p := range load.Patterns() {
+		known[p] = true
+	}
+	var out []load.Pattern
+	for _, field := range strings.Split(spec, ",") {
+		p := load.Pattern(strings.TrimSpace(field))
+		if !known[p] {
+			return nil, fmt.Errorf("heapbench: -ldpatterns %q: unknown pattern %q (have %v)", spec, p, load.Patterns())
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runBenchLoad drives the serving layer through internal/load and writes the
+// scaling matrix as JSON:
+//
+//   - a closed-loop worker/executor sweep (uniform arrivals): for each entry
+//     n of workersSpec, one point with n executors and, for n > 1, one point
+//     with n batch workers inside a single executor — the two axes the
+//     paper's parallel claims live on. Entries are clamped to
+//     max(2, GOMAXPROCS): above GOMAXPROCS they could only measure scheduler
+//     churn, but a 2-way point always runs so the matrix keeps its sweep
+//     shape even on a 1-core host (where, as EXPERIMENTS.md notes, the >1
+//     points measure interleaving overhead, not parallel speedup).
+//   - an open-loop offered-load sweep: every pattern of patternsSpec at every
+//     rate of ratesSpec (jobs/s across the system), against a bounded queue
+//     and a per-job deadline budget, so the points past saturation show
+//     rejection rate and bounded p99 rather than unbounded queueing.
+//
+// Each point is an independent harness (fresh server + tenant fleet) so the
+// registry, admission buckets, and EWMA start identically; determinism
+// within a point comes from the harness's seeded schedule.
+func runBenchLoad(path string, jobs int, workersSpec, ratesSpec, patternsSpec string) error {
+	if jobs <= 0 {
+		return fmt.Errorf("heapbench: -ldjobs must be positive")
+	}
+	levels, err := parseIntList("-ldworkers", workersSpec)
+	if err != nil {
+		return err
+	}
+	rates, err := parseIntList("-ldrates", ratesSpec)
+	if err != nil {
+		return err
+	}
+	patterns, err := parsePatterns(patternsSpec)
+	if err != nil {
+		return err
+	}
+
+	maxProcs := runtime.GOMAXPROCS(0)
+	base := load.Config{
+		Tenants:        2,
+		ConnsPerTenant: 2,
+		Window:         5 * time.Millisecond,
+		Tile:           loadBenchTile,
+		Jobs:           jobs,
+		RotsPerJob:     4,
+		Seed:           7,
+		Warmup:         true,
+	}
+	openBudget := 2 * time.Second
+	const queueLimit = 16
+
+	res := loadBenchResult{
+		// The harness ring (load.benchBoot): logN=6, three 30-bit limbs, and
+		// NT=0 which makes the LWE dimension the ring degree N=64.
+		LogN: 6, Limbs: 3, NT: 64, Tile: loadBenchTile,
+		Cores: runtime.NumCPU(), MaxProcs: maxProcs,
+		Tenants: base.Tenants, Conns: base.ConnsPerTenant,
+		RotsPerJob: base.RotsPerJob, JobsPerPoint: jobs,
+		WindowMs:   float64(base.Window.Microseconds()) / 1e3,
+		BudgetMs:   float64(openBudget.Microseconds()) / 1e3,
+		QueueLimit: queueLimit,
+	}
+	fmt.Printf("load matrix: %d jobs/point, workers %v, rates %v jobs/s, patterns %v (GOMAXPROCS %d)\n",
+		jobs, levels, rates, patterns, maxProcs)
+
+	runPoint := func(tag string, cfg load.Config) (load.Result, error) {
+		pt, err := load.Run(cfg)
+		if err != nil {
+			return pt, fmt.Errorf("heapbench: load point %s: %w", tag, err)
+		}
+		if gap := pt.LedgerGap(); gap != 0 {
+			return pt, fmt.Errorf("heapbench: load point %s: ledger gap %d at quiesce", tag, gap)
+		}
+		fmt.Printf("  %-28s %6.1f jobs/s  p50 %6.2f ms  p99 %6.2f ms  rej %4.0f%%  coalesced %3.0f%%\n",
+			tag, pt.AchievedPerSec, pt.Latency.P50Ms, pt.Latency.P99Ms,
+			100*pt.RejectionRate, 100*pt.CoalescedFrac)
+		res.Matrix = append(res.Matrix, pt)
+		return pt, nil
+	}
+
+	// Closed-loop worker/executor sweep: saturation capacity vs parallelism.
+	sweepCap := maxProcs
+	if sweepCap < 2 {
+		sweepCap = 2
+	}
+	seen := make(map[int]bool)
+	for _, n := range levels {
+		if n > sweepCap {
+			fmt.Printf("  (clamping sweep entry %d to %d: GOMAXPROCS is %d)\n", n, sweepCap, maxProcs)
+			n = sweepCap
+		}
+		if n > maxProcs {
+			fmt.Printf("  (sweep entry %d exceeds GOMAXPROCS=%d: the point measures interleaving, not parallel speedup)\n", n, maxProcs)
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		cfg := base
+		cfg.Pattern = load.Uniform
+		cfg.Executors = n
+		cfg.Workers = 1
+		pt, err := runPoint(fmt.Sprintf("closed e%d/w1", n), cfg)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			res.ClosedUsPerJob = pt.WallMs * 1e3 / float64(pt.Served)
+			res.ClosedP99Ms = pt.Latency.P99Ms
+		}
+		if n > 1 {
+			cfg.Executors = 1
+			cfg.Workers = n
+			if _, err := runPoint(fmt.Sprintf("closed e1/w%d", n), cfg); err != nil {
+				return err
+			}
+		}
+	}
+	if res.ClosedUsPerJob == 0 {
+		// The sweep skipped n=1; gate against the smallest level instead of
+		// silently writing a zero the benchdiff baseline check would reject.
+		return fmt.Errorf("heapbench: -ldworkers %q must include 1 (the gated baseline point)", workersSpec)
+	}
+
+	// Open-loop offered-load sweep: pattern × rate against the bounded queue.
+	maxLevel := 1
+	for _, n := range levels {
+		if n > maxLevel && n <= sweepCap {
+			maxLevel = n
+		}
+	}
+	for _, pat := range patterns {
+		for _, rate := range rates {
+			cfg := base
+			cfg.Pattern = pat
+			cfg.Executors = maxLevel
+			cfg.Workers = 1
+			cfg.OfferedRate = float64(rate)
+			cfg.Budget = openBudget
+			cfg.Admission = serve.AdmissionConfig{QueueLimit: queueLimit}
+			if _, err := runPoint(fmt.Sprintf("open %s @%d/s e%d", pat, rate, maxLevel), cfg); err != nil {
+				return err
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d matrix points, closed-loop baseline %.0f us/job (p99 %.2f ms) -> %s\n",
+		len(res.Matrix), res.ClosedUsPerJob, res.ClosedP99Ms, path)
+	return nil
+}

@@ -30,6 +30,13 @@
 //	                     # Montgomery-twiddle NTT and the generic vs fixed-shift
 //	                     # vector MAC at the paper ring); -kruns sets the timed
 //	                     # runs per point
+//	heapbench -benchjson BENCH_load.json
+//	                     # closed-/open-loop scaling matrix through the full
+//	                     # serving stack (internal/load): a worker/executor
+//	                     # sweep plus an offered-load sweep per arrival
+//	                     # pattern, each point with latency percentiles,
+//	                     # rejection rate, and coalescing counters;
+//	                     # -ldjobs/-ldworkers/-ldrates/-ldpatterns reshape it
 //	heapbench -trace out.json
 //	                     # run a local bootstrap with the observability layer
 //	                     # on and write a Chrome trace_event timeline (open in
@@ -82,13 +89,17 @@ func main() {
 	chaos := flag.Bool("cluster", false, "run an in-process distributed bootstrap with fault injection")
 	churn := flag.Bool("churn", false, "with -cluster: elastic membership churn demo (join/leave/kill mid-key-upload/hedge)")
 	benchJSON := flag.String("benchjson", "", "benchmark and write JSON to this file (mode from -benchmode, falling back to the output basename)")
-	benchMode := flag.String("benchmode", "", "benchjson mode: repack | blindrotate | kernels | serve (empty = infer from the output basename: BENCH_blindrotate* → blindrotate, BENCH_kernels* → kernels, BENCH_service* → serve, else repack)")
+	benchMode := flag.String("benchmode", "", "benchjson mode: repack | blindrotate | kernels | serve | load (empty = infer from the output basename: BENCH_blindrotate* → blindrotate, BENCH_kernels* → kernels, BENCH_service* → serve, BENCH_load* → load, else repack)")
 	serveFlag := flag.Bool("serve", false, "with -benchjson: shorthand for -benchmode serve (service-level load driver)")
 	svcTenants := flag.Int("svctenants", 2, "serve mode: tenants (distinct keys)")
 	svcConns := flag.Int("svcconns", 2, "serve mode: concurrent connections per tenant")
 	svcJobs := flag.Int("svcjobs", 8, "serve mode: jobs per connection")
 	svcBatch := flag.Int("svcbatch", 16, "serve mode: rotations per job")
 	svcWindow := flag.Duration("svcwindow", 20*time.Millisecond, "serve mode: coalescing window")
+	ldJobs := flag.Int("ldjobs", 48, "load mode: jobs per matrix point")
+	ldWorkers := flag.String("ldworkers", "1,2", "load mode: comma-separated parallelism sweep for the closed-loop points (each entry runs as N executors and, when >1, as N batch workers; clamped to GOMAXPROCS)")
+	ldRates := flag.String("ldrates", "100,200,400", "load mode: comma-separated offered-load sweep in jobs/s for the open-loop points")
+	ldPatterns := flag.String("ldpatterns", "uniform,hotkey,bursty", "load mode: comma-separated arrival patterns for the open-loop sweep")
 	brCount := flag.Int("brcount", 256, "blind-rotate mode: batch size n_br")
 	brTile := flag.Int("brtile", tfhe.DefaultTile, "blind-rotate mode: key-major tile size")
 	brWorkers := flag.Int("brworkers", 1, "blind-rotate mode: batch workers (1 isolates the cache effect; >1 adds core scaling)")
@@ -150,6 +161,8 @@ func main() {
 				mode = "kernels"
 			case strings.HasPrefix(base, "BENCH_service"):
 				mode = "serve"
+			case strings.HasPrefix(base, "BENCH_load"):
+				mode = "load"
 			default:
 				mode = "repack"
 			}
@@ -163,10 +176,12 @@ func main() {
 			err = runBenchKernels(*benchJSON, *kRuns)
 		case "serve":
 			err = runBenchServe(*benchJSON, *svcTenants, *svcConns, *svcJobs, *svcBatch, *svcWindow)
+		case "load":
+			err = runBenchLoad(*benchJSON, *ldJobs, *ldWorkers, *ldRates, *ldPatterns)
 		case "repack":
 			err = runBenchJSON(*benchJSON, *rpWorkers)
 		default:
-			err = fmt.Errorf("unknown -benchmode %q (repack|blindrotate|kernels|serve)", mode)
+			err = fmt.Errorf("unknown -benchmode %q (repack|blindrotate|kernels|serve|load)", mode)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -32,62 +33,134 @@ import (
 	"heap/internal/serve"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:7901", "frame-protocol listen address")
-	metricsAddr := flag.String("metrics", "", "HTTP listen address for the /metrics JSON snapshot (empty = disabled)")
-	scale := flag.String("scale", "test", "parameter scale: test (N=128, seconds) or paper (N=2^13, CPU heavy)")
-	window := flag.Duration("window", 10*time.Millisecond, "coalescing window: how long a tenant's first job waits for same-key company")
-	executors := flag.Int("executors", 1, "concurrent batch executors")
-	tile := flag.Int("tile", 0, "key-major tile size (0 = engine default)")
-	workers := flag.Int("workers", 0, "batch workers per executor (0 = bootstrapper default)")
-	rate := flag.Float64("rate", 0, "per-tenant admission rate in jobs/sec (0 = unlimited)")
-	burst := flag.Float64("burst", 0, "per-tenant admission burst (0 = max(1, rate))")
-	queue := flag.Int("queue", 0, "server-wide queued-job cap, reject-on-full (0 = unbounded)")
-	maxKeyMB := flag.Int64("maxkeymb", 0, "registry key budget in MiB, LRU-evicted (0 = unbounded)")
-	flag.Parse()
+// daemonConfig is the parsed flag set — main fills it from the command
+// line, tests fill it directly.
+type daemonConfig struct {
+	addr        string
+	metricsAddr string // empty = metrics endpoint disabled
+	scale       string
+	window      time.Duration
+	executors   int
+	tile        int
+	workers     int
+	rate        float64
+	burst       float64
+	queue       int
+	maxKeyBytes int64
+}
 
-	boot, err := buildBootstrapper(*scale)
+// daemon is a running heapd: listeners bound, serve loop live. Tests start
+// one on ephemeral ports, drive it over real TCP, and Shutdown it; main
+// starts one on the flag addresses and blocks in Wait.
+type daemon struct {
+	srv       *serve.Server
+	ln        net.Listener
+	metricsLn net.Listener
+	httpSrv   *http.Server
+	served    chan struct{}
+}
+
+// startDaemon builds the engine, binds both listeners, and launches the
+// serve loops. On success the daemon is accepting connections; progress
+// lines go to out.
+func startDaemon(cfg daemonConfig, out io.Writer) (*daemon, error) {
+	boot, err := buildBootstrapper(cfg.scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return nil, err
 	}
 	srv := serve.NewServer(boot, serve.Config{
-		MaxKeyBytes: *maxKeyMB << 20,
-		Admission:   serve.AdmissionConfig{QueueLimit: *queue, RatePerSec: *rate, Burst: *burst},
-		Window:      *window,
-		Executors:   *executors,
-		Tile:        *tile,
-		Workers:     *workers,
+		MaxKeyBytes: cfg.maxKeyBytes,
+		Admission:   serve.AdmissionConfig{QueueLimit: cfg.queue, RatePerSec: cfg.rate, Burst: cfg.burst},
+		Window:      cfg.window,
+		Executors:   cfg.executors,
+		Tile:        cfg.tile,
+		Workers:     cfg.workers,
 	})
+	d := &daemon{srv: srv, served: make(chan struct{})}
 
-	ln, err := net.Listen("tcp", *addr)
+	d.ln, err = net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.metricsAddr != "" {
+		d.metricsLn, err = net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			_ = d.ln.Close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		d.httpSrv = &http.Server{Handler: mux}
+		go func() { _ = d.httpSrv.Serve(d.metricsLn) }()
+		fmt.Fprintf(out, "heapd: metrics on http://%s/metrics\n", d.metricsLn.Addr())
+	}
+
+	fmt.Fprintf(out, "heapd: serving %s-scale bootstraps on %s (window %v, executors %d)\n",
+		cfg.scale, d.ln.Addr(), cfg.window, cfg.executors)
+	go func() {
+		defer close(d.served)
+		_ = d.srv.Serve(cluster.ListenerFrom(d.ln))
+	}()
+	return d, nil
+}
+
+// Addr returns the bound frame-protocol address (useful with ":0").
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// MetricsAddr returns the bound metrics address ("" when disabled).
+func (d *daemon) MetricsAddr() string {
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
+}
+
+// Wait blocks until the serve loop exits (listener closed).
+func (d *daemon) Wait() { <-d.served }
+
+// Shutdown drains the daemon: stop accepting, wait for in-flight
+// connections, release the executors, and stop the metrics endpoint.
+// Idempotent enough for main's signal path and a test's defer to share.
+func (d *daemon) Shutdown() {
+	_ = d.ln.Close()
+	<-d.served
+	d.srv.Close()
+	if d.httpSrv != nil {
+		_ = d.httpSrv.Close()
+	}
+}
+
+func main() {
+	var cfg daemonConfig
+	var maxKeyMB int64
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7901", "frame-protocol listen address")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "", "HTTP listen address for the /metrics JSON snapshot (empty = disabled)")
+	flag.StringVar(&cfg.scale, "scale", "test", "parameter scale: test (N=128, seconds) or paper (N=2^13, CPU heavy)")
+	flag.DurationVar(&cfg.window, "window", 10*time.Millisecond, "coalescing window: how long a tenant's first job waits for same-key company")
+	flag.IntVar(&cfg.executors, "executors", 1, "concurrent batch executors")
+	flag.IntVar(&cfg.tile, "tile", 0, "key-major tile size (0 = engine default)")
+	flag.IntVar(&cfg.workers, "workers", 0, "batch workers per executor (0 = bootstrapper default)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-tenant admission rate in jobs/sec (0 = unlimited)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-tenant admission burst (0 = max(1, rate))")
+	flag.IntVar(&cfg.queue, "queue", 0, "server-wide queued-job cap, reject-on-full (0 = unbounded)")
+	flag.Int64Var(&maxKeyMB, "maxkeymb", 0, "registry key budget in MiB, LRU-evicted (0 = unbounded)")
+	flag.Parse()
+	cfg.maxKeyBytes = maxKeyMB << 20
+
+	d, err := startDaemon(cfg, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", srv.MetricsHandler())
-		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "heapd: metrics listener:", err)
-			}
-		}()
-		fmt.Printf("heapd: metrics on http://%s/metrics\n", *metricsAddr)
-	}
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Println("heapd: draining")
-		_ = ln.Close()
+		_ = d.ln.Close()
 	}()
-
-	fmt.Printf("heapd: serving %s-scale bootstraps on %s (window %v, executors %d)\n",
-		*scale, *addr, *window, *executors)
-	_ = srv.Serve(cluster.ListenerFrom(ln))
-	srv.Close()
+	d.Wait()
+	d.Shutdown()
 	fmt.Println("heapd: stopped")
 }
 

@@ -1,0 +1,133 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Pattern names an arrival process. Patterns shape WHO submits WHEN; the
+// job payloads themselves are identical across patterns so throughput
+// numbers compare apples to apples.
+type Pattern string
+
+const (
+	// Uniform spreads open-loop arrivals evenly over the tenant set with
+	// exponential (Poisson) inter-arrival times — the baseline curve.
+	Uniform Pattern = "uniform"
+	// HotKey draws the submitting tenant from a Zipf distribution, so one
+	// tenant dominates the offered load. This is the coalescer's best case
+	// (most jobs share one key) and the fairness stress for admission: the
+	// hot tenant must exhaust its own token bucket, not everyone's.
+	HotKey Pattern = "hotkey"
+	// Bursty gates a Poisson process through on/off windows: arrivals
+	// cluster at a multiple of the average rate during bursts, then go
+	// silent. Exercises queue growth and deadline expiry under transient
+	// overload at the same average offered load as Uniform.
+	Bursty Pattern = "bursty"
+)
+
+// Patterns lists every arrival pattern, in sweep order.
+func Patterns() []Pattern { return []Pattern{Uniform, HotKey, Bursty} }
+
+// event is one scheduled open-loop arrival, fully determined by the
+// config's seed: when, which tenant, which of its connections, and which
+// pre-built payload the job carries. The schedule is computed before the
+// run starts so the measured section does no RNG work and two runs with
+// the same seed offer byte-identical load.
+type event struct {
+	at      time.Duration
+	tenant  int
+	conn    int
+	payload int
+}
+
+// schedule builds the deterministic arrival schedule for an open-loop run:
+// cfg.Jobs events over a Poisson process at cfg.OfferedRate jobs/s, with
+// the tenant choice and the burst gating drawn from the same seeded source.
+func schedule(cfg *Config, r *rand.Rand) ([]event, error) {
+	if cfg.OfferedRate <= 0 {
+		return nil, fmt.Errorf("load: open-loop schedule requires OfferedRate > 0")
+	}
+	pickTenant, err := tenantPicker(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bursty: arrivals only inside [cycle·period, cycle·period+BurstLen).
+	// Compressing the same average rate into the burst windows multiplies
+	// the instantaneous rate by period/burst.
+	period := cfg.BurstLen + cfg.GapLen
+	rate := cfg.OfferedRate
+	if cfg.Pattern == Bursty {
+		rate *= float64(period) / float64(cfg.BurstLen)
+	}
+
+	evs := make([]event, cfg.Jobs)
+	var t float64 // seconds
+	for i := range evs {
+		t += r.ExpFloat64() / rate
+		at := time.Duration(t * float64(time.Second))
+		if cfg.Pattern == Bursty {
+			phase := at % period
+			if phase >= cfg.BurstLen {
+				// Fell in the gap: shift to the start of the next burst.
+				at += period - phase
+				t = float64(at) / float64(time.Second)
+			}
+		}
+		tenant := pickTenant()
+		evs[i] = event{
+			at:      at,
+			tenant:  tenant,
+			conn:    r.Intn(cfg.ConnsPerTenant),
+			payload: r.Intn(cfg.PayloadPool),
+		}
+	}
+	return evs, nil
+}
+
+// tenantPicker returns the seeded tenant-choice function for the pattern.
+func tenantPicker(cfg *Config, r *rand.Rand) (func() int, error) {
+	switch cfg.Pattern {
+	case HotKey:
+		s := cfg.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		if cfg.Tenants == 1 {
+			return func() int { return 0 }, nil
+		}
+		z := rand.NewZipf(r, s, 1, uint64(cfg.Tenants-1))
+		return func() int { return int(z.Uint64()) }, nil
+	case Uniform, Bursty:
+		return func() int { return r.Intn(cfg.Tenants) }, nil
+	default:
+		return nil, fmt.Errorf("load: unknown arrival pattern %q", cfg.Pattern)
+	}
+}
+
+// Clock is a virtual clock for deterministic concurrency tests: it only
+// moves when the test calls Advance, and it plugs into serve.Config.Now so
+// admission's token buckets and deadline-expiry checks run on test time
+// while the goroutine scheduling underneath stays real. The zero value is
+// not ready; use NewClock.
+type Clock struct {
+	base time.Time
+	ns   atomic.Int64
+}
+
+// NewClock returns a virtual clock pinned to an arbitrary fixed epoch.
+func NewClock() *Clock {
+	// The epoch is fixed, not time.Now(): two runs of the same test see
+	// identical timestamps everywhere the clock reaches.
+	return &Clock{base: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current virtual time. Safe for concurrent use.
+func (c *Clock) Now() time.Time { return c.base.Add(time.Duration(c.ns.Load())) }
+
+// Advance moves the clock forward by d (concurrent-safe, monotonic as long
+// as every caller passes d ≥ 0).
+func (c *Clock) Advance(d time.Duration) { c.ns.Add(int64(d)) }

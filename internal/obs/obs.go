@@ -153,8 +153,22 @@ const (
 	// CounterKeysEvicted counts unpinned tenant keys evicted from the
 	// registry to make room under the LRU byte bound.
 	CounterKeysEvicted
+	// CounterJobsExpired counts admitted jobs whose deadline budget expired
+	// while they waited in the coalescing queue; they are rejected at
+	// dispatch without touching the key. Together with CounterJobsServed and
+	// CounterJobsFailed they partition the admitted jobs, so at quiesce
+	// admitted = served + expired + failed — the ledger-consistency
+	// invariant the shutdown tests assert.
+	CounterJobsExpired
+	// CounterJobsServed counts admitted jobs whose full accumulator stream
+	// (all FrameAccs plus the FrameBatchEnd) was written back successfully.
+	CounterJobsServed
+	// CounterJobsFailed counts admitted jobs that terminally failed after
+	// admission: their connection died mid-reply or the batch rotation
+	// errored.
+	CounterJobsFailed
 
-	NumCounters = int(CounterKeysEvicted) + 1
+	NumCounters = int(CounterJobsFailed) + 1
 )
 
 var counterNames = [NumCounters]string{
@@ -165,6 +179,7 @@ var counterNames = [NumCounters]string{
 	"key_chunks", "key_chunk_bytes", "key_chunk_resent_bytes",
 	"jobs_admitted", "jobs_rejected", "jobs_coalesced",
 	"serve_batches", "keys_evicted",
+	"jobs_expired", "jobs_served", "jobs_failed",
 }
 
 func (c Counter) String() string {

@@ -293,15 +293,25 @@ func (r *Registry) stashChunk(tenant string, idx uint32, data []byte) (have uint
 }
 
 // stashDone verifies the completed blob against the offered CRC, parses it
-// at the registry's parameters, and installs the key. The stash entry is
-// dropped on success.
+// at the registry's parameters, and installs the key.
+//
+// The stash entry is detached from the map under the lock BEFORE the CRC
+// and the parse touch its buffer: two connections of the same tenant racing
+// an upload (one sending chunks while the other sends done) must not turn
+// into an unlocked read of a buffer a stashChunk is concurrently writing —
+// the registry-stress test drives exactly that interleaving under -race.
+// Detaching also means a failed done (incomplete, CRC mismatch, parse
+// error) drops the stash and the upload restarts from a fresh offer, which
+// is the only sound resume point once the blob bytes are suspect.
 func (r *Registry) stashDone(tenant string) error {
 	r.mu.Lock()
 	st := r.stash[tenant]
-	r.mu.Unlock()
 	if st == nil {
+		r.mu.Unlock()
 		return fmt.Errorf("serve: key done for %q without an offer", tenant)
 	}
+	delete(r.stash, tenant)
+	r.mu.Unlock()
 	if st.have != st.offer.ChunkCount {
 		return fmt.Errorf("serve: key done for %q with %d/%d chunks", tenant, st.have, st.offer.ChunkCount)
 	}
@@ -312,11 +322,5 @@ func (r *Registry) stashDone(tenant string) error {
 	if err != nil {
 		return fmt.Errorf("serve: parsing key for %q: %w", tenant, err)
 	}
-	if err := r.Put(tenant, key); err != nil {
-		return err
-	}
-	r.mu.Lock()
-	delete(r.stash, tenant)
-	r.mu.Unlock()
-	return nil
+	return r.Put(tenant, key)
 }

@@ -39,6 +39,12 @@ type Config struct {
 	// Recorder receives events in addition to the server's own Metrics
 	// aggregate (optional).
 	Recorder obs.Recorder
+	// Now is the server's clock (nil = time.Now). It drives the admission
+	// token buckets, deadline stamping, and queue-expiry checks, so a test
+	// or deterministic load harness can replay the same arrival schedule
+	// against the same admission decisions. The coalescing-window timer
+	// stays on the real clock: it is a wait, not a decision.
+	Now func() time.Time
 }
 
 // Server is the bootstrap service: it speaks the cluster's v3 frame protocol
@@ -63,6 +69,7 @@ type Server struct {
 	maxBatch int
 	twoN     uint64
 	maxRead  int // payload bound for the connection read loop
+	now      func() time.Time
 
 	mu      sync.Mutex
 	tenants map[string]*TenantStats
@@ -74,13 +81,21 @@ type Server struct {
 	connWG  sync.WaitGroup
 }
 
-// TenantStats is one tenant's admission/coalescing ledger.
+// TenantStats is one tenant's admission/coalescing ledger. Admitted jobs
+// are partitioned by terminal outcome — Jobs (served), Expired (deadline
+// passed while queued), Failed (connection died mid-reply or the batch
+// rotation errored) — so at quiesce Admitted = Jobs + Expired + Failed:
+// the consistency invariant the shutdown tests assert. Rejected counts
+// every non-fatal refusal the tenant saw (door rejections plus Expired,
+// which is refused at dispatch).
 type TenantStats struct {
 	Admitted  uint64 `json:"admitted"`
 	Rejected  uint64 `json:"rejected"`
 	Coalesced uint64 `json:"coalesced"`
 	Jobs      uint64 `json:"jobs"` // jobs fully served
 	Rotations uint64 `json:"rotations"`
+	Expired   uint64 `json:"expired"`
+	Failed    uint64 `json:"failed"`
 }
 
 // NewServer builds a server around boot (typically ColdStart: the server
@@ -92,6 +107,9 @@ func NewServer(boot *core.Bootstrapper, cfg Config) *Server {
 	if cfg.Executors <= 0 {
 		cfg.Executors = 1
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	met := obs.NewMetrics()
 	rec := obs.Combine(met, cfg.Recorder)
 	// Kernel counters (brk_bytes_streamed, blind_rotate_tiles, …) from the
@@ -102,7 +120,8 @@ func NewServer(boot *core.Bootstrapper, cfg Config) *Server {
 	s := &Server{
 		boot:     boot,
 		reg:      NewRegistry(p, dim, cfg.MaxKeyBytes, cfg.Loader, rec),
-		adm:      newAdmission(cfg.Admission, nil),
+		adm:      newAdmission(cfg.Admission, cfg.Now),
+		now:      cfg.Now,
 		co:       newCoalescer(cfg.Window),
 		cfg:      cfg,
 		met:      met,
@@ -128,6 +147,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Metrics exposes the server's aggregate recorder.
 func (s *Server) Metrics() *obs.Metrics { return s.met }
+
+// QueueDepth reports the jobs currently admitted but not yet dispatched —
+// the level the load harness samples to prove admission keeps the queue
+// bounded under overload (Snapshot carries the same figure, but building a
+// full snapshot per sample is too heavy for a sub-millisecond sampler).
+func (s *Server) QueueDepth() int { return s.adm.depth() }
 
 // Serve accepts tenant connections until the listener fails (e.g. it was
 // closed). Safe to run from multiple goroutines over multiple listeners;
@@ -272,6 +297,15 @@ func (s *Server) handleConn(conn io.ReadWriter) {
 		case cluster.FrameKeyOffer, cluster.FrameKeyChunk, cluster.FrameKeyDone:
 			if err := s.handleKey(cw, tenant, f); err != nil {
 				s.failConn(cw, err)
+				// A registry-full refusal is transient — every budget byte is
+				// momentarily pinned by executing batches — and it can only
+				// surface at the final install, with the wire protocol at a
+				// clean frame boundary. The tenant keeps its connection and
+				// retries the upload once a pin releases; protocol and parse
+				// errors still drop the connection.
+				if errors.Is(err, ErrRegistryFull) {
+					continue
+				}
 				return
 			}
 		case cluster.FrameProbe:
@@ -287,7 +321,8 @@ func (s *Server) handleConn(conn io.ReadWriter) {
 	}
 }
 
-// failConn reports a fatal per-connection error (bounded, best effort).
+// failConn reports a per-connection error (bounded, best effort); the
+// caller decides whether the connection survives it.
 func (s *Server) failConn(cw *connWriter, err error) {
 	msg := err.Error()
 	if len(msg) > cluster.MaxErrorPayload {
@@ -331,7 +366,7 @@ func (s *Server) submit(cw *connWriter, tenant string, f *cluster.Frame) {
 	}
 	j := &job{tenant: tenant, id: f.Shard, idxs: idxs, lwes: lwes, cw: cw}
 	if budget > 0 {
-		j.deadline = time.Now().Add(budget)
+		j.deadline = s.now().Add(budget)
 	}
 	s.rec.Add(obs.CounterJobsAdmitted, 1)
 	s.rec.Gauge(obs.GaugeQueueDepth, 1)
@@ -378,13 +413,18 @@ func (s *Server) handleKey(cw *connWriter, tenant string, f *cluster.Frame) erro
 // LWEs, accumulators streamed back per job as tiles complete.
 func (s *Server) execBatch(jobs []*job) {
 	tenant := jobs[0].tenant
-	now := time.Now()
+	now := s.now()
 	live := jobs[:0]
 	for _, j := range jobs {
 		s.adm.release()
 		s.rec.Gauge(obs.GaugeQueueDepth, -1)
 		if !j.deadline.IsZero() && now.After(j.deadline) {
 			s.reject(j.cw, tenant, j.id, fmt.Errorf("%w (expired while queued)", ErrDeadline))
+			s.rec.Add(obs.CounterJobsExpired, 1)
+			ts := s.stats(tenant)
+			s.mu.Lock()
+			ts.Expired++
+			s.mu.Unlock()
 			continue
 		}
 		live = append(live, j)
@@ -395,6 +435,11 @@ func (s *Server) execBatch(jobs []*job) {
 
 	brk, release, err := s.reg.Acquire(tenant)
 	if err != nil {
+		s.rec.Add(obs.CounterJobsFailed, uint64(len(live)))
+		ts := s.stats(tenant)
+		s.mu.Lock()
+		ts.Failed += uint64(len(live))
+		s.mu.Unlock()
 		for _, j := range live {
 			s.reject(j.cw, tenant, j.id, err)
 		}
@@ -478,21 +523,34 @@ func (s *Server) execBatch(jobs []*job) {
 			if !j.failed {
 				s.failConn(j.cw, rotErr)
 			}
+			s.jobFailed(ts)
 			continue
 		}
 		if j.failed {
+			s.jobFailed(ts)
 			continue
 		}
 		end := make([]byte, 4)
 		binary.LittleEndian.PutUint32(end, uint32(len(j.lwes)))
 		if err := j.cw.write(&cluster.Frame{Kind: cluster.FrameBatchEnd, Shard: j.id, Seq: uint32(len(j.lwes)), Payload: end}); err != nil {
+			s.jobFailed(ts)
 			continue
 		}
+		s.rec.Add(obs.CounterJobsServed, 1)
 		s.mu.Lock()
 		ts.Jobs++
 		ts.Rotations += uint64(len(j.lwes))
 		s.mu.Unlock()
 	}
+}
+
+// jobFailed records one admitted job's terminal failure (conn gone or batch
+// error) in both the counter ledger and the tenant ledger.
+func (s *Server) jobFailed(ts *TenantStats) {
+	s.rec.Add(obs.CounterJobsFailed, 1)
+	s.mu.Lock()
+	ts.Failed++
+	s.mu.Unlock()
 }
 
 // ServiceSnapshot is the /metrics JSON document: the obs aggregate plus the
