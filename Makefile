@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft bench-kernels bench-kernels-soft serve-smoke load-smoke
+.PHONY: build test check vet race chaos fuzz fuzz-smoke fmt bench-smoke cover benchdiff benchdiff-soft bench-kernels bench-kernels-soft serve-smoke load-smoke purego
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Pure-Go lane: the build that ships to non-amd64 targets (and amd64 with
+# the vector kernels compiled out) must stay green on its own — the scalar
+# loops are the only code path there, and `go vet` covers the assembly
+# argument layouts via asmdecl on the default lane.
+purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego ./...
+
 # Fault-injection suite under the race detector: link cuts, stalls, corrupt
 # frames, join/leave churn, kill-mid-key-upload resume, and hedged dispatch.
 # Every scenario checks the distributed result bit-exact against a local
@@ -25,7 +33,7 @@ chaos:
 # Seed-corpus smoke over every fuzz target (plain `go test` runs each
 # target's f.Add seeds and committed testdata/fuzz corpora without fuzzing).
 fuzz-smoke:
-	$(GO) test -count=1 -run='^Fuzz' ./internal/cluster/ ./internal/rlwe/
+	$(GO) test -count=1 -run='^Fuzz' ./internal/cluster/ ./internal/rlwe/ ./internal/ring/
 
 # Allocation smoke: a short -benchmem pass over the hot kernels. The hard
 # 0 allocs/op locks live in the AllocsPerRun tests (TestExternalProductInto
@@ -68,6 +76,9 @@ bench-kernels:
 	$(GO) run ./cmd/heapbench -benchjson /tmp/BENCH_kernels.json -kruns 2
 	$(GO) run ./cmd/benchdiff -metric ntt_shoup_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
 	$(GO) run ./cmd/benchdiff -metric mac_fixed_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
+	$(GO) run ./cmd/benchdiff -metric ntt_avx2_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
+	$(GO) run ./cmd/benchdiff -metric intt_avx2_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
+	$(GO) run ./cmd/benchdiff -metric mac_avx2_us -max-regress 40 BENCH_kernels.json /tmp/BENCH_kernels.json
 
 bench-kernels-soft:
 	@$(MAKE) bench-kernels || echo "WARNING: kernel ablation regression vs committed BENCH_kernels.json (soft gate; not failing check)"
@@ -115,7 +126,7 @@ cover:
 # overload with bounded queues, hold the coverage floors, and hold the
 # committed blind-rotate, service, and load-matrix trajectories (soft: warns
 # on regression), including the modular-kernel ablation trajectory.
-check: build vet race chaos fuzz-smoke bench-smoke serve-smoke load-smoke cover benchdiff-soft bench-kernels-soft
+check: build vet purego race chaos fuzz-smoke bench-smoke serve-smoke load-smoke cover benchdiff-soft bench-kernels-soft
 
 # Short fuzz smoke over the wire-facing decoders; the committed corpora in
 # testdata/fuzz/ always run as part of plain `go test`.
@@ -126,6 +137,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeKeyOffer -fuzztime=10s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzReadCiphertext -fuzztime=10s ./internal/rlwe/
 	$(GO) test -run=^$$ -fuzz=FuzzReadLWECiphertext -fuzztime=10s ./internal/rlwe/
+	$(GO) test -run=^$$ -fuzz=FuzzVectorVsScalarKernels -fuzztime=10s ./internal/ring/
 
 fmt:
 	gofmt -l .

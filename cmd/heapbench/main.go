@@ -110,7 +110,13 @@ func main() {
 	trace := flag.String("trace", "", "write a Chrome trace_event timeline of the bootstrap to this file (combine with -cluster for the distributed demo)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the selected mode to this file")
+	nosimd := flag.Bool("nosimd", false, "disable the vectorized modular kernels and run the pure scalar paths (also: HEAP_NOSIMD=1)")
 	flag.Parse()
+
+	if *nosimd {
+		ring.SetSIMD(false)
+	}
+	obs.SetISA(ring.SIMDLevel())
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -395,8 +401,21 @@ type kernelsBenchResult struct {
 	ShoupNsAvg        float64             `json:"shoup_ns_avg"`
 	NTTShoupUs        float64             `json:"ntt_shoup_us"`
 	NTTMontgomeryUs   float64             `json:"ntt_montgomery_us"`
+	INTTUs            float64             `json:"intt_us"`
 	MacGenericUs      float64             `json:"mac_generic_us"`
 	MacFixedUs        float64             `json:"mac_fixed_us"`
+	// Vector-dispatch tier: the same NTT and fixed-shift MAC with the AVX2
+	// kernels enabled. The scalar columns above are always measured with the
+	// vector path forced off, so they stay comparable across PRs and hosts;
+	// the speedups are scalar/vector on this run. Omitted (with ISA "none")
+	// when the host or build has no vector path.
+	ISA             string  `json:"isa"`
+	NTTAvx2Us       float64 `json:"ntt_avx2_us,omitempty"`
+	INTTAvx2Us      float64 `json:"intt_avx2_us,omitempty"`
+	MacAvx2Us       float64 `json:"mac_avx2_us,omitempty"`
+	NTTSIMDSpeedup  float64 `json:"ntt_simd_speedup,omitempty"`
+	INTTSIMDSpeedup float64 `json:"intt_simd_speedup,omitempty"`
+	MacSIMDSpeedup  float64 `json:"mac_simd_speedup,omitempty"`
 }
 
 // kernelSink defeats dead-code elimination of the scalar chains.
@@ -483,6 +502,9 @@ func runBenchKernels(path string, runs int) error {
 	res.ShoupNsAvg /= np
 
 	// Tier 2: the real transform at the paper ring, both twiddle modes.
+	// The scalar columns are measured with the vector dispatch forced off so
+	// they track the scalar kernels across PRs regardless of host ISA; the
+	// AVX2 tier below re-enables it for the vector columns.
 	r := ring.NewRing(13, primes[0])
 	poly := r.NewPoly()
 	ring.NewSampler(71).UniformPoly(r, poly)
@@ -500,8 +522,11 @@ func runBenchKernels(path string, runs int) error {
 		}
 		return best
 	}
+	hadSIMD := ring.SIMDLevel() == "avx2"
+	ring.SetSIMD(false)
 	res.NTTShoupUs = timeNTT(r.NTT)
 	res.NTTMontgomeryUs = timeNTT(r.NTTMontgomery)
+	res.INTTUs = timeNTT(r.INTT)
 
 	// Tier 3: the vector MAC — the open-coded fixed-shift loop inside
 	// MulCoeffsAndAdd against a generic two-word Barrett scalar reference.
@@ -510,16 +535,20 @@ func runBenchKernels(path string, runs int) error {
 	s.UniformPoly(r, a)
 	s.UniformPoly(r, bb)
 	const macReps = 64
-	res.MacFixedUs = math.MaxFloat64
-	for run := 0; run < runs; run++ {
-		t0 := time.Now()
-		for i := 0; i < macReps; i++ {
-			r.MulCoeffsAndAdd(a, bb, acc)
+	timeMAC := func() float64 {
+		best := math.MaxFloat64
+		for run := 0; run < runs; run++ {
+			t0 := time.Now()
+			for i := 0; i < macReps; i++ {
+				r.MulCoeffsAndAdd(a, bb, acc)
+			}
+			if d := float64(time.Since(t0).Microseconds()) / macReps; d < best {
+				best = d
+			}
 		}
-		if d := float64(time.Since(t0).Microseconds()) / macReps; d < res.MacFixedUs {
-			res.MacFixedUs = d
-		}
+		return best
 	}
+	res.MacFixedUs = timeMAC()
 	m := r.Mod
 	res.MacGenericUs = math.MaxFloat64
 	for run := 0; run < runs; run++ {
@@ -534,6 +563,18 @@ func runBenchKernels(path string, runs int) error {
 		}
 	}
 
+	// Tier 4: the vector-dispatch columns, same workloads with AVX2 back on.
+	if hadSIMD {
+		ring.SetSIMD(true)
+		res.NTTAvx2Us = timeNTT(r.NTT)
+		res.INTTAvx2Us = timeNTT(r.INTT)
+		res.MacAvx2Us = timeMAC()
+		res.NTTSIMDSpeedup = res.NTTShoupUs / res.NTTAvx2Us
+		res.INTTSIMDSpeedup = res.INTTUs / res.INTTAvx2Us
+		res.MacSIMDSpeedup = res.MacFixedUs / res.MacAvx2Us
+	}
+	res.ISA = ring.SIMDLevel()
+
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -543,8 +584,14 @@ func runBenchKernels(path string, runs int) error {
 	}
 	fmt.Printf("scalar avg over basis: Barrett %.1f ns, fixed Barrett %.1f ns, Montgomery %.1f ns, Shoup %.1f ns\n",
 		res.BarrettNsAvg, res.BarrettFixedNsAvg, res.MontgomeryNsAvg, res.ShoupNsAvg)
-	fmt.Printf("NTT (logN=13): Shoup %.1f us, Montgomery %.1f us; MAC: fixed %.1f us, generic %.1f us -> %s\n",
-		res.NTTShoupUs, res.NTTMontgomeryUs, res.MacFixedUs, res.MacGenericUs, path)
+	fmt.Printf("NTT (logN=13): Shoup %.1f us, Montgomery %.1f us, INTT %.1f us; MAC: fixed %.1f us, generic %.1f us\n",
+		res.NTTShoupUs, res.NTTMontgomeryUs, res.INTTUs, res.MacFixedUs, res.MacGenericUs)
+	if res.ISA != "none" {
+		fmt.Printf("%s: NTT %.1f us (%.2fx), INTT %.1f us (%.2fx), MAC %.1f us (%.2fx) -> %s\n",
+			res.ISA, res.NTTAvx2Us, res.NTTSIMDSpeedup, res.INTTAvx2Us, res.INTTSIMDSpeedup, res.MacAvx2Us, res.MacSIMDSpeedup, path)
+	} else {
+		fmt.Printf("vector path unavailable (isa=none) -> %s\n", path)
+	}
 	return nil
 }
 

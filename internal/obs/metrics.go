@@ -95,6 +95,28 @@ type Snapshot struct {
 	Shards   map[string]StageSnapshot `json:"shards"`
 	Counters map[string]uint64        `json:"counters"`
 	Gauges   map[string]int64         `json:"gauges"`
+	// ISA is the active instruction-set level of the modular kernels
+	// ("avx2", "none"), as reported by the binary at startup via SetISA —
+	// process-wide, so every snapshot carries it and a metrics consumer can
+	// attribute timing shifts to the dispatch decision.
+	ISA string `json:"isa,omitempty"`
+}
+
+// isaLevel is the process-wide kernel ISA label (see SetISA).
+var isaLevel atomic.Value
+
+// SetISA records the active instruction-set level of the compute kernels
+// (e.g. ring.SIMDLevel()) for inclusion in every subsequent Snapshot. The
+// obs package deliberately does not import the kernel packages — binaries
+// report the level at startup or after flipping a -nosimd style switch.
+func SetISA(level string) { isaLevel.Store(level) }
+
+// ISALevel returns the recorded level, or "" if none was reported.
+func ISALevel() string {
+	if v := isaLevel.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
 }
 
 func snapStages(aggs *[NumStages]stageAgg) map[string]StageSnapshot {
@@ -123,6 +145,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Shards:   snapStages(&m.shards),
 		Counters: make(map[string]uint64, NumCounters),
 		Gauges:   make(map[string]int64, NumGauges),
+		ISA:      ISALevel(),
 	}
 	for i := range m.counters {
 		if v := m.counters[i].Load(); v != 0 {

@@ -1,0 +1,86 @@
+// Lane-wise 64-bit multiply building blocks for the AVX2 kernels.
+//
+// AVX2 has no 64x64 multiply; the widest unsigned form is VPMULUDQ
+// (32x32->64 per lane). Every macro below assembles the needed 64-bit
+// product from 32-bit partial products, schoolbook style, on 4 independent
+// lanes. Writing them once keeps the butterfly/MAC kernels short and keeps
+// the carry discipline in one audited place:
+//
+//   a = a1*2^32 + a0, b = b1*2^32 + b0
+//   p00 = a0*b0, p01 = a0*b1, p10 = a1*b0, p11 = a1*b1
+//   u1 = p10 + (p00 >> 32)        // ≤ (2^32-1)^2 + 2^32-1 < 2^64, no overflow
+//   u2 = p01 + (u1 & M)           // same bound, no overflow
+//   hi = p11 + (u1 >> 32) + (u2 >> 32)
+//   lo = (u2 << 32) + (p00 & M)
+//
+// The u1/u2 chain folds each carry as it appears instead of masking and
+// re-splitting every partial product, which is several fewer vector ops per
+// multiply than the textbook mid-word assembly.
+//
+// MASK must hold 0x00000000FFFFFFFF in every lane. Inputs are preserved
+// unless a register is also named as an output or temp.
+
+// MULLO64(A, B, LO, T1, T2): LO = (A*B) mod 2^64 per lane.
+// Only the partial products that land below bit 64 are formed (3 multiplies).
+#define MULLO64(A, B, LO, T1, T2) \
+	VPMULUDQ A, B, LO;  \
+	VPSRLQ   $32, A, T1; \
+	VPMULUDQ B, T1, T1; \
+	VPSRLQ   $32, B, T2; \
+	VPMULUDQ A, T2, T2; \
+	VPADDQ   T2, T1, T1; \
+	VPSLLQ   $32, T1, T1; \
+	VPADDQ   T1, LO, LO
+
+// MULHI64(A, B, HI, T1, T2, T3, T4, MASK): HI = floor(A*B / 2^64) per lane.
+#define MULHI64(A, B, HI, T1, T2, T3, T4, MASK) \
+	VPSRLQ   $32, A, T1; \
+	VPSRLQ   $32, B, T2; \
+	VPMULUDQ B, T1, T3; \
+	VPMULUDQ T2, A, T4; \
+	VPMULUDQ T2, T1, HI; \
+	VPMULUDQ B, A, T2; \
+	VPSRLQ   $32, T2, T2; \
+	VPADDQ   T2, T3, T3; \
+	VPAND    MASK, T3, T1; \
+	VPSRLQ   $32, T3, T3; \
+	VPADDQ   T1, T4, T4; \
+	VPSRLQ   $32, T4, T4; \
+	VPADDQ   T3, HI, HI; \
+	VPADDQ   T4, HI, HI
+
+// MULFULL64(A, B, HI, LO, T1, T2, T3, T4, MASK): HI:LO = A*B per lane.
+#define MULFULL64(A, B, HI, LO, T1, T2, T3, T4, MASK) \
+	VPSRLQ   $32, A, T1; \
+	VPSRLQ   $32, B, T2; \
+	VPMULUDQ B, T1, T3; \
+	VPMULUDQ T2, A, T4; \
+	VPMULUDQ T2, T1, HI; \
+	VPMULUDQ B, A, LO; \
+	VPSRLQ   $32, LO, T1; \
+	VPADDQ   T1, T3, T3; \
+	VPAND    MASK, T3, T1; \
+	VPSRLQ   $32, T3, T3; \
+	VPADDQ   T1, T4, T4; \
+	VPADDQ   T3, HI, HI; \
+	VPSRLQ   $32, T4, T2; \
+	VPADDQ   T2, HI, HI; \
+	VPSLLQ   $32, T4, T4; \
+	VPAND    MASK, LO, LO; \
+	VPADDQ   T4, LO, LO
+
+// CSUB(X, BOUND, T): X -= BOUND where X >= BOUND, per lane — the branchless
+// conditional subtraction every lazy interval fold and canonical correction
+// compiles to. Uses the signed VPCMPGTQ, which is exact here because every
+// value compared stays below 2^63 (q < 2^61, operands < 4q).
+#define CSUB(X, BOUND, T) \
+	VPCMPGTQ X, BOUND, T; \
+	VPANDN   BOUND, T, T; \
+	VPSUBQ   T, X, X
+
+// CADDLT(X, A, B, Q, T): X += Q where A < B, per lane (the borrow fold of
+// modular subtraction). Same signed-compare argument as CSUB.
+#define CADDLT(X, A, B, Q, T) \
+	VPCMPGTQ A, B, T; \
+	VPAND    Q, T, T; \
+	VPADDQ   T, X, X

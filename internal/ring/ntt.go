@@ -13,11 +13,60 @@ import "math/bits"
 // reduced only in a final sweep. The output is bit-identical to an eagerly
 // reduced transform — the lazy interval only changes intermediate
 // representatives, never the residue.
+//
+// When the vector path is active (see simd.go), stages with block half
+// length t ≥ 4 run on the AVX2 stage kernel; t is a power of two, so those
+// stages are whole 4-lane groups with no tails. The t=2 stage and the fused
+// canonical last stage stay scalar. The vector butterflies perform the same
+// operations in the same order on the same lazy intervals, so the transform
+// is bit-identical either way.
+//
+// The scalar and vector passes are separate driver functions on purpose:
+// a CALL to an assembly kernel anywhere in a function — even on a branch
+// never taken — forces the Go register allocator to keep the scalar loop
+// state in spill slots, which measured ~1.5× on the pure-scalar transform.
+// The scalar driver therefore contains no assembly calls at all, and the
+// vector driver pays the (amortized, per-stage) call overhead knowingly.
 func (r *Ring) NTT(p Poly) {
 	r.nttWithTables(p, r.psiTable, r.psiTableShoup)
 }
 
+// NTTLazy is NTT with the final canonicalization left out: outputs are lazy
+// representatives in [0, 2q) rather than [0, q). The residues are exactly
+// NTT's — only the representative differs — and every consumer of
+// evaluation-domain values that tolerates the lazy interval (INTT's
+// butterflies assume only < 2q; the Shoup scalar sweep accepts any operand
+// < 2^63) produces bit-identical final results. It saves one conditional
+// subtraction per coefficient in the last stage for callers that feed the
+// result straight into such a consumer.
+//
+// The scalar path runs through the stage helpers rather than the inline
+// driver: threading a lazy flag through nttWithTables' signature measured a
+// 40% slowdown on the whole canonical transform (the extra incoming
+// argument evicts a hot loop value into a spill slot — see the BenchmarkAB
+// pair), and NTTLazy has no latency-critical callers.
+func (r *Ring) NTTLazy(p Poly) {
+	psi, psiShoup := r.psiTable, r.psiTableShoup
+	if simdActive() {
+		r.nttVecWithTables(p, psi, psiShoup, true)
+		return
+	}
+	q := r.Mod.Q
+	n := r.N
+	p = p[:n]
+	t := n
+	for m := 1; m < n>>1; m <<= 1 {
+		t >>= 1
+		nttFwdStepScalar(p, psi, psiShoup, q, m, t)
+	}
+	nttFwdLastScalar(p, psi, psiShoup, q, true)
+}
+
 func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
+	if simdActive() {
+		r.nttVecWithTables(p, psi, psiShoup, false)
+		return
+	}
 	q := r.Mod.Q
 	twoQ := 2 * q
 	n := r.N
@@ -62,35 +111,127 @@ func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
 		p[0] = c
 		return
 	}
-	{
-		m := n >> 1
-		for i := 0; i < m; i++ {
-			w := psi[m+i]
-			wS := psiShoup[m+i]
-			u := p[2*i]
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		w := psi[m+i]
+		wS := psiShoup[m+i]
+		u := p[2*i]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		v := p[2*i+1]
+		hi, _ := bits.Mul64(v, wS)
+		v = v*w - hi*q
+		x := u + v // < 4q
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		y := u + twoQ - v // < 4q
+		if y >= twoQ {
+			y -= twoQ
+		}
+		if y >= q {
+			y -= q
+		}
+		p[2*i] = x
+		p[2*i+1] = y
+	}
+}
+
+// nttVecWithTables is the forward pass with the AVX2 stage kernels doing
+// every t ≥ 4 stage; the t=2 stage and the fused last stage run through the
+// scalar stage helpers. Bit-identical to the scalar driver.
+func (r *Ring) nttVecWithTables(p Poly, psi, psiShoup []uint64, lazy bool) {
+	q := r.Mod.Q
+	n := r.N
+	p = p[:n]
+	t := n
+	for m := 1; m < n>>1; m <<= 1 {
+		t >>= 1
+		if t >= 4 {
+			nttFwdStepAVX2(p, psi, psiShoup, q, m, t)
+		} else {
+			nttFwdStepScalar(p, psi, psiShoup, q, m, t)
+		}
+	}
+	nttFwdLastScalar(p, psi, psiShoup, q, lazy)
+}
+
+// nttFwdStepScalar runs one forward Cooley-Tukey stage (m blocks of half
+// length t) with Shoup-twiddle butterflies — the t=2 stage of the vector
+// driver, and the lane-for-lane reference the vector property tests and
+// fuzz target compare nttFwdStepAVX2 against. The pure-scalar transform
+// inlines this same loop (see nttWithTables for why); keep the two in sync.
+func nttFwdStepScalar(p Poly, psi, psiShoup []uint64, q uint64, m, t int) {
+	twoQ := 2 * q
+	for i := 0; i < m; i++ {
+		w := psi[m+i]
+		wS := psiShoup[m+i]
+		j1 := 2 * i * t
+		a := p[j1 : j1+t]
+		b := p[j1+t : j1+2*t]
+		b = b[:len(a)] // bounds-check elimination for b[j]
+		for j := range a {
+			// u ∈ [0, 4q) → [0, 2q); v ← lazy Shoup ∈ [0, 2q).
+			u := a[j]
 			if u >= twoQ {
 				u -= twoQ
 			}
-			v := p[2*i+1]
+			v := b[j]
 			hi, _ := bits.Mul64(v, wS)
 			v = v*w - hi*q
-			x := u + v // < 4q
-			if x >= twoQ {
-				x -= twoQ
-			}
-			if x >= q {
-				x -= q
-			}
-			y := u + twoQ - v // < 4q
-			if y >= twoQ {
-				y -= twoQ
-			}
-			if y >= q {
-				y -= q
-			}
-			p[2*i] = x
-			p[2*i+1] = y
+			a[j] = u + v        // < 4q
+			b[j] = u + twoQ - v // < 4q
 		}
+	}
+}
+
+// nttFwdLastScalar is the fused canonicalizing last stage (t=1, m=n/2) as
+// a helper for the vector driver; the scalar driver inlines the same loop.
+func nttFwdLastScalar(p Poly, psi, psiShoup []uint64, q uint64, lazy bool) {
+	twoQ := 2 * q
+	n := len(p)
+	if n == 1 {
+		c := p[0]
+		if c >= twoQ {
+			c -= twoQ
+		}
+		if !lazy && c >= q {
+			c -= q
+		}
+		p[0] = c
+		return
+	}
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		w := psi[m+i]
+		wS := psiShoup[m+i]
+		u := p[2*i]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		v := p[2*i+1]
+		hi, _ := bits.Mul64(v, wS)
+		v = v*w - hi*q
+		x := u + v // < 4q
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if !lazy && x >= q {
+			x -= q
+		}
+		y := u + twoQ - v // < 4q
+		if y >= twoQ {
+			y -= twoQ
+		}
+		if !lazy && y >= q {
+			y -= q
+		}
+		p[2*i] = x
+		p[2*i+1] = y
 	}
 }
 
@@ -98,22 +239,31 @@ func (r *Ring) nttWithTables(p Poly, psi, psiShoup []uint64) {
 // representation (Gentleman-Sande decimation-in-frequency pass with the same
 // lazy-reduction discipline as NTT, coefficients in [0, 2q) between passes),
 // including the final multiplication by N^{-1} which also performs the
-// canonical reduction.
+// canonical reduction. Driver split mirrors NTT: the scalar pass contains no
+// assembly calls, the vector pass sends t ≥ 4 stages to the AVX2 kernel and
+// the open-coded first stage through the scalar helper; the N^{-1} sweep
+// rides the MulScalar Shoup kernel in both.
 func (r *Ring) INTT(p Poly) {
+	if simdActive() {
+		r.inttVec(p)
+		return
+	}
 	q := r.Mod.Q
 	twoQ := 2 * q
 	n := r.N
+	psiInv := r.psiInvTable
+	psiInvShoup := r.psiInvTableShoup
 	p = p[:n]
 	t := 1
 	if n >= 2 {
 		// First stage (t=1, h=n/2), open-coded with direct indexing for the
 		// same reason as the forward transform's last stage: the pairs are
 		// adjacent and a one-element subslice loop per butterfly costs more
-		// than the butterfly. Arithmetic is identical — bit-identical output.
+		// than the butterfly.
 		h := n >> 1
 		for i := 0; i < h; i++ {
-			w := r.psiInvTable[h+i]
-			wS := r.psiInvTableShoup[h+i]
+			w := psiInv[h+i]
+			wS := psiInvShoup[h+i]
 			u := p[2*i]
 			v := p[2*i+1]
 			c := u + v // < 4q
@@ -131,8 +281,8 @@ func (r *Ring) INTT(p Poly) {
 		h := m >> 1
 		j1 := 0
 		for i := 0; i < h; i++ {
-			w := r.psiInvTable[h+i]
-			wS := r.psiInvTableShoup[h+i]
+			w := psiInv[h+i]
+			wS := psiInvShoup[h+i]
 			a := p[j1 : j1+t]
 			b := p[j1+t : j1+2*t]
 			b = b[:len(a)]
@@ -152,16 +302,89 @@ func (r *Ring) INTT(p Poly) {
 		}
 		t <<= 1
 	}
-	nInv, nInvS := r.nInv, r.nInvShoup
-	for i := range p {
-		x := p[i]
-		hi, _ := bits.Mul64(x, nInvS)
-		x = x*nInv - hi*q
-		if x >= q {
-			x -= q
-		}
-		p[i] = x
+	r.nInvSweep(p)
+}
+
+// inttVec is the inverse pass with the AVX2 stage kernels (see INTT).
+func (r *Ring) inttVec(p Poly) {
+	q := r.Mod.Q
+	n := r.N
+	psiInv := r.psiInvTable
+	psiInvShoup := r.psiInvTableShoup
+	p = p[:n]
+	t := 1
+	if n >= 2 {
+		nttInvFirstScalar(p, psiInv, psiInvShoup, q)
+		t = 2
 	}
+	for m := n >> 1; m > 1; m >>= 1 {
+		h := m >> 1
+		if t >= 4 {
+			nttInvStepAVX2(p, psiInv, psiInvShoup, q, h, t)
+		} else {
+			nttInvStepScalar(p, psiInv, psiInvShoup, q, h, t)
+		}
+		t <<= 1
+	}
+	r.nInvSweep(p)
+}
+
+// nttInvFirstScalar is the open-coded first inverse stage (t=1, h=n/2) as a
+// helper for the vector driver; INTT inlines the same loop.
+func nttInvFirstScalar(p Poly, psiInv, psiInvShoup []uint64, q uint64) {
+	twoQ := 2 * q
+	h := len(p) >> 1
+	for i := 0; i < h; i++ {
+		w := psiInv[h+i]
+		wS := psiInvShoup[h+i]
+		u := p[2*i]
+		v := p[2*i+1]
+		c := u + v // < 4q
+		if c >= twoQ {
+			c -= twoQ
+		}
+		p[2*i] = c
+		d := u + twoQ - v // < 4q
+		hi, _ := bits.Mul64(d, wS)
+		p[2*i+1] = d*w - hi*q // lazy Shoup ∈ [0, 2q)
+	}
+}
+
+// nttInvStepScalar runs one inverse Gentleman-Sande stage (h blocks of half
+// length t) — the t=2 stage of the vector driver and the reference
+// semantics for nttInvStepAVX2; INTT inlines the same loop (keep in sync).
+func nttInvStepScalar(p Poly, psiInv, psiInvShoup []uint64, q uint64, h, t int) {
+	twoQ := 2 * q
+	j1 := 0
+	for i := 0; i < h; i++ {
+		w := psiInv[h+i]
+		wS := psiInvShoup[h+i]
+		a := p[j1 : j1+t]
+		b := p[j1+t : j1+2*t]
+		b = b[:len(a)]
+		for j := range a {
+			u := a[j]
+			v := b[j]
+			c := u + v // < 4q
+			if c >= twoQ {
+				c -= twoQ
+			}
+			a[j] = c
+			d := u + twoQ - v // < 4q
+			hi, _ := bits.Mul64(d, wS)
+			b[j] = d*w - hi*q // lazy Shoup ∈ [0, 2q)
+		}
+		j1 += 2 * t
+	}
+}
+
+// nInvSweep multiplies every coefficient by N^{-1} (Shoup fixed-operand)
+// with canonical output — the final pass of both inverse transforms. It is
+// the same kernel as MulScalar's inner loop (correct for any input < 2^63,
+// which covers the lazy [0, 2q) coefficients arriving here), so it shares
+// the vector dispatch.
+func (r *Ring) nInvSweep(p Poly) {
+	mulScalarShoupInto(p, p, r.Mod.Q, r.nInv, r.nInvShoup)
 }
 
 // NTTOnTheFly performs the forward NTT while generating the twiddle factors
@@ -203,10 +426,6 @@ func (r *Ring) NTTOnTheFlyWith(p Poly, sc *TwiddleScratch) {
 	r.nttWithTables(p, psi, psiShoup)
 }
 
-// NTTLazy is NTT followed by no extra normalization; it exists for symmetry
-// of naming in benchmark code.
-func (r *Ring) NTTLazy(p Poly) { r.NTT(p) }
-
 // NTTMontgomery is the forward transform with Montgomery-domain twiddle
 // tables: each butterfly multiplies by ψ·2^64 mod q through MRedLazy instead
 // of the Shoup pair. Same Harvey lazy-reduction discipline (coefficients in
@@ -215,8 +434,13 @@ func (r *Ring) NTTLazy(p Poly) { r.NTT(p) }
 // constant form feeds the butterfly multiplier. Exposed so the §IV-A
 // reduction choice is measurable on the real transform, not just on scalar
 // chains; the default NTT keeps whichever mode the committed kernel
-// ablation shows faster.
+// ablation shows faster. Driver split mirrors NTT, with the MRed butterfly
+// vectorized in nttFwdStepMontAVX2.
 func (r *Ring) NTTMontgomery(p Poly) {
+	if simdActive() {
+		r.nttMontVec(p)
+		return
+	}
 	q := r.Mod.Q
 	qInv := r.Mod.MRedQInv
 	twoQ := 2 * q
@@ -250,8 +474,65 @@ func (r *Ring) NTTMontgomery(p Poly) {
 			}
 		}
 	}
-	// Open-coded fused last stage, mirroring nttWithTables so the committed
-	// ablation compares the twiddle kernel, not the loop structure.
+	nttFwdLastMontScalar(p, psi, q, qInv)
+}
+
+// nttMontVec is the Montgomery-twiddle forward pass with the AVX2 stage
+// kernels (see NTTMontgomery).
+func (r *Ring) nttMontVec(p Poly) {
+	q := r.Mod.Q
+	qInv := r.Mod.MRedQInv
+	n := r.N
+	psi := r.psiTableMont
+	p = p[:n]
+	t := n
+	for m := 1; m < n>>1; m <<= 1 {
+		t >>= 1
+		if t >= 4 {
+			nttFwdStepMontAVX2(p, psi, q, qInv, m, t)
+		} else {
+			nttFwdStepMontScalar(p, psi, q, qInv, m, t)
+		}
+	}
+	nttFwdLastMontScalar(p, psi, q, qInv)
+}
+
+// nttFwdStepMontScalar is the Montgomery-twiddle counterpart of
+// nttFwdStepScalar; reference semantics for nttFwdStepMontAVX2, inlined by
+// the scalar NTTMontgomery (keep in sync).
+func nttFwdStepMontScalar(p Poly, psi []uint64, q, qInv uint64, m, t int) {
+	twoQ := 2 * q
+	for i := 0; i < m; i++ {
+		w := psi[m+i]
+		j1 := 2 * i * t
+		a := p[j1 : j1+t]
+		b := p[j1+t : j1+2*t]
+		b = b[:len(a)]
+		for j := range a {
+			u := a[j]
+			if u >= twoQ {
+				u -= twoQ
+			}
+			// v ← MRedLazy(b[j], w) ∈ [0, 2q), inlined.
+			hi, lo := bits.Mul64(b[j], w)
+			uu := lo * qInv
+			h, _ := bits.Mul64(uu, q)
+			v := hi + h
+			if lo != 0 {
+				v++
+			}
+			a[j] = u + v
+			b[j] = u + twoQ - v
+		}
+	}
+}
+
+// nttFwdLastMontScalar is the open-coded fused last stage of NTTMontgomery,
+// mirroring nttFwdLastScalar so the committed ablation compares the twiddle
+// kernel, not the loop structure.
+func nttFwdLastMontScalar(p Poly, psi []uint64, q, qInv uint64) {
+	twoQ := 2 * q
+	n := len(p)
 	if n == 1 {
 		c := p[0]
 		if c >= twoQ {
@@ -263,55 +544,58 @@ func (r *Ring) NTTMontgomery(p Poly) {
 		p[0] = c
 		return
 	}
-	{
-		m := n >> 1
-		for i := 0; i < m; i++ {
-			w := psi[m+i]
-			u := p[2*i]
-			if u >= twoQ {
-				u -= twoQ
-			}
-			hi, lo := bits.Mul64(p[2*i+1], w)
-			uu := lo * qInv
-			h, _ := bits.Mul64(uu, q)
-			v := hi + h
-			if lo != 0 {
-				v++
-			}
-			x := u + v
-			if x >= twoQ {
-				x -= twoQ
-			}
-			if x >= q {
-				x -= q
-			}
-			y := u + twoQ - v
-			if y >= twoQ {
-				y -= twoQ
-			}
-			if y >= q {
-				y -= q
-			}
-			p[2*i] = x
-			p[2*i+1] = y
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		w := psi[m+i]
+		u := p[2*i]
+		if u >= twoQ {
+			u -= twoQ
 		}
+		hi, lo := bits.Mul64(p[2*i+1], w)
+		uu := lo * qInv
+		h, _ := bits.Mul64(uu, q)
+		v := hi + h
+		if lo != 0 {
+			v++
+		}
+		x := u + v
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		y := u + twoQ - v
+		if y >= twoQ {
+			y -= twoQ
+		}
+		if y >= q {
+			y -= q
+		}
+		p[2*i] = x
+		p[2*i+1] = y
 	}
 }
 
 // INTTMontgomery is the inverse transform in the Montgomery twiddle mode;
 // bit-identical to INTT (see NTTMontgomery).
 func (r *Ring) INTTMontgomery(p Poly) {
+	if simdActive() {
+		r.inttMontVec(p)
+		return
+	}
 	q := r.Mod.Q
 	qInv := r.Mod.MRedQInv
 	twoQ := 2 * q
 	n := r.N
+	psiInv := r.psiInvTableMont
 	p = p[:n]
 	t := 1
 	if n >= 2 {
-		// Open-coded first stage, mirroring INTT (see NTTMontgomery).
+		// First stage (t=1, h=n/2), open-coded (see INTT).
 		h := n >> 1
 		for i := 0; i < h; i++ {
-			w := r.psiInvTableMont[h+i]
+			w := psiInv[h+i]
 			u := p[2*i]
 			v := p[2*i+1]
 			c := u + v
@@ -335,7 +619,7 @@ func (r *Ring) INTTMontgomery(p Poly) {
 		h := m >> 1
 		j1 := 0
 		for i := 0; i < h; i++ {
-			w := r.psiInvTableMont[h+i]
+			w := psiInv[h+i]
 			a := p[j1 : j1+t]
 			b := p[j1+t : j1+2*t]
 			b = b[:len(a)]
@@ -361,14 +645,89 @@ func (r *Ring) INTTMontgomery(p Poly) {
 		}
 		t <<= 1
 	}
-	nInv, nInvS := r.nInv, r.nInvShoup
-	for i := range p {
-		x := p[i]
-		hi, _ := bits.Mul64(x, nInvS)
-		x = x*nInv - hi*q
-		if x >= q {
-			x -= q
+	r.nInvSweep(p)
+}
+
+// inttMontVec is the Montgomery-twiddle inverse pass with the AVX2 stage
+// kernels (see INTTMontgomery).
+func (r *Ring) inttMontVec(p Poly) {
+	q := r.Mod.Q
+	qInv := r.Mod.MRedQInv
+	n := r.N
+	psiInv := r.psiInvTableMont
+	p = p[:n]
+	t := 1
+	if n >= 2 {
+		nttInvFirstMontScalar(p, psiInv, q, qInv)
+		t = 2
+	}
+	for m := n >> 1; m > 1; m >>= 1 {
+		h := m >> 1
+		if t >= 4 {
+			nttInvStepMontAVX2(p, psiInv, q, qInv, h, t)
+		} else {
+			nttInvStepMontScalar(p, psiInv, q, qInv, h, t)
 		}
-		p[i] = x
+		t <<= 1
+	}
+	r.nInvSweep(p)
+}
+
+// nttInvFirstMontScalar is the open-coded first inverse stage in the
+// Montgomery twiddle mode (see nttInvFirstScalar).
+func nttInvFirstMontScalar(p Poly, psiInv []uint64, q, qInv uint64) {
+	twoQ := 2 * q
+	h := len(p) >> 1
+	for i := 0; i < h; i++ {
+		w := psiInv[h+i]
+		u := p[2*i]
+		v := p[2*i+1]
+		c := u + v
+		if c >= twoQ {
+			c -= twoQ
+		}
+		p[2*i] = c
+		d := u + twoQ - v
+		hi, lo := bits.Mul64(d, w)
+		uu := lo * qInv
+		hh, _ := bits.Mul64(uu, q)
+		e := hi + hh
+		if lo != 0 {
+			e++
+		}
+		p[2*i+1] = e
+	}
+}
+
+// nttInvStepMontScalar is the Montgomery-twiddle counterpart of
+// nttInvStepScalar; reference semantics for nttInvStepMontAVX2, inlined by
+// the scalar INTTMontgomery (keep in sync).
+func nttInvStepMontScalar(p Poly, psiInv []uint64, q, qInv uint64, h, t int) {
+	twoQ := 2 * q
+	j1 := 0
+	for i := 0; i < h; i++ {
+		w := psiInv[h+i]
+		a := p[j1 : j1+t]
+		b := p[j1+t : j1+2*t]
+		b = b[:len(a)]
+		for j := range a {
+			u := a[j]
+			v := b[j]
+			c := u + v
+			if c >= twoQ {
+				c -= twoQ
+			}
+			a[j] = c
+			d := u + twoQ - v
+			hi, lo := bits.Mul64(d, w)
+			uu := lo * qInv
+			hh, _ := bits.Mul64(uu, q)
+			e := hi + hh
+			if lo != 0 {
+				e++
+			}
+			b[j] = e
+		}
+		j1 += 2 * t
 	}
 }

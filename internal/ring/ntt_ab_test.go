@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// This file pins down a register-allocation hazard in the scalar NTT driver
+// with an A/B benchmark pair. Two findings, both measured at ~40-50% on the
+// whole transform (N=2^13, single 61-bit modulus):
+//
+//  1. A CALL to an assembly kernel anywhere in a function — even on a branch
+//     never taken — forces the hot scalar loop state into spill slots. The
+//     scalar driver must therefore contain no assembly calls; SIMD dispatch
+//     happens before entering it.
+//
+//  2. One extra incoming argument (a `lazy bool` threaded to the last stage)
+//     evicts a hot loop value into a spill slot for the entire function,
+//     even though the flag is only read after the main stage loop. The
+//     scalar driver therefore takes no lazy flag; NTTLazy is a separate
+//     driver built from the stage helpers.
+//
+// BenchmarkABOldInlineNTT is the monolithic pre-split transform kept
+// verbatim as the performance reference; BenchmarkABNewScalarNTT is the
+// production scalar path (SIMD forced off). The two should stay within
+// run-to-run noise of each other; a gap reopening here means one of the
+// hazards above crept back into nttWithTables.
+
+// nttOldInline is the monolithic forward transform: every stage open-coded
+// in one function, no helpers, no flags, no assembly. Reference only.
+func nttOldInline(r *Ring, p Poly) {
+	q := r.Mod.Q
+	twoQ := 2 * q
+	n := r.N
+	psi := r.psiTable
+	psiShoup := r.psiTableShoup
+	p = p[:n]
+	t := n
+	for m := 1; m < n>>1; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := psi[m+i]
+			wS := psiShoup[m+i]
+			j1 := 2 * i * t
+			a := p[j1 : j1+t]
+			b := p[j1+t : j1+2*t]
+			b = b[:len(a)]
+			for j := range a {
+				u := a[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := b[j]
+				hi, _ := bits.Mul64(v, wS)
+				v = v*w - hi*q
+				a[j] = u + v
+				b[j] = u + twoQ - v
+			}
+		}
+	}
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		w := psi[m+i]
+		wS := psiShoup[m+i]
+		u := p[2*i]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		v := p[2*i+1]
+		hi, _ := bits.Mul64(v, wS)
+		v = v*w - hi*q
+		x := u + v
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		y := u + twoQ - v
+		if y >= twoQ {
+			y -= twoQ
+		}
+		if y >= q {
+			y -= q
+		}
+		p[2*i] = x
+		p[2*i+1] = y
+	}
+}
+
+func BenchmarkABOldInlineNTT(b *testing.B) {
+	r := NewRing(13, 68719230977)
+	p := make(Poly, r.N)
+	for i := range p {
+		p[i] = uint64(i) * 2654435761 % r.Mod.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nttOldInline(r, p)
+	}
+}
+
+func BenchmarkABNewScalarNTT(b *testing.B) {
+	r := NewRing(13, 68719230977)
+	prev := SetSIMD(false)
+	defer SetSIMD(prev)
+	p := make(Poly, r.N)
+	for i := range p {
+		p[i] = uint64(i) * 2654435761 % r.Mod.Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NTT(p)
+	}
+}

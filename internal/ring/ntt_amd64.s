@@ -1,0 +1,271 @@
+//go:build amd64 && !purego
+
+// AVX2 butterfly stage kernels for the negacyclic NTT/INTT. Each function
+// runs ONE Cooley-Tukey (forward) or Gentleman-Sande (inverse) stage over
+// the whole polynomial, vectorized 4 butterflies at a time. They are only
+// called for stages whose block length t is >= 4: t is a power of two, so
+// every block is then a whole number of 4-lane groups and no tail handling
+// is needed here (the t=2 and t=1 edge stages stay on the scalar path, see
+// ntt.go). The arithmetic is exactly the scalar butterflies' — same Harvey
+// lazy intervals ([0,4q) into a forward stage, [0,2q) between inverse
+// stages), same reduction order — so the outputs are bit-identical.
+//
+// Register conventions (all four kernels):
+//   DI  a-side block pointer      SI  twiddle table pointer (at [m] / [h])
+//   R8  Shoup-companion pointer   R9  twiddle count (m or h)
+//   R10 block half-length t       R11 twiddle index i
+//   R13 b-side block pointer      CX  inner countdown (t/4 groups)
+//   Y15 q broadcast, Y14 2q broadcast, Y13 0xFFFFFFFF lane mask
+
+#include "textflag.h"
+#include "mul64_amd64.h"
+
+// func nttFwdStepAVX2(p []uint64, psi, psiShoup []uint64, q uint64, m, t int)
+//
+// Forward Shoup-twiddle stage: for each twiddle i < m, block at j1 = 2*i*t,
+//   u = fold2q(a[j]);  v' = v*w - mulhi(v, wS)*q   (lazy Shoup, < 2q)
+//   a[j] = u + v';  b[j] = u + 2q - v'             (both < 4q)
+TEXT ·nttFwdStepAVX2(SB), NOSPLIT, $0-96
+	MOVQ p_base+0(FP), DI
+	MOVQ psi_base+24(FP), SI
+	MOVQ psiShoup_base+48(FP), R8
+	MOVQ m+80(FP), R9
+	MOVQ t+88(FP), R10
+
+	MOVQ q+72(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	ADDQ AX, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y14    // 2q
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+
+	LEAQ (SI)(R9*8), SI     // &psi[m]
+	LEAQ (R8)(R9*8), R8     // &psiShoup[m]
+	XORQ R11, R11           // i = 0
+
+fwdILoop:
+	CMPQ R11, R9
+	JGE  fwdDone
+	VPBROADCASTQ (SI)(R11*8), Y12    // w
+	VPBROADCASTQ (R8)(R11*8), Y11    // wShoup
+	LEAQ (DI)(R10*8), R13   // b = a + t
+	MOVQ R10, CX
+
+fwdJLoop:
+	VMOVDQU (DI), Y0        // u (raw, < 4q)
+	VMOVDQU (R13), Y1       // v (< 4q)
+	CSUB(Y0, Y14, Y2)       // u in [0, 2q)
+	MULHI64(Y1, Y11, Y3, Y4, Y5, Y6, Y7, Y13)  // Y3 = mulhi(v, wS)
+	MULLO64(Y1, Y12, Y4, Y5, Y6)               // Y4 = v*w mod 2^64
+	MULLO64(Y3, Y15, Y5, Y6, Y7)               // Y5 = mulhi*q mod 2^64
+	VPSUBQ Y5, Y4, Y4       // v' in [0, 2q)
+	VPADDQ Y4, Y0, Y1       // a' = u + v' < 4q
+	VMOVDQU Y1, (DI)
+	VPSUBQ Y4, Y14, Y2      // 2q - v'
+	VPADDQ Y2, Y0, Y2       // b' = u + 2q - v' < 4q
+	VMOVDQU Y2, (R13)
+	ADDQ $32, DI
+	ADDQ $32, R13
+	SUBQ $4, CX
+	JNZ  fwdJLoop
+
+	LEAQ (DI)(R10*8), DI    // skip the b half: next block start
+	INCQ R11
+	JMP  fwdILoop
+
+fwdDone:
+	VZEROUPPER
+	RET
+
+// func nttInvStepAVX2(p []uint64, psiInv, psiInvShoup []uint64, q uint64, h, t int)
+//
+// Inverse Shoup-twiddle stage: for each twiddle i < h, block at j1 = 2*i*t,
+//   a[j] = fold2q(u + v);  b[j] = (u + 2q - v)*w - mulhi(...)*q  (< 2q)
+TEXT ·nttInvStepAVX2(SB), NOSPLIT, $0-96
+	MOVQ p_base+0(FP), DI
+	MOVQ psiInv_base+24(FP), SI
+	MOVQ psiInvShoup_base+48(FP), R8
+	MOVQ h+80(FP), R9
+	MOVQ t+88(FP), R10
+
+	MOVQ q+72(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	ADDQ AX, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y14    // 2q
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+
+	LEAQ (SI)(R9*8), SI     // &psiInv[h]
+	LEAQ (R8)(R9*8), R8     // &psiInvShoup[h]
+	XORQ R11, R11           // i = 0
+
+invILoop:
+	CMPQ R11, R9
+	JGE  invDone
+	VPBROADCASTQ (SI)(R11*8), Y12    // w
+	VPBROADCASTQ (R8)(R11*8), Y11    // wShoup
+	LEAQ (DI)(R10*8), R13   // b = a + t
+	MOVQ R10, CX
+
+invJLoop:
+	VMOVDQU (DI), Y0        // u (< 2q)
+	VMOVDQU (R13), Y1       // v (< 2q)
+	VPADDQ Y1, Y0, Y2       // c = u + v < 4q
+	CSUB(Y2, Y14, Y3)       // c in [0, 2q)
+	VMOVDQU Y2, (DI)
+	VPSUBQ Y1, Y14, Y2      // 2q - v
+	VPADDQ Y2, Y0, Y0       // d = u + 2q - v < 4q
+	MULHI64(Y0, Y11, Y3, Y4, Y5, Y6, Y7, Y13)  // Y3 = mulhi(d, wS)
+	MULLO64(Y0, Y12, Y4, Y5, Y6)               // Y4 = d*w mod 2^64
+	MULLO64(Y3, Y15, Y5, Y6, Y7)               // Y5 = mulhi*q mod 2^64
+	VPSUBQ Y5, Y4, Y4       // lazy Shoup in [0, 2q)
+	VMOVDQU Y4, (R13)
+	ADDQ $32, DI
+	ADDQ $32, R13
+	SUBQ $4, CX
+	JNZ  invJLoop
+
+	LEAQ (DI)(R10*8), DI
+	INCQ R11
+	JMP  invILoop
+
+invDone:
+	VZEROUPPER
+	RET
+
+// func nttFwdStepMontAVX2(p []uint64, psiMont []uint64, q, qInv uint64, m, t int)
+//
+// Forward Montgomery-twiddle stage: the butterfly multiplier is MRedLazy
+// (v*w*2^-64 mod q, result < 2q), inlined per lane:
+//   hi:lo = v*w;  u2 = lo*qInv mod 2^64;  r = hi + mulhi(u2, q) + (lo != 0)
+// Extra pinned registers: Y12 w (Montgomery domain), Y11 qInv, Y10 ones.
+TEXT ·nttFwdStepMontAVX2(SB), NOSPLIT, $0-80
+	MOVQ p_base+0(FP), DI
+	MOVQ psiMont_base+24(FP), SI
+	MOVQ m+64(FP), R9
+	MOVQ t+72(FP), R10
+
+	MOVQ q+48(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	ADDQ AX, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y14    // 2q
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+	MOVQ qInv+56(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y11    // -q^{-1} mod 2^64
+	MOVQ $1, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y10    // ones
+
+	LEAQ (SI)(R9*8), SI     // &psiMont[m]
+	XORQ R11, R11
+
+fwdMontILoop:
+	CMPQ R11, R9
+	JGE  fwdMontDone
+	VPBROADCASTQ (SI)(R11*8), Y12    // w (Montgomery domain, < q)
+	LEAQ (DI)(R10*8), R13
+	MOVQ R10, CX
+
+fwdMontJLoop:
+	VMOVDQU (DI), Y0        // u (< 4q)
+	VMOVDQU (R13), Y1       // v (< 4q)
+	CSUB(Y0, Y14, Y2)       // u in [0, 2q)
+	MULFULL64(Y1, Y12, Y2, Y3, Y4, Y5, Y6, Y7, Y13)  // Y2:Y3 = v*w
+	MULLO64(Y3, Y11, Y4, Y5, Y6)                     // Y4 = lo*qInv mod 2^64
+	MULHI64(Y4, Y15, Y5, Y6, Y7, Y8, Y9, Y13)        // Y5 = mulhi(u2, q)
+	VPADDQ Y5, Y2, Y2       // hi + h
+	VPXOR Y6, Y6, Y6
+	VPCMPEQQ Y6, Y3, Y7     // -1 where lo == 0
+	VPADDQ Y10, Y2, Y2      // +1 ...
+	VPADDQ Y7, Y2, Y2       // ... cancelled where lo == 0 → v' = MRedLazy < 2q
+	VPADDQ Y2, Y0, Y1       // a' = u + v'
+	VMOVDQU Y1, (DI)
+	VPSUBQ Y2, Y14, Y3      // 2q - v'
+	VPADDQ Y3, Y0, Y3       // b' = u + 2q - v'
+	VMOVDQU Y3, (R13)
+	ADDQ $32, DI
+	ADDQ $32, R13
+	SUBQ $4, CX
+	JNZ  fwdMontJLoop
+
+	LEAQ (DI)(R10*8), DI
+	INCQ R11
+	JMP  fwdMontILoop
+
+fwdMontDone:
+	VZEROUPPER
+	RET
+
+// func nttInvStepMontAVX2(p []uint64, psiInvMont []uint64, q, qInv uint64, h, t int)
+TEXT ·nttInvStepMontAVX2(SB), NOSPLIT, $0-80
+	MOVQ p_base+0(FP), DI
+	MOVQ psiInvMont_base+24(FP), SI
+	MOVQ h+64(FP), R9
+	MOVQ t+72(FP), R10
+
+	MOVQ q+48(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	ADDQ AX, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y14    // 2q
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+	MOVQ qInv+56(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y11    // -q^{-1} mod 2^64
+	MOVQ $1, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y10    // ones
+
+	LEAQ (SI)(R9*8), SI     // &psiInvMont[h]
+	XORQ R11, R11
+
+invMontILoop:
+	CMPQ R11, R9
+	JGE  invMontDone
+	VPBROADCASTQ (SI)(R11*8), Y12    // w (Montgomery domain, < q)
+	LEAQ (DI)(R10*8), R13
+	MOVQ R10, CX
+
+invMontJLoop:
+	VMOVDQU (DI), Y0        // u (< 2q)
+	VMOVDQU (R13), Y1       // v (< 2q)
+	VPADDQ Y1, Y0, Y2       // c = u + v < 4q
+	CSUB(Y2, Y14, Y3)       // c in [0, 2q)
+	VMOVDQU Y2, (DI)
+	VPSUBQ Y1, Y14, Y2      // 2q - v
+	VPADDQ Y2, Y0, Y0       // d = u + 2q - v < 4q
+	MULFULL64(Y0, Y12, Y2, Y3, Y4, Y5, Y6, Y7, Y13)  // Y2:Y3 = d*w
+	MULLO64(Y3, Y11, Y4, Y5, Y6)                     // Y4 = lo*qInv mod 2^64
+	MULHI64(Y4, Y15, Y5, Y6, Y7, Y8, Y9, Y13)        // Y5 = mulhi(u2, q)
+	VPADDQ Y5, Y2, Y2       // hi + h
+	VPXOR Y6, Y6, Y6
+	VPCMPEQQ Y6, Y3, Y7     // -1 where lo == 0
+	VPADDQ Y10, Y2, Y2
+	VPADDQ Y7, Y2, Y2       // MRedLazy(d, w) < 2q
+	VMOVDQU Y2, (R13)
+	ADDQ $32, DI
+	ADDQ $32, R13
+	SUBQ $4, CX
+	JNZ  invMontJLoop
+
+	LEAQ (DI)(R10*8), DI
+	INCQ R11
+	JMP  invMontILoop
+
+invMontDone:
+	VZEROUPPER
+	RET

@@ -102,7 +102,15 @@ func (r *Ring) NewPoly() Poly { return make(Poly, r.N) }
 // Add sets out = a + b (mod q), elementwise. Valid in either representation.
 func (r *Ring) Add(a, b, out Poly) {
 	q := r.Mod.Q
-	for i := range out {
+	a = a[:len(out)]
+	b = b[:len(out)]
+	i := 0
+	if simdActive() {
+		nv := len(out) &^ 3
+		addVecAVX2(out[:nv], a[:nv], b[:nv], q)
+		i = nv
+	}
+	for ; i < len(out); i++ {
 		c := a[i] + b[i]
 		if c >= q {
 			c -= q
@@ -114,7 +122,15 @@ func (r *Ring) Add(a, b, out Poly) {
 // Sub sets out = a - b (mod q).
 func (r *Ring) Sub(a, b, out Poly) {
 	q := r.Mod.Q
-	for i := range out {
+	a = a[:len(out)]
+	b = b[:len(out)]
+	i := 0
+	if simdActive() {
+		nv := len(out) &^ 3
+		subVecAVX2(out[:nv], a[:nv], b[:nv], q)
+		i = nv
+	}
+	for ; i < len(out); i++ {
 		c := a[i] - b[i]
 		if c > a[i] {
 			c += q
@@ -146,7 +162,13 @@ func (r *Ring) MulCoeffs(a, b, out Poly) {
 	mu, shift := r.Mod.BRedMu, r.Mod.BRedShift
 	a = a[:len(out)]
 	b = b[:len(out)]
-	for i := range out {
+	i := 0
+	if simdActive() {
+		nv := len(out) &^ 3
+		mulCoeffsBarrettAVX2(out[:nv], a[:nv], b[:nv], q, mu, shift)
+		i = nv
+	}
+	for ; i < len(out); i++ {
 		hi, lo := bits.Mul64(a[i], b[i])
 		qest, _ := bits.Mul64(hi<<(64-shift)|lo>>shift, mu)
 		p := lo - qest*q
@@ -174,7 +196,13 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
 	mu, shift := r.Mod.BRedMu, r.Mod.BRedShift
 	a = a[:len(out)]
 	b = b[:len(out)]
-	for i := range out {
+	i := 0
+	if simdActive() {
+		nv := len(out) &^ 3
+		mulCoeffsAndAddBarrettAVX2(out[:nv], a[:nv], b[:nv], q, mu, shift)
+		i = nv
+	}
+	for ; i < len(out); i++ {
 		hi, lo := bits.Mul64(a[i], b[i])
 		qest, _ := bits.Mul64(hi<<(64-shift)|lo>>shift, mu)
 		p := lo - qest*q
@@ -194,14 +222,28 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
 
 // MulScalar sets out = c·a (mod q).
 func (r *Ring) MulScalar(a Poly, c uint64, out Poly) {
-	// Open-coded Shoup loop (the scalar is a fixed operand): constants
-	// hoisted and operand pinned for bounds-check elimination, same as the
-	// other hot vector kernels. Bit-identical to MulModShoup per coefficient.
+	// Shoup sweep (the scalar is a fixed operand), bit-identical to
+	// MulModShoup per coefficient; shares the dispatched kernel with the
+	// INTT's N^{-1} pass.
 	c = r.Mod.Reduce(c)
 	cShoup := r.Mod.ShoupPrecomp(c)
-	q := r.Mod.Q
+	mulScalarShoupInto(out, a[:len(out)], r.Mod.Q, c, cShoup)
+}
+
+// mulScalarShoupInto is the dispatched fixed-operand Shoup sweep behind
+// MulScalar and the inverse transforms' N^{-1} pass: out[i] = a[i]·c mod q,
+// canonical output, correct for any a[i] < 2^63 (which covers lazy [0, 2q)
+// inputs). The vector kernel covers whole 4-lane groups; the scalar loop
+// finishes the tail — same arithmetic, bit-identical.
+func mulScalarShoupInto(out, a []uint64, q, c, cShoup uint64) {
 	a = a[:len(out)]
-	for i := range out {
+	i := 0
+	if simdActive() {
+		nv := len(out) &^ 3
+		mulScalarShoupAVX2(out[:nv], a[:nv], q, c, cShoup)
+		i = nv
+	}
+	for ; i < len(out); i++ {
 		x := a[i]
 		hi, _ := bits.Mul64(x, cShoup)
 		v := x*c - hi*q
@@ -209,6 +251,37 @@ func (r *Ring) MulScalar(a Poly, c uint64, out Poly) {
 			v -= q
 		}
 		out[i] = v
+	}
+}
+
+// MACShoupVec sets out[i] = (out[i] + a[i]·w mod q) mod q over the whole
+// slice, for a fixed operand w < q with Shoup companion wShoup — the inner
+// MAC of the RNS basis conversion (rns.ExtendSelectedWith), exposed on
+// Modulus so that loop can ride the vector dispatch without the rns package
+// reaching into kernel internals. The accumulation is eagerly canonical,
+// matching the scalar rationale recorded at that call site (both conditional
+// subtractions lower to CMOVs; the lazy alternative measured ~3× slower).
+func (m Modulus) MACShoupVec(a, out []uint64, w, wShoup uint64) {
+	q := m.Q
+	a = a[:len(out)]
+	i := 0
+	if simdActive() {
+		nv := len(out) &^ 3
+		macShoupAVX2(out[:nv], a[:nv], q, w, wShoup)
+		i = nv
+	}
+	for ; i < len(out); i++ {
+		x := a[i]
+		hi, _ := bits.Mul64(x, wShoup)
+		p := x*w - hi*q // lazy Shoup ∈ [0, 2q)
+		if p >= q {
+			p -= q
+		}
+		s := out[i] + p
+		if s >= q {
+			s -= q
+		}
+		out[i] = s
 	}
 }
 

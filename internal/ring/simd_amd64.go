@@ -1,0 +1,107 @@
+//go:build amd64 && !purego
+
+package ring
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// simdOn gates every vector dispatch point. It is an atomic so a runtime
+// toggle (the binaries' -nosimd flag, tests flipping the path under -race)
+// is a plain data-race-free load on the hot paths — on amd64 an atomic load
+// is an ordinary MOV, so the guard costs one predictable branch per sweep,
+// never per coefficient.
+var simdOn atomic.Bool
+
+func init() {
+	simdOn.Store(cpuSupportsAVX2() && os.Getenv("HEAP_NOSIMD") == "")
+}
+
+// simdActive reports whether the vector kernels are selected.
+func simdActive() bool { return simdOn.Load() }
+
+// SetSIMD enables or disables the vector kernel set at runtime and reports
+// the resulting state. Enabling is refused (returns false) when the host
+// lacks AVX2 or OS support for saving the YMM state; disabling always takes
+// effect. The scalar fallback is bit-identical, so flipping this mid-run is
+// safe — it only changes which instructions compute the same values.
+func SetSIMD(enable bool) bool {
+	if enable && !cpuSupportsAVX2() {
+		simdOn.Store(false)
+		return false
+	}
+	simdOn.Store(enable)
+	return enable
+}
+
+// cpuid and xgetbv0 are the tiny assembly probes behind feature detection —
+// stdlib-only, no new module dependencies (golang.org/x/sys/cpu would pull
+// one in, and internal/cpu is off-limits outside the standard library).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// cpuSupportsAVX2 performs the full architectural check for safely running
+// VEX-encoded 256-bit integer code: AVX2 in CPUID.(7,0):EBX, AVX+OSXSAVE in
+// CPUID.1:ECX, and the OS actually enabling XMM+YMM state saving in XCR0.
+// Skipping the XCR0 check is the classic way to SIGILL inside a VM.
+func cpuSupportsAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	const xmmYmmState = 0x6 // SSE (bit 1) and AVX (bit 2) state enabled
+	if xcr0&xmmYmmState != xmmYmmState {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// Assembly kernels (ntt_amd64.s, vec_amd64.s). Every function processes
+// only whole 4-lane groups: the NTT stage kernels are called for stages
+// with block length t ≥ 4 (t is a power of two, so always a multiple of
+// the vector width there), and the sweep kernels are handed a length
+// pre-truncated to a multiple of 4 by their Go wrappers, which run the
+// scalar loop on the tail. All of them tolerate out aliasing an input
+// (each lane group is fully read before it is written, like the scalar
+// loops). //go:noescape keeps the slice headers off the heap so the PR 2
+// zero-allocation locks keep holding on the vector path.
+
+//go:noescape
+func nttFwdStepAVX2(p []uint64, psi, psiShoup []uint64, q uint64, m, t int)
+
+//go:noescape
+func nttInvStepAVX2(p []uint64, psiInv, psiInvShoup []uint64, q uint64, h, t int)
+
+//go:noescape
+func nttFwdStepMontAVX2(p []uint64, psiMont []uint64, q, qInv uint64, m, t int)
+
+//go:noescape
+func nttInvStepMontAVX2(p []uint64, psiInvMont []uint64, q, qInv uint64, h, t int)
+
+//go:noescape
+func mulCoeffsBarrettAVX2(out, a, b []uint64, q, mu uint64, shift uint)
+
+//go:noescape
+func mulCoeffsAndAddBarrettAVX2(out, a, b []uint64, q, mu uint64, shift uint)
+
+//go:noescape
+func mulScalarShoupAVX2(out, a []uint64, q, c, cShoup uint64)
+
+//go:noescape
+func macShoupAVX2(out, a []uint64, q, w, wShoup uint64)
+
+//go:noescape
+func addVecAVX2(out, a, b []uint64, q uint64)
+
+//go:noescape
+func subVecAVX2(out, a, b []uint64, q uint64)

@@ -1,0 +1,321 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// simdPrimes is the kernel-equivalence basis plus a 61-bit boundary modulus:
+// the vector kernels' signed-compare argument (every compared value < 2^63
+// because q < 2^61) is tightest there, so the top of the supported range must
+// be in every bit-identity sweep.
+func simdPrimes(t testing.TB) []uint64 {
+	t.Helper()
+	return append(paramsPrimes(t), GenerateNTTPrimes(61, 12, 1)[0])
+}
+
+// withVector enables the vector kernels for the duration of the test,
+// restoring the prior dispatch state afterwards, and skips when the build or
+// host has no vector path (purego tag, non-amd64, AVX2 absent).
+func withVector(t *testing.T) {
+	t.Helper()
+	prev := simdActive()
+	if !SetSIMD(true) {
+		SetSIMD(prev)
+		t.Skip("vector kernels unavailable on this build/host")
+	}
+	t.Cleanup(func() { SetSIMD(prev) })
+}
+
+// lazyFill writes values in [0, bound) with the interval boundaries planted
+// in the first slots (bound-1, bound-2, 0, 1, ...) so every run exercises the
+// exact edges of the lazy-reduction intervals, then random values.
+func lazyFill(rng *rand.Rand, p []uint64, bound uint64) {
+	edges := []uint64{bound - 1, bound - 2, 0, 1, bound / 2, bound/2 + 1}
+	for i := range p {
+		if i < len(edges) {
+			p[i] = edges[i] % bound
+		} else {
+			p[i] = rng.Uint64() % bound
+		}
+	}
+}
+
+// sweepLens covers the tail machinery: below one vector width, exactly one
+// width, width±1, and larger mixed cases.
+var sweepLens = []int{1, 2, 3, 4, 5, 7, 8, 12, 33, 64, 100}
+
+// TestVectorSweepKernelsMatchScalar is the bit-identity property test for the
+// coefficient-sweep kernels: every dispatched entry point is run once with
+// the vector path and once with the scalar path on identical inputs —
+// including aliased out == a — and the outputs must agree byte for byte.
+func TestVectorSweepKernelsMatchScalar(t *testing.T) {
+	withVector(t)
+	rng := rand.New(rand.NewSource(101))
+	for _, q := range simdPrimes(t) {
+		r := &Ring{Mod: NewModulus(q)}
+		mod := r.Mod
+		w := rng.Uint64() % q
+		wShoup := mod.ShoupPrecomp(w)
+		cases := []struct {
+			name string
+			// bound on a/b inputs; out starts canonical where the kernel reads it.
+			aBound uint64
+			run    func(a, b, out Poly)
+		}{
+			{"Add", q, func(a, b, out Poly) { r.Add(a, b, out) }},
+			{"Sub", q, func(a, b, out Poly) { r.Sub(a, b, out) }},
+			{"MulCoeffs", q, func(a, b, out Poly) { r.MulCoeffs(a, b, out) }},
+			{"MulCoeffsAndAdd", q, func(a, b, out Poly) { r.MulCoeffsAndAdd(a, b, out) }},
+			// MulScalar's kernel is documented for any operand < 2^63; the
+			// INTT feeds it lazy values, so test the [0, 2q) domain.
+			{"MulScalar", 2 * q, func(a, b, out Poly) { r.MulScalar(a, w, out) }},
+			{"MACShoupVec", q, func(a, b, out Poly) { mod.MACShoupVec(a, out, w, wShoup) }},
+		}
+		for _, tc := range cases {
+			for _, n := range sweepLens {
+				a := make(Poly, n)
+				b := make(Poly, n)
+				out0 := make(Poly, n)
+				lazyFill(rng, a, tc.aBound)
+				lazyFill(rng, b, q)
+				lazyFill(rng, out0, q)
+
+				want := out0.Copy()
+				SetSIMD(false)
+				tc.run(a.Copy(), b, want)
+				SetSIMD(true)
+				got := out0.Copy()
+				tc.run(a.Copy(), b, got)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("q=%d %s n=%d: vector[%d]=%d scalar=%d", q, tc.name, n, i, got[i], want[i])
+					}
+				}
+
+				// Aliased: out == a (in place), both paths.
+				SetSIMD(false)
+				aw := a.Copy()
+				tc.run(aw, b, aw)
+				SetSIMD(true)
+				ag := a.Copy()
+				tc.run(ag, b, ag)
+				for i := range aw {
+					if aw[i] != ag[i] {
+						t.Fatalf("q=%d %s n=%d aliased: vector[%d]=%d scalar=%d", q, tc.name, n, i, ag[i], aw[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVectorNTTStageKernelsMatchScalar compares each AVX2 butterfly stage
+// kernel directly against its scalar reference, on inputs planted at the
+// extreme edges of the Harvey lazy intervals ([0, 4q) into a forward stage,
+// [0, 2q) into an inverse stage) — the adversarial domain where a reduction
+// that diverges from the scalar order would show.
+func TestVectorNTTStageKernelsMatchScalar(t *testing.T) {
+	withVector(t)
+	rng := rand.New(rand.NewSource(202))
+	for _, q := range simdPrimes(t) {
+		mod := NewModulus(q)
+		for _, n := range []int{8, 32, 256} {
+			// Random canonical twiddle-like tables: the stage kernels do not
+			// require genuine roots of unity, only w < q with consistent
+			// Shoup/Montgomery companions.
+			psi := make([]uint64, n)
+			psiShoup := make([]uint64, n)
+			psiMont := make([]uint64, n)
+			for i := range psi {
+				psi[i] = rng.Uint64() % q
+				psiShoup[i] = mod.ShoupPrecomp(psi[i])
+				psiMont[i] = rng.Uint64() % q
+			}
+
+			// Forward stages: every (m, t) with t >= 4, Shoup and Montgomery.
+			st := n
+			for m := 1; m < n>>1; m <<= 1 {
+				st >>= 1
+				if st < 4 {
+					break
+				}
+				p := make(Poly, n)
+				lazyFill(rng, p, 4*q)
+				ps, pv := p.Copy(), p.Copy()
+				nttFwdStepScalar(ps, psi, psiShoup, q, m, st)
+				nttFwdStepAVX2(pv, psi, psiShoup, q, m, st)
+				for i := range ps {
+					if ps[i] != pv[i] {
+						t.Fatalf("q=%d n=%d fwd m=%d t=%d: vector[%d]=%d scalar=%d", q, n, m, st, i, pv[i], ps[i])
+					}
+				}
+				ps, pv = p.Copy(), p.Copy()
+				nttFwdStepMontScalar(ps, psiMont, q, mod.MRedQInv, m, st)
+				nttFwdStepMontAVX2(pv, psiMont, q, mod.MRedQInv, m, st)
+				for i := range ps {
+					if ps[i] != pv[i] {
+						t.Fatalf("q=%d n=%d fwdMont m=%d t=%d: vector[%d]=%d scalar=%d", q, n, m, st, i, pv[i], ps[i])
+					}
+				}
+			}
+
+			// Inverse stages: every (h, t) with t >= 4.
+			it := 2
+			for m := n >> 1; m > 1; m >>= 1 {
+				h := m >> 1
+				if it >= 4 {
+					p := make(Poly, n)
+					lazyFill(rng, p, 2*q)
+					ps, pv := p.Copy(), p.Copy()
+					nttInvStepScalar(ps, psi, psiShoup, q, h, it)
+					nttInvStepAVX2(pv, psi, psiShoup, q, h, it)
+					for i := range ps {
+						if ps[i] != pv[i] {
+							t.Fatalf("q=%d n=%d inv h=%d t=%d: vector[%d]=%d scalar=%d", q, n, h, it, i, pv[i], ps[i])
+						}
+					}
+					ps, pv = p.Copy(), p.Copy()
+					nttInvStepMontScalar(ps, psiMont, q, mod.MRedQInv, h, it)
+					nttInvStepMontAVX2(pv, psiMont, q, mod.MRedQInv, h, it)
+					for i := range ps {
+						if ps[i] != pv[i] {
+							t.Fatalf("q=%d n=%d invMont h=%d t=%d: vector[%d]=%d scalar=%d", q, n, h, it, i, pv[i], ps[i])
+						}
+					}
+				}
+				it <<= 1
+			}
+		}
+	}
+}
+
+// TestVectorTransformsMatchScalar runs every public transform with the vector
+// path on and off and requires byte-identical results — the whole-transform
+// closure of the per-stage identity above, across ring degrees (including
+// degrees small enough that every stage falls back to scalar) and an extra
+// 61-bit boundary-modulus ring.
+func TestVectorTransformsMatchScalar(t *testing.T) {
+	withVector(t)
+	rings := testRings(t)
+	rings = append(rings, NewRing(12, GenerateNTTPrimes(61, 12, 1)[0]))
+	for _, r := range rings {
+		s := NewSampler(303)
+		p := r.NewPoly()
+		s.UniformPoly(r, p)
+		sc := NewTwiddleScratch(r.N)
+		cases := []struct {
+			name string
+			f    func(Poly)
+		}{
+			{"NTT", r.NTT},
+			{"NTTLazy", r.NTTLazy},
+			{"INTT", r.INTT},
+			{"NTTMontgomery", r.NTTMontgomery},
+			{"INTTMontgomery", r.INTTMontgomery},
+			{"NTTOnTheFly", func(q Poly) { r.NTTOnTheFlyWith(q, sc) }},
+		}
+		for _, tc := range cases {
+			SetSIMD(false)
+			want := p.Copy()
+			tc.f(want)
+			SetSIMD(true)
+			got := p.Copy()
+			tc.f(got)
+			if !r.Equal(want, got) {
+				t.Errorf("logN=%d q=%d %s: vector and scalar transforms differ", r.LogN, r.Mod.Q, tc.name)
+			}
+		}
+	}
+}
+
+// TestNTTLazySemantics pins the NTTLazy contract on whichever dispatch path
+// is active: outputs are in [0, 2q), their residues are exactly NTT's, and
+// the inverse transform restores the original polynomial bit for bit.
+func TestNTTLazySemantics(t *testing.T) {
+	for _, r := range testRings(t) {
+		q := r.Mod.Q
+		s := NewSampler(404)
+		p := r.NewPoly()
+		s.UniformPoly(r, p)
+
+		canon := p.Copy()
+		r.NTT(canon)
+		lazy := p.Copy()
+		r.NTTLazy(lazy)
+		for i := range lazy {
+			if lazy[i] >= 2*q {
+				t.Fatalf("logN=%d q=%d: NTTLazy[%d]=%d outside [0, 2q)", r.LogN, q, i, lazy[i])
+			}
+			if lazy[i]%q != canon[i] {
+				t.Fatalf("logN=%d q=%d: NTTLazy[%d]=%d has residue %d, NTT gives %d", r.LogN, q, i, lazy[i], lazy[i]%q, canon[i])
+			}
+		}
+		r.INTT(lazy)
+		if !r.Equal(lazy, p) {
+			t.Errorf("logN=%d q=%d: INTT(NTTLazy(p)) != p", r.LogN, q)
+		}
+	}
+}
+
+// TestSetSIMDToggleConcurrent toggles the dispatch flag while workers hammer
+// NTT/INTT round trips. Run under -race this proves the runtime toggle is
+// data-race-free; the round trips prove both paths stay correct mid-flip
+// (they compute identical values, so a flip between passes is harmless).
+func TestSetSIMDToggleConcurrent(t *testing.T) {
+	prev := simdActive()
+	defer SetSIMD(prev)
+	r := NewRing(8, GenerateNTTPrimes(30, 8, 1)[0])
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		on := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SetSIMD(on)
+				on = !on
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := NewSampler(uint64(seed))
+			p := r.NewPoly()
+			for it := 0; it < 50; it++ {
+				s.UniformPoly(r, p)
+				orig := p.Copy()
+				r.NTT(p)
+				r.INTT(p)
+				for i := range p {
+					if p[i] != orig[i] {
+						t.Errorf("round trip diverged under concurrent toggling at %d", i)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	flips.Wait()
+}
+
+// TestSIMDLevelConsistent pins the obs-facing level string to the dispatch
+// state on every build.
+func TestSIMDLevelConsistent(t *testing.T) {
+	if simdActive() && SIMDLevel() != "avx2" {
+		t.Fatalf("SIMD active but level = %q", SIMDLevel())
+	}
+	if !simdActive() && SIMDLevel() != "none" {
+		t.Fatalf("SIMD inactive but level = %q", SIMDLevel())
+	}
+}

@@ -1,0 +1,272 @@
+//go:build amd64 && !purego
+
+// AVX2 coefficient-sweep kernels: the fixed-shift Barrett Hadamard
+// product/MAC (external product and key-switch digit accumulation), the
+// Shoup fixed-operand scalar multiply (rescale, ModDown, INTT's N^{-1}
+// sweep), the basis-conversion Shoup MAC, and the add/sub sweeps. Each
+// processes len(out)/4 whole 4-lane groups — the Go wrappers truncate to a
+// multiple of the vector width and run the scalar loop on the tail — and
+// every kernel reads a full lane group before writing it, so exact
+// aliasing (out == a or out == b) behaves like the scalar loops.
+//
+// Register conventions: DI out, SI a, DX b (when present), CX lane-group
+// countdown; Y15 q, Y13 0xFFFFFFFF lane mask, Y12/Y11/Y10 broadcast
+// constants per kernel.
+
+#include "textflag.h"
+#include "mul64_amd64.h"
+
+// func mulCoeffsBarrettAVX2(out, a, b []uint64, q, mu uint64, shift uint)
+//
+// out[i] = a[i]*b[i] mod q via the per-prime fixed-shift Barrett form:
+//   hi:lo = a*b;  xs = hi<<(64-s) | lo>>s;  qest = mulhi(xs, mu)
+//   r = lo - qest*q, then at most two conditional subtractions.
+// The lane-wise quotient estimate inherits the scalar proof: operands are
+// canonical, so x < q^2 and the underestimate is at most 2.
+TEXT ·mulCoeffsBarrettAVX2(SB), NOSPLIT, $0-96
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), DX
+	MOVQ out_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   mulcDone
+
+	MOVQ q+72(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	MOVQ mu+80(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y12    // mu
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+	MOVQ shift+88(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y11    // s
+	MOVQ $64, BX
+	SUBQ AX, BX
+	VMOVQ BX, X0
+	VPBROADCASTQ X0, Y10    // 64 - s
+
+mulcLoop:
+	VMOVDQU (SI), Y0
+	VMOVDQU (DX), Y1
+	MULFULL64(Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7, Y13)  // Y2:Y3 = a*b
+	VPSRLVQ Y11, Y3, Y4     // lo >> s
+	VPSLLVQ Y10, Y2, Y5     // hi << (64-s)
+	VPOR    Y5, Y4, Y4      // xs = floor(x / 2^s)
+	MULHI64(Y4, Y12, Y5, Y6, Y7, Y8, Y9, Y13)       // qest
+	MULLO64(Y5, Y15, Y6, Y7, Y8)                    // qest*q mod 2^64
+	VPSUBQ  Y6, Y3, Y3      // r in [0, 3q)
+	CSUB(Y3, Y15, Y6)
+	CSUB(Y3, Y15, Y6)
+	VMOVDQU Y3, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  mulcLoop
+
+mulcDone:
+	VZEROUPPER
+	RET
+
+// func mulCoeffsAndAddBarrettAVX2(out, a, b []uint64, q, mu uint64, shift uint)
+//
+// out[i] = (out[i] + a[i]*b[i] mod q) mod q — the MAC form of the kernel
+// above, with the accumulate folded by one more conditional subtraction.
+TEXT ·mulCoeffsAndAddBarrettAVX2(SB), NOSPLIT, $0-96
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), DX
+	MOVQ out_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   maccDone
+
+	MOVQ q+72(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	MOVQ mu+80(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y12    // mu
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+	MOVQ shift+88(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y11    // s
+	MOVQ $64, BX
+	SUBQ AX, BX
+	VMOVQ BX, X0
+	VPBROADCASTQ X0, Y10    // 64 - s
+
+maccLoop:
+	VMOVDQU (SI), Y0
+	VMOVDQU (DX), Y1
+	MULFULL64(Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7, Y13)  // Y2:Y3 = a*b
+	VPSRLVQ Y11, Y3, Y4
+	VPSLLVQ Y10, Y2, Y5
+	VPOR    Y5, Y4, Y4      // xs
+	MULHI64(Y4, Y12, Y5, Y6, Y7, Y8, Y9, Y13)       // qest
+	MULLO64(Y5, Y15, Y6, Y7, Y8)                    // qest*q
+	VPSUBQ  Y6, Y3, Y3      // p in [0, 3q)
+	CSUB(Y3, Y15, Y6)
+	CSUB(Y3, Y15, Y6)       // p canonical
+	VMOVDQU (DI), Y0        // accumulator
+	VPADDQ  Y3, Y0, Y3      // s = out + p < 2q
+	CSUB(Y3, Y15, Y6)
+	VMOVDQU Y3, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  maccLoop
+
+maccDone:
+	VZEROUPPER
+	RET
+
+// func mulScalarShoupAVX2(out, a []uint64, q, c, cShoup uint64)
+//
+// out[i] = a[i]*c mod q via lazy Shoup plus one conditional subtraction.
+// Correct for any a[i] < 2^63 (the INTT final sweep feeds it lazy-domain
+// values in [0, 2q)); canonical output.
+TEXT ·mulScalarShoupAVX2(SB), NOSPLIT, $0-72
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ out_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   mulsDone
+
+	MOVQ q+48(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	MOVQ c+56(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y12    // c
+	MOVQ cShoup+64(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y11    // cShoup
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+
+mulsLoop:
+	VMOVDQU (SI), Y0
+	MULHI64(Y0, Y11, Y3, Y4, Y5, Y6, Y7, Y13)  // mulhi(x, cShoup)
+	MULLO64(Y0, Y12, Y4, Y5, Y6)               // x*c mod 2^64
+	MULLO64(Y3, Y15, Y5, Y6, Y7)               // mulhi*q mod 2^64
+	VPSUBQ Y5, Y4, Y4       // lazy Shoup in [0, 2q)
+	CSUB(Y4, Y15, Y6)       // canonical
+	VMOVDQU Y4, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  mulsLoop
+
+mulsDone:
+	VZEROUPPER
+	RET
+
+// func macShoupAVX2(out, a []uint64, q, w, wShoup uint64)
+//
+// out[i] = (out[i] + a[i]*w mod q) mod q — the basis-conversion inner MAC
+// (rns.ExtendSelectedWith). Same eagerly-canonical accumulation as the
+// scalar loop: reduce the Shoup product first, then one fold after the add.
+TEXT ·macShoupAVX2(SB), NOSPLIT, $0-72
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ out_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   macsDone
+
+	MOVQ q+48(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+	MOVQ w+56(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y12    // w
+	MOVQ wShoup+64(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y11    // wShoup
+	MOVQ $0x00000000FFFFFFFF, AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y13    // lane mask
+
+macsLoop:
+	VMOVDQU (SI), Y0
+	MULHI64(Y0, Y11, Y3, Y4, Y5, Y6, Y7, Y13)
+	MULLO64(Y0, Y12, Y4, Y5, Y6)
+	MULLO64(Y3, Y15, Y5, Y6, Y7)
+	VPSUBQ Y5, Y4, Y4       // r lazy in [0, 2q)
+	CSUB(Y4, Y15, Y6)       // r canonical
+	VMOVDQU (DI), Y0
+	VPADDQ Y4, Y0, Y4       // s = out + r < 2q
+	CSUB(Y4, Y15, Y6)
+	VMOVDQU Y4, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  macsLoop
+
+macsDone:
+	VZEROUPPER
+	RET
+
+// func addVecAVX2(out, a, b []uint64, q uint64)
+TEXT ·addVecAVX2(SB), NOSPLIT, $0-80
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), DX
+	MOVQ out_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   addvDone
+
+	MOVQ q+72(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+
+addvLoop:
+	VMOVDQU (SI), Y0
+	VMOVDQU (DX), Y1
+	VPADDQ Y1, Y0, Y0       // c = a + b < 2q
+	CSUB(Y0, Y15, Y2)
+	VMOVDQU Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  addvLoop
+
+addvDone:
+	VZEROUPPER
+	RET
+
+// func subVecAVX2(out, a, b []uint64, q uint64)
+TEXT ·subVecAVX2(SB), NOSPLIT, $0-80
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), DX
+	MOVQ out_len+8(FP), CX
+	SHRQ $2, CX
+	JZ   subvDone
+
+	MOVQ q+72(FP), AX
+	VMOVQ AX, X0
+	VPBROADCASTQ X0, Y15    // q
+
+subvLoop:
+	VMOVDQU (SI), Y0        // a
+	VMOVDQU (DX), Y1        // b
+	VPSUBQ Y1, Y0, Y2       // c = a - b (wraps when b > a)
+	CADDLT(Y2, Y0, Y1, Y15, Y3)  // c += q where a < b
+	VMOVDQU Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  subvLoop
+
+subvDone:
+	VZEROUPPER
+	RET

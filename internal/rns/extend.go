@@ -2,7 +2,6 @@ package rns
 
 import (
 	"math/big"
-	"math/bits"
 
 	"heap/internal/ring"
 )
@@ -180,36 +179,20 @@ func (e *Extender) ExtendSelectedWith(p Poly, out Poly, dstIdx []int, sc *Extend
 		e.src.Rings[i].MulScalar(p.Limbs[i], inv[i], ys[i])
 	}
 	for jj, j := range dstIdx {
-		q := e.dst.Rings[j].Mod.Q
+		mod := e.dst.Rings[j].Mod
 		oj := out.Limbs[jj][:n]
 		oj.Zero()
 		for i := 0; i < level; i++ {
-			w := modP[i][j]
-			wShoup := modPShoup[i][j]
-			yi := ys[i][:n]
-			yi = yi[:len(oj)] // bounds-check elimination for yi[k]
-			for k := range oj {
-				// Eagerly canonical accumulation, on purpose: both
-				// conditional subtractions below lower to branchless
-				// conditional moves, whereas the lazy alternative (carry the
-				// accumulator in [0, 2q) with one subtraction per term plus a
-				// canonical sweep per limb) defeats that lowering and
-				// measured ~3× slower per term on the reference host — see
-				// the modular-kernel ablation in EXPERIMENTS.md. The lazy
-				// interval only pays off when it removes work from a longer
-				// dependent chain, as in the NTT butterflies.
-				y := yi[k]
-				hi, _ := bits.Mul64(y, wShoup)
-				r := y*w - hi*q // lazy Shoup ∈ [0, 2q)
-				if r >= q {
-					r -= q
-				}
-				s := oj[k] + r
-				if s >= q {
-					s -= q
-				}
-				oj[k] = s
-			}
+			// Eagerly canonical accumulation, on purpose: both conditional
+			// subtractions inside the MAC lower to branchless conditional
+			// moves (scalar) or VPCMPGTQ masks (vector), whereas the lazy
+			// alternative (carry the accumulator in [0, 2q) with one
+			// subtraction per term plus a canonical sweep per limb) defeats
+			// the scalar lowering and measured ~3× slower per term on the
+			// reference host — see the modular-kernel ablation in
+			// EXPERIMENTS.md. The lazy interval only pays off when it removes
+			// work from a longer dependent chain, as in the NTT butterflies.
+			mod.MACShoupVec(ys[i][:n], oj, modP[i][j], modPShoup[i][j])
 		}
 	}
 }
